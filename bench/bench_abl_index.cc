@@ -1,0 +1,89 @@
+// Ablation: the chunk-number B-tree index.
+//
+// The paper attributes Inversion's slow file creation to B-tree maintenance
+// ("For every page written to the file, Inversion must create a Btree index
+// entry") and credits the same index for fast seeks. This ablation measures
+// both sides: creation is faster without the index, but random page reads
+// collapse into sequential scans of the chunk table.
+
+#include "bench/bench_common.h"
+#include "src/util/random.h"
+
+namespace invfs {
+namespace {
+
+struct Numbers {
+  double create_s = 0;
+  double rand_read_s = 0;
+};
+
+Result<Numbers> RunOne(bool with_index) {
+  WorldOptions options;
+  options.inv.maintain_chunk_index = with_index;
+  INV_ASSIGN_OR_RETURN(auto world, InversionWorld::Create(options));
+  FileApi& api = world->local_api();
+  SimClock& clock = world->clock();
+
+  // 4 MB file keeps the no-index scan path tractable while preserving shape.
+  const int64_t file_bytes = 4LL << 20;
+  const int64_t page = api.PreferredPageSize();
+  std::vector<std::byte> payload(static_cast<size_t>(page), std::byte{0x5A});
+
+  Numbers out;
+  {
+    const SimMicros t0 = clock.Peek();
+    INV_RETURN_IF_ERROR(api.Begin());
+    INV_ASSIGN_OR_RETURN(int fd, api.Creat("/abl.dat"));
+    for (int64_t written = 0; written < file_bytes; written += page) {
+      INV_RETURN_IF_ERROR(api.Write(fd, payload).status());
+    }
+    INV_RETURN_IF_ERROR(api.Close(fd));
+    INV_RETURN_IF_ERROR(api.Commit());
+    out.create_s = clock.SecondsSince(t0);
+  }
+  {
+    INV_RETURN_IF_ERROR(api.FlushCaches());
+    Rng rng(42);
+    INV_RETURN_IF_ERROR(api.Begin());
+    INV_ASSIGN_OR_RETURN(int fd, api.Open("/abl.dat", false));
+    const SimMicros t0 = clock.Peek();
+    std::vector<std::byte> buf(static_cast<size_t>(page));
+    for (int i = 0; i < 32; ++i) {
+      const int64_t offset =
+          static_cast<int64_t>(rng.Uniform(
+              static_cast<uint64_t>(file_bytes / page))) * page;
+      INV_RETURN_IF_ERROR(api.Seek(fd, offset, Whence::kSet).status());
+      INV_RETURN_IF_ERROR(api.Read(fd, buf).status());
+    }
+    out.rand_read_s = clock.SecondsSince(t0);
+    INV_RETURN_IF_ERROR(api.Close(fd));
+    INV_RETURN_IF_ERROR(api.Commit());
+  }
+  return out;
+}
+
+int Main() {
+  std::printf("== Ablation: chunk-number B-tree index ==\n\n");
+  auto with = RunOne(true);
+  auto without = RunOne(false);
+  if (!with.ok() || !without.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!with.ok() ? with.status() : without.status()).ToString().c_str());
+    return 1;
+  }
+  std::printf("%-28s %14s %14s\n", "", "with index", "without index");
+  std::printf("%-28s %13.2fs %13.2fs\n", "create 4MB file", with->create_s,
+              without->create_s);
+  std::printf("%-28s %13.2fs %13.2fs\n", "32 random page reads", with->rand_read_s,
+              without->rand_read_s);
+  std::printf("\nexpected shape: no-index creation is %.1fx faster, but random reads"
+              " are %.0fx slower\n",
+              with->create_s / without->create_s,
+              without->rand_read_s / with->rand_read_s);
+  return 0;
+}
+
+}  // namespace
+}  // namespace invfs
+
+int main() { return invfs::Main(); }

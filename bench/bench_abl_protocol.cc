@@ -1,0 +1,71 @@
+// Ablation: client/server protocol weight.
+//
+// "It is clear that the client/server communication protocol used by the file
+// system is much too heavy-weight, and should be optimized. ... Given
+// optimization of the protocol, it is reasonable to expect performance within
+// fifty percent of ULTRIX NFS and PRESTOserve from Inversion."
+//
+// We sweep the per-message and per-byte protocol costs from measured-TCP down
+// to an "optimized" protocol and check where the paper's prediction lands.
+
+#include "bench/bench_common.h"
+
+namespace invfs {
+namespace {
+
+int Main() {
+  std::printf("== Ablation: Inversion protocol weight ==\n\n");
+  struct ProtoSpec {
+    const char* name;
+    NetParams params;
+  };
+  const ProtoSpec protos[] = {
+      {"measured TCP (paper)", NetParams{2'500, 2'400}},
+      {"trimmed TCP", NetParams{1'200, 1'900}},
+      {"optimized (UDP-class)", NfsNetParams()},
+  };
+
+  WorldOptions nfs_options;
+  auto nfs_world = NfsWorld::Create(nfs_options);
+  if (!nfs_world.ok()) {
+    std::fprintf(stderr, "%s\n", nfs_world.status().ToString().c_str());
+    return 1;
+  }
+  PaperBenchParams nfs_params;
+  nfs_params.use_transactions = false;
+  auto nfs = RunPaperBenchmark((*nfs_world)->api(), (*nfs_world)->clock(), nfs_params);
+  if (!nfs.ok()) {
+    std::fprintf(stderr, "%s\n", nfs.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-24s %16s %20s %16s\n", "protocol", "single 1MB read",
+              "seq page 1MB write", "%of-NFS (read)");
+  for (const ProtoSpec& proto : protos) {
+    WorldOptions options;
+    options.inversion_net = proto.params;
+    auto world = InversionWorld::Create(options);
+    if (!world.ok()) {
+      std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+      return 1;
+    }
+    auto r = RunPaperBenchmark((*world)->remote_api(), (*world)->clock(), {});
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-24s %15.2fs %19.2fs %15.0f%%\n", proto.name, r->read_1mb_single_s,
+                r->write_1mb_seq_pages_s,
+                100.0 * nfs->read_1mb_single_s / r->read_1mb_single_s);
+  }
+  std::printf("\n(NFS+PRESTOserve reference: single 1MB read %.2fs)\n",
+              nfs->read_1mb_single_s);
+  std::printf("paper prediction: an optimized protocol brings Inversion within"
+              " 50%% of NFS\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace invfs
+
+int main() { return invfs::Main(); }

@@ -1,0 +1,54 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/harness/paper_benchmark.h"
+#include "src/harness/worlds.h"
+
+namespace invfs {
+
+struct AllResults {
+  PaperBenchResult inv_cs;   // Inversion client/server
+  PaperBenchResult nfs;      // ULTRIX NFS + PRESTOserve
+  PaperBenchResult inv_sp;   // Inversion single process
+};
+
+// Run the paper's nine-test suite in all three configurations.
+inline Result<AllResults> RunAllConfigs(WorldOptions options = {},
+                                        PaperBenchParams params = {}) {
+  AllResults out;
+  {
+    INV_ASSIGN_OR_RETURN(auto world, InversionWorld::Create(options));
+    INV_ASSIGN_OR_RETURN(out.inv_cs,
+                         RunPaperBenchmark(world->remote_api(), world->clock(), params));
+  }
+  {
+    INV_ASSIGN_OR_RETURN(auto world, NfsWorld::Create(options));
+    PaperBenchParams nfs_params = params;
+    nfs_params.use_transactions = false;
+    INV_ASSIGN_OR_RETURN(out.nfs,
+                         RunPaperBenchmark(world->api(), world->clock(), nfs_params));
+  }
+  {
+    INV_ASSIGN_OR_RETURN(auto world, InversionWorld::Create(options));
+    INV_ASSIGN_OR_RETURN(out.inv_sp,
+                         RunPaperBenchmark(world->local_api(), world->clock(), params));
+  }
+  return out;
+}
+
+// Horizontal bar for quick visual shape comparison (1 char per `unit` secs).
+inline void PrintBar(const char* label, double seconds, double unit) {
+  const int n = static_cast<int>(seconds / unit + 0.5);
+  std::printf("  %-28s %7.2fs |", label, seconds);
+  for (int i = 0; i < n && i < 70; ++i) {
+    std::printf("#");
+  }
+  std::printf("\n");
+}
+
+}  // namespace invfs

@@ -1,0 +1,48 @@
+// Figure 5: 1 MB read throughput in three access patterns.
+//
+// Paper: single large transfer — Inversion 80% of NFS; page-sized sequential
+// — 47%; page-sized random — 43% ("the additional overhead incurred by
+// traversing the Btree page index in Inversion accounts for much of the
+// slowdown").
+
+#include "bench/bench_common.h"
+
+namespace invfs {
+namespace {
+
+int Main() {
+  std::printf("== Figure 5: read throughput (1 MByte) ==\n\n");
+  auto results = RunAllConfigs();
+  if (!results.ok()) {
+    std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  struct RowSpec {
+    const char* name;
+    double PaperBenchResult::*m;
+    double paper_pct;
+  };
+  const RowSpec rows[] = {
+      {"single 1MB read", &PaperBenchResult::read_1mb_single_s, 80},
+      {"sequential page-sized", &PaperBenchResult::read_1mb_seq_pages_s, 47},
+      {"random page-sized", &PaperBenchResult::read_1mb_rand_pages_s, 43},
+  };
+  std::printf("%-24s %14s %14s %18s %10s\n", "pattern", "Inversion c/s",
+              "ULTRIX NFS", "measured %of-NFS", "paper");
+  for (const RowSpec& row : rows) {
+    const double inv = results->inv_cs.*(row.m);
+    const double nfs = results->nfs.*(row.m);
+    std::printf("%-24s %13.2fs %13.2fs %17.0f%% %9.0f%%\n", row.name, inv, nfs,
+                100.0 * nfs / inv, row.paper_pct);
+  }
+  std::printf("\nshape check: Inversion degrades from single -> seq pages -> random"
+              " (B-tree traversal per page): %.2f <= %.2f <= %.2f\n",
+              results->inv_cs.read_1mb_single_s, results->inv_cs.read_1mb_seq_pages_s,
+              results->inv_cs.read_1mb_rand_pages_s);
+  return 0;
+}
+
+}  // namespace
+}  // namespace invfs
+
+int main() { return invfs::Main(); }

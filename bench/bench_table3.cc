@@ -1,0 +1,123 @@
+// Table 3 of the paper: elapsed time in seconds for the nine benchmark tests
+// in three configurations — Inversion client/server, ULTRIX NFS (with
+// PRESTOserve), and Inversion single process.
+//
+// Times are simulated seconds from the calibrated 1993 cost model; the paper
+// column is reproduced alongside for shape comparison. Run with no arguments.
+
+#include <cstdio>
+
+#include "src/harness/paper_benchmark.h"
+#include "src/harness/worlds.h"
+
+namespace invfs {
+namespace {
+
+struct PaperColumn {
+  double create, r1mb, rseq, rrand, w1mb, wseq, wrand, rbyte, wbyte;
+};
+
+// The paper's Table 3 values.
+constexpr PaperColumn kPaperInvCs = {141.5, 3.4, 4.8, 5.5, 4.6, 5.6, 6.0, 0.02, 0.03};
+constexpr PaperColumn kPaperNfs = {50.6, 2.8, 2.2, 2.4, 2.0, 1.7, 1.7, 0.01, 0.02};
+constexpr PaperColumn kPaperInvSp = {111.6, 0.4, 0.4, 0.8, 1.4, 1.4, 2.9, 0.01, 0.02};
+
+void PrintTable(const PaperBenchResult& cs, const PaperBenchResult& nfs,
+                const PaperBenchResult& sp) {
+  struct RowSpec {
+    const char* name;
+    double PaperColumn::*pm;
+    double PaperBenchResult::*mm;
+  };
+  const RowSpec rows[] = {
+      {"Create 25MByte file", &PaperColumn::create, &PaperBenchResult::create_file_s},
+      {"Single 1MByte read", &PaperColumn::r1mb, &PaperBenchResult::read_1mb_single_s},
+      {"Page-sized sequential 1MByte read", &PaperColumn::rseq,
+       &PaperBenchResult::read_1mb_seq_pages_s},
+      {"Page-sized random 1MByte read", &PaperColumn::rrand,
+       &PaperBenchResult::read_1mb_rand_pages_s},
+      {"Single 1MByte write", &PaperColumn::w1mb, &PaperBenchResult::write_1mb_single_s},
+      {"Page-sized sequential 1MByte write", &PaperColumn::wseq,
+       &PaperBenchResult::write_1mb_seq_pages_s},
+      {"Page-sized random 1MByte write", &PaperColumn::wrand,
+       &PaperBenchResult::write_1mb_rand_pages_s},
+      {"Read single byte", &PaperColumn::rbyte, &PaperBenchResult::read_single_byte_s},
+      {"Write single byte", &PaperColumn::wbyte, &PaperBenchResult::write_single_byte_s},
+  };
+  std::printf("%-36s | %-21s | %-21s | %-21s\n", "", "Inversion client/server",
+              "ULTRIX NFS", "Inversion single-proc");
+  std::printf("%-36s | %10s %10s | %10s %10s | %10s %10s\n", "Operation", "paper",
+              "measured", "paper", "measured", "paper", "measured");
+  std::printf(
+      "-------------------------------------+-----------------------+------------"
+      "-----------+----------------------\n");
+  for (const RowSpec& row : rows) {
+    std::printf("%-36s | %10.2f %10.2f | %10.2f %10.2f | %10.2f %10.2f\n", row.name,
+                kPaperInvCs.*(row.pm), cs.*(row.mm), kPaperNfs.*(row.pm),
+                nfs.*(row.mm), kPaperInvSp.*(row.pm), sp.*(row.mm));
+  }
+  std::printf("\nShape checks (paper -> measured):\n");
+  auto ratio = [](double a, double b) { return b == 0 ? 0.0 : a / b; };
+  std::printf("  NFS/Inv-cs create throughput ratio: paper %.2f, measured %.2f\n",
+              kPaperInvCs.create / kPaperNfs.create, ratio(cs.create_file_s,
+                                                           nfs.create_file_s));
+  std::printf("  Inv-sp speedup vs NFS (seq page read): paper %.1fx, measured %.1fx\n",
+              kPaperNfs.rseq / kPaperInvSp.rseq,
+              ratio(nfs.read_1mb_seq_pages_s, sp.read_1mb_seq_pages_s));
+  std::printf("  NFS random write degradation: paper %.2fx, measured %.2fx\n",
+              kPaperNfs.wrand / kPaperNfs.wseq,
+              ratio(nfs.write_1mb_rand_pages_s, nfs.write_1mb_seq_pages_s));
+}
+
+int Main() {
+  WorldOptions options;
+
+  auto inv_world = InversionWorld::Create(options);
+  if (!inv_world.ok()) {
+    std::fprintf(stderr, "inversion world: %s\n", inv_world.status().ToString().c_str());
+    return 1;
+  }
+  auto nfs_world = NfsWorld::Create(options);
+  if (!nfs_world.ok()) {
+    std::fprintf(stderr, "nfs world: %s\n", nfs_world.status().ToString().c_str());
+    return 1;
+  }
+
+  PaperBenchParams params;
+  std::printf("== Table 3: elapsed seconds, three configurations ==\n\n");
+
+  auto cs = RunPaperBenchmark((*inv_world)->remote_api(), (*inv_world)->clock(),
+                              params);
+  if (!cs.ok()) {
+    std::fprintf(stderr, "client/server bench: %s\n", cs.status().ToString().c_str());
+    return 1;
+  }
+
+  PaperBenchParams nfs_params = params;
+  nfs_params.use_transactions = false;
+  auto nfs = RunPaperBenchmark((*nfs_world)->api(), (*nfs_world)->clock(), nfs_params);
+  if (!nfs.ok()) {
+    std::fprintf(stderr, "nfs bench: %s\n", nfs.status().ToString().c_str());
+    return 1;
+  }
+
+  // Fresh Inversion world so the single-process run starts cold like the rest.
+  auto sp_world = InversionWorld::Create(options);
+  if (!sp_world.ok()) {
+    std::fprintf(stderr, "inversion world: %s\n", sp_world.status().ToString().c_str());
+    return 1;
+  }
+  auto sp = RunPaperBenchmark((*sp_world)->local_api(), (*sp_world)->clock(), params);
+  if (!sp.ok()) {
+    std::fprintf(stderr, "single-process bench: %s\n", sp.status().ToString().c_str());
+    return 1;
+  }
+
+  PrintTable(*cs, *nfs, *sp);
+  return 0;
+}
+
+}  // namespace
+}  // namespace invfs
+
+int main() { return invfs::Main(); }

@@ -1,0 +1,138 @@
+// Time travel + crash recovery walkthrough.
+//
+// Demonstrates the two headline services the paper builds on the no-overwrite
+// storage manager:
+//  1. fine-grained time travel — every committed state of a file stays
+//     readable, an accidentally deleted file can be undeleted, and queries can
+//     range over the namespace "as of" any instant;
+//  2. instantaneous crash recovery — a hard crash mid-transaction needs no
+//     fsck: reopening the database is recovery, and the half-done transaction
+//     has simply never happened.
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/inversion/inv_fs.h"
+
+using namespace invfs;
+
+namespace {
+
+Status WriteVersion(InvSession& s, const std::string& path, const std::string& body,
+                    bool create) {
+  INV_RETURN_IF_ERROR(s.p_begin());
+  Result<int> fd = create ? s.p_creat(path) : s.p_open(path, OpenMode::kWrite);
+  INV_RETURN_IF_ERROR(fd.status());
+  INV_RETURN_IF_ERROR(
+      s.p_write(*fd, std::as_bytes(std::span(body.data(), body.size()))).status());
+  INV_RETURN_IF_ERROR(s.p_close(*fd));
+  return s.p_commit();
+}
+
+Result<std::string> ReadVersion(InvSession& s, const std::string& path,
+                                Timestamp as_of) {
+  INV_ASSIGN_OR_RETURN(int fd, s.p_open(path, OpenMode::kRead, as_of));
+  std::string out;
+  char buf[512];
+  for (;;) {
+    INV_ASSIGN_OR_RETURN(int64_t n, s.p_read(fd, std::as_writable_bytes(std::span(buf))));
+    if (n == 0) {
+      break;
+    }
+    out.append(buf, static_cast<size_t>(n));
+  }
+  INV_RETURN_IF_ERROR(s.p_close(fd));
+  return out;
+}
+
+Status Run() {
+  StorageEnv env;  // stable storage: survives the crash below
+
+  Timestamp v1_time = 0;
+  Timestamp v2_time = 0;
+  Timestamp before_rm = 0;
+  {
+    INV_ASSIGN_OR_RETURN(auto db, Database::Open(&env));
+    InversionFs fs(db.get());
+    INV_RETURN_IF_ERROR(fs.Mount());
+    INV_ASSIGN_OR_RETURN(auto s, fs.NewSession());
+
+    // Three committed versions of a program source file.
+    INV_RETURN_IF_ERROR(WriteVersion(*s, "/prog.c", "int main() { return 0; }\n",
+                                     /*create=*/true));
+    v1_time = db->Now();
+    INV_RETURN_IF_ERROR(WriteVersion(
+        *s, "/prog.c", "int main() { return 42; } /* broke it */\n", false));
+    v2_time = db->Now();
+    INV_RETURN_IF_ERROR(WriteVersion(
+        *s, "/prog.c", "int main() { launch_missiles(); } /* much worse */\n", false));
+
+    std::printf("=== time travel over versions of /prog.c ===\n");
+    for (auto [label, t] : {std::pair{"v1", v1_time}, {"v2", v2_time},
+                            {"now", kTimestampNow}}) {
+      INV_ASSIGN_OR_RETURN(std::string body, ReadVersion(*s, "/prog.c", t));
+      std::printf("  %-4s %s", label, body.c_str());
+    }
+    std::printf("  -> \"recover a working version of a program which they have"
+                " changed\"\n\n");
+
+    // Undelete.
+    INV_RETURN_IF_ERROR(WriteVersion(*s, "/results.dat",
+                                     "priceless experiment output\n", true));
+    before_rm = db->Now();
+    INV_RETURN_IF_ERROR(s->unlink("/results.dat"));
+    std::printf("=== undelete via time travel ===\n");
+    std::printf("  rm /results.dat done; stat now -> %s\n",
+                s->stat("/results.dat").status().ToString().c_str());
+    INV_ASSIGN_OR_RETURN(std::string saved, ReadVersion(*s, "/results.dat", before_rm));
+    INV_RETURN_IF_ERROR(WriteVersion(*s, "/results.dat", saved, true));
+    std::printf("  restored from t=%llu: \"%s\"\n\n",
+                static_cast<unsigned long long>(before_rm),
+                std::string(saved.begin(), saved.end() - 1).c_str());
+
+    // Now crash mid-transaction: two of three files of a "check-in" written.
+    INV_RETURN_IF_ERROR(s->p_begin());
+    INV_ASSIGN_OR_RETURN(int fd1, s->p_creat("/checkin_a.c"));
+    const std::string half = "half a check-in";
+    INV_RETURN_IF_ERROR(
+        s->p_write(fd1, std::as_bytes(std::span(half.data(), half.size()))).status());
+    INV_ASSIGN_OR_RETURN(int fd2, s->p_creat("/checkin_b.c"));
+    (void)fd2;
+    // Force everything to "disk" so the crash can't be excused by lost RAM:
+    INV_RETURN_IF_ERROR(db->buffers().FlushAll());
+    std::printf("=== crash with a multi-file check-in in flight ===\n");
+    s.reset();
+    db->Crash();
+  }
+
+  // Recovery = reopening. No fsck, no log replay.
+  {
+    INV_ASSIGN_OR_RETURN(auto db, Database::Open(&env));
+    InversionFs fs(db.get());
+    INV_RETURN_IF_ERROR(fs.Mount());
+    INV_ASSIGN_OR_RETURN(auto s, fs.NewSession());
+    std::printf("  reopened instantly; in-flight files after recovery:\n");
+    std::printf("    /checkin_a.c -> %s\n",
+                s->stat("/checkin_a.c").status().ToString().c_str());
+    std::printf("    /checkin_b.c -> %s\n",
+                s->stat("/checkin_b.c").status().ToString().c_str());
+    INV_ASSIGN_OR_RETURN(std::string body, ReadVersion(*s, "/prog.c", kTimestampNow));
+    std::printf("  committed data intact: /prog.c = %s", body.c_str());
+    INV_ASSIGN_OR_RETURN(std::string v1, ReadVersion(*s, "/prog.c", v1_time));
+    std::printf("  and history survived the crash too: v1 = %s", v1.c_str());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+int main() {
+  Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "timetravel_recovery failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,188 @@
+#include "src/access/heap.h"
+
+namespace invfs {
+
+Heap::Heap(Oid rel, const Schema* schema, BufferPool* pool, TxnManager* txns)
+    : rel_(rel), schema_(schema), pool_(pool), txns_(txns) {}
+
+Result<Tid> Heap::Insert(TxnId txn, const Row& row, Oid row_oid) {
+  return InsertRaw(txn, row, TupleMeta{row_oid, txn, kInvalidTxn});
+}
+
+Result<Tid> Heap::InsertRaw(TxnId txn, const Row& row, const TupleMeta& meta) {
+  INV_ASSIGN_OR_RETURN(auto encoded, EncodeTuple(*schema_, row, meta));
+  if (encoded.size() + kLinePointerSize > kPageSize - kPageHeaderSize) {
+    return Status::InvalidArgument("tuple does not fit on one page (" +
+                                   std::to_string(encoded.size()) + " bytes)");
+  }
+  txns_->NoteTouched(txn, rel_);
+
+  INV_ASSIGN_OR_RETURN(uint32_t nblocks, pool_->NumBlocks(rel_));
+  // Try the hint block (normally the last block), then extend.
+  if (nblocks > 0) {
+    uint32_t target = hint_block_ < nblocks ? hint_block_ : nblocks - 1;
+    // Also try the true last block if the hint is stale.
+    for (uint32_t candidate : {target, nblocks - 1}) {
+      INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, candidate));
+      Page page = ref.page();
+      auto slot = page.AddTuple(encoded);
+      if (slot.ok()) {
+        ref.MarkDirty();
+        hint_block_ = candidate;
+        return Tid{candidate, *slot};
+      }
+      if (candidate == nblocks - 1) {
+        break;
+      }
+    }
+  }
+  uint32_t new_block = 0;
+  INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Extend(rel_, &new_block));
+  Page page = ref.page();
+  INV_ASSIGN_OR_RETURN(uint16_t slot, page.AddTuple(encoded));
+  ref.MarkDirty();
+  hint_block_ = new_block;
+  return Tid{new_block, slot};
+}
+
+Status Heap::Delete(TxnId txn, Tid tid) {
+  INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, tid.block));
+  Page page = ref.page();
+  INV_ASSIGN_OR_RETURN(auto tuple, page.GetMutableTuple(tid.slot));
+  if (tuple.empty()) {
+    return Status::NotFound("tuple " + tid.ToString() + " is gone");
+  }
+  TupleMeta meta = GetTupleMeta(tuple);
+  if (meta.xmax != kInvalidTxn && meta.xmax != txn) {
+    // A previous deleter exists. Only an *aborted* deleter may be overridden.
+    const TxnStatus st = txns_->log().StatusOf(meta.xmax);
+    if (st != TxnStatus::kAborted) {
+      return Status::AlreadyExists("tuple " + tid.ToString() +
+                                   " already deleted by txn " +
+                                   std::to_string(meta.xmax));
+    }
+  }
+  SetTupleXmax(tuple, txn);
+  ref.MarkDirty();
+  txns_->NoteTouched(txn, rel_);
+  return Status::Ok();
+}
+
+Result<Tid> Heap::Replace(TxnId txn, Tid old_tid, const Row& new_row, Oid row_oid) {
+  INV_RETURN_IF_ERROR(Delete(txn, old_tid));
+  return Insert(txn, new_row, row_oid);
+}
+
+Result<std::optional<Row>> Heap::Fetch(const Snapshot& snap, Tid tid) const {
+  INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, tid.block));
+  Page page = ref.page();
+  INV_ASSIGN_OR_RETURN(auto tuple, page.GetTuple(tid.slot));
+  if (tuple.empty()) {
+    return std::optional<Row>();
+  }
+  if (!snap.IsVisible(GetTupleMeta(tuple))) {
+    return std::optional<Row>();
+  }
+  INV_ASSIGN_OR_RETURN(Row row, DecodeTuple(*schema_, tuple));
+  return std::optional<Row>(std::move(row));
+}
+
+Result<std::optional<Value>> Heap::FetchColumn(const Snapshot& snap, Tid tid,
+                                               size_t column) const {
+  INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, tid.block));
+  Page page = ref.page();
+  INV_ASSIGN_OR_RETURN(auto tuple, page.GetTuple(tid.slot));
+  if (tuple.empty() || !snap.IsVisible(GetTupleMeta(tuple))) {
+    return std::optional<Value>();
+  }
+  INV_ASSIGN_OR_RETURN(Value v, DecodeColumn(*schema_, tuple, column));
+  return std::optional<Value>(std::move(v));
+}
+
+Result<std::pair<TupleMeta, Row>> Heap::FetchAny(Tid tid) const {
+  INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, tid.block));
+  Page page = ref.page();
+  INV_ASSIGN_OR_RETURN(auto tuple, page.GetTuple(tid.slot));
+  if (tuple.empty()) {
+    return Status::NotFound("tuple " + tid.ToString() + " is gone");
+  }
+  INV_ASSIGN_OR_RETURN(Row row, DecodeTuple(*schema_, tuple));
+  return std::make_pair(GetTupleMeta(tuple), std::move(row));
+}
+
+bool Heap::Iterator::Next() {
+  if (!status_.ok()) {
+    return false;
+  }
+  if (!began_) {
+    began_ = true;
+    auto nb = heap_->pool_->NumBlocks(heap_->rel_);
+    if (!nb.ok()) {
+      status_ = nb.status();
+      return false;
+    }
+    nblocks_ = *nb;
+    block_ = 0;
+    slot_ = 0;
+  }
+  while (block_ < nblocks_) {
+    if (!page_.valid()) {
+      auto ref = heap_->pool_->Pin(heap_->rel_, block_);
+      if (!ref.ok()) {
+        status_ = ref.status();
+        return false;
+      }
+      page_ = std::move(*ref);
+      slot_ = 0;
+    }
+    Page page(page_.data());
+    const uint16_t nslots = page.num_slots();
+    while (slot_ < nslots) {
+      const uint16_t s = slot_++;
+      auto tuple = page.GetTuple(s);
+      if (!tuple.ok()) {
+        status_ = tuple.status();
+        return false;
+      }
+      if (tuple->empty()) {
+        continue;  // expunged slot
+      }
+      meta_ = GetTupleMeta(*tuple);
+      if (!include_invisible_ && !snap_.IsVisible(meta_)) {
+        continue;
+      }
+      auto row = DecodeTuple(*heap_->schema_, *tuple);
+      if (!row.ok()) {
+        status_ = row.status();
+        return false;
+      }
+      row_ = std::move(*row);
+      tid_ = Tid{block_, s};
+      return true;
+    }
+    page_.Release();
+    ++block_;
+  }
+  return false;
+}
+
+Status Heap::Expunge(Tid tid) {
+  INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, tid.block));
+  Page page = ref.page();
+  INV_RETURN_IF_ERROR(page.KillSlot(tid.slot));
+  ref.MarkDirty();
+  return Status::Ok();
+}
+
+Status Heap::CompactAllPages() {
+  INV_ASSIGN_OR_RETURN(uint32_t nblocks, pool_->NumBlocks(rel_));
+  for (uint32_t b = 0; b < nblocks; ++b) {
+    INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, b));
+    Page page = ref.page();
+    page.Compact();
+    ref.MarkDirty();
+  }
+  return Status::Ok();
+}
+
+}  // namespace invfs

@@ -1,0 +1,112 @@
+// Heap access method: the POSTGRES no-overwrite storage manager.
+//
+// "When a record is updated or deleted, the original record is marked invalid,
+// but remains in place. For updates, a new record containing the new values is
+// added." Deletion stamps the tuple's xmax; nothing is ever overwritten, so
+// every historical version remains readable until the vacuum cleaner archives
+// it. Combined with the commit log this gives time travel and instantaneous
+// crash recovery.
+
+#pragma once
+
+#include <optional>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/storage/tuple.h"
+#include "src/txn/snapshot.h"
+#include "src/txn/txn_manager.h"
+#include "src/util/status.h"
+
+namespace invfs {
+
+class Heap {
+ public:
+  // `schema` must outlive the heap. The relation must already exist on its
+  // device and be bound in the device switch.
+  Heap(Oid rel, const Schema* schema, BufferPool* pool, TxnManager* txns);
+
+  Oid rel() const { return rel_; }
+  const Schema& schema() const { return *schema_; }
+
+  // Append a new tuple version stamped xmin=txn. `row_oid` is the logical row
+  // oid (catalogs use it; 0 elsewhere).
+  Result<Tid> Insert(TxnId txn, const Row& row, Oid row_oid = kInvalidOid);
+
+  // Append a tuple with a caller-supplied MVCC header, preserving its
+  // original xmin/xmax. Used by vacuum to move versions into the archive
+  // without disturbing their visibility. `txn` is only used to note the
+  // touched relation for the commit force policy.
+  Result<Tid> InsertRaw(TxnId txn, const Row& row, const TupleMeta& meta);
+
+  // Mark the version at `tid` deleted by `txn` (sets xmax in place — the one
+  // in-place mutation the no-overwrite scheme performs). Fails with
+  // AlreadyExists if a live deleter already claimed it (write-write conflict).
+  Status Delete(TxnId txn, Tid tid);
+
+  // Replace = delete old version + insert new version, atomically within txn.
+  Result<Tid> Replace(TxnId txn, Tid old_tid, const Row& new_row,
+                      Oid row_oid = kInvalidOid);
+
+  // Fetch the version at `tid` if visible under `snap`.
+  Result<std::optional<Row>> Fetch(const Snapshot& snap, Tid tid) const;
+  // Fetch a single column of the version at `tid` if visible (hot path for
+  // chunk reads: skips decoding the 8 KB data column's siblings... and for
+  // key probes skips the 8 KB column itself).
+  Result<std::optional<Value>> FetchColumn(const Snapshot& snap, Tid tid,
+                                           size_t column) const;
+  // Raw fetch without visibility check (vacuum, diagnostics).
+  Result<std::pair<TupleMeta, Row>> FetchAny(Tid tid) const;
+
+  Result<uint32_t> NumBlocks() const { return pool_->NumBlocks(rel_); }
+
+  // Sequential scan returning only versions visible under the snapshot.
+  class Iterator {
+   public:
+    // Advances to the next visible tuple; false at end of relation.
+    bool Next();
+    const Row& row() const { return row_; }
+    Tid tid() const { return tid_; }
+    const TupleMeta& meta() const { return meta_; }
+    // Non-OK if iteration stopped due to an error rather than end-of-heap.
+    Status status() const { return status_; }
+
+   private:
+    friend class Heap;
+    Iterator(const Heap* heap, Snapshot snap, bool include_invisible)
+        : heap_(heap), snap_(snap), include_invisible_(include_invisible) {}
+
+    const Heap* heap_;
+    Snapshot snap_;
+    bool include_invisible_;
+    uint32_t block_ = 0;
+    uint16_t slot_ = 0;
+    bool began_ = false;
+    uint32_t nblocks_ = 0;
+    PageRef page_;
+    Row row_;
+    Tid tid_;
+    TupleMeta meta_;
+    Status status_;
+  };
+
+  Iterator Scan(const Snapshot& snap) const { return Iterator(this, snap, false); }
+  // Scan every version regardless of visibility (vacuum).
+  Iterator ScanAll() const {
+    return Iterator(this, Snapshot{kTimestampNow, kInvalidTxn, nullptr}, true);
+  }
+
+  // Physically remove a dead slot (vacuum only; ordinary deletes never do this).
+  Status Expunge(Tid tid);
+  // Compact every page in place (after Expunge passes).
+  Status CompactAllPages();
+
+ private:
+  Oid rel_;
+  const Schema* schema_;
+  BufferPool* pool_;
+  TxnManager* txns_;
+  // Insertion target: last block known to have had space.
+  mutable uint32_t hint_block_ = 0;
+};
+
+}  // namespace invfs

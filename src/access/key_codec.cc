@@ -1,0 +1,96 @@
+#include "src/access/key_codec.h"
+
+#include <cstring>
+
+namespace invfs {
+namespace {
+
+void AppendBe32(uint32_t v, BtreeKey* out) {
+  out->push_back(std::byte{static_cast<uint8_t>(v >> 24)});
+  out->push_back(std::byte{static_cast<uint8_t>(v >> 16)});
+  out->push_back(std::byte{static_cast<uint8_t>(v >> 8)});
+  out->push_back(std::byte{static_cast<uint8_t>(v)});
+}
+
+void AppendBe64(uint64_t v, BtreeKey* out) {
+  AppendBe32(static_cast<uint32_t>(v >> 32), out);
+  AppendBe32(static_cast<uint32_t>(v), out);
+}
+
+}  // namespace
+
+Status AppendKeyPart(const Value& v, BtreeKey* out) {
+  if (v.is_null()) {
+    return Status::InvalidArgument("null values are not indexable");
+  }
+  if (v.HasType(TypeId::kInt4)) {
+    AppendBe32(static_cast<uint32_t>(v.AsInt4()) ^ 0x80000000u, out);
+    return Status::Ok();
+  }
+  if (v.HasType(TypeId::kInt8)) {
+    AppendBe64(static_cast<uint64_t>(v.AsInt8()) ^ 0x8000000000000000ull, out);
+    return Status::Ok();
+  }
+  if (v.HasType(TypeId::kOid)) {
+    AppendBe32(v.AsOid(), out);
+    return Status::Ok();
+  }
+  if (v.HasType(TypeId::kTimestamp)) {
+    AppendBe64(v.AsTimestamp(), out);
+    return Status::Ok();
+  }
+  if (v.HasType(TypeId::kBool)) {
+    out->push_back(std::byte{static_cast<uint8_t>(v.AsBool() ? 1 : 0)});
+    return Status::Ok();
+  }
+  if (v.HasType(TypeId::kFloat8)) {
+    double d = v.AsFloat8();
+    uint64_t bits;
+    std::memcpy(&bits, &d, 8);
+    // Total order: positive floats flip the sign bit; negatives invert all.
+    bits = (bits & 0x8000000000000000ull) ? ~bits : bits | 0x8000000000000000ull;
+    AppendBe64(bits, out);
+    return Status::Ok();
+  }
+  if (v.HasType(TypeId::kText)) {
+    const std::string& s = v.AsText();
+    if (s.find('\0') != std::string::npos) {
+      return Status::InvalidArgument("text key contains NUL");
+    }
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    out->insert(out->end(), p, p + s.size());
+    out->push_back(std::byte{0});
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("type not indexable: " + v.ToString());
+}
+
+Result<BtreeKey> EncodeKey(std::span<const Value> values) {
+  BtreeKey out;
+  for (const Value& v : values) {
+    INV_RETURN_IF_ERROR(AppendKeyPart(v, &out));
+  }
+  return out;
+}
+
+BtreeKey EncodeInt4Key(int32_t v) {
+  BtreeKey out;
+  AppendBe32(static_cast<uint32_t>(v) ^ 0x80000000u, &out);
+  return out;
+}
+
+BtreeKey EncodeOidKey(Oid v) {
+  BtreeKey out;
+  AppendBe32(v, &out);
+  return out;
+}
+
+BtreeKey EncodeTextKey(std::string_view s) {
+  BtreeKey out;
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+  out.push_back(std::byte{0});
+  return out;
+}
+
+}  // namespace invfs

@@ -1,0 +1,37 @@
+// Order-preserving key encoding for B-tree indices.
+//
+// Composite keys are encoded column-by-column into a byte string whose
+// memcmp order equals the tuple order of the underlying values:
+//   * signed integers: big-endian with the sign bit flipped
+//   * oid/timestamp:   big-endian unsigned
+//   * float8:          IEEE bits, sign-flipped-or-inverted (total order)
+//   * text:            raw bytes followed by a 0x00 terminator (text keys may
+//                      not contain NUL — enforced at encode time)
+//   * bool:            one byte
+// Nulls are not indexable (Inversion's key columns are all NOT NULL).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/storage/value.h"
+#include "src/util/status.h"
+
+namespace invfs {
+
+using BtreeKey = std::vector<std::byte>;
+
+// Encode one value, appending to `out`.
+Status AppendKeyPart(const Value& v, BtreeKey* out);
+
+// Encode a composite key.
+Result<BtreeKey> EncodeKey(std::span<const Value> values);
+
+// Convenience single-column encoders used on hot paths.
+BtreeKey EncodeInt4Key(int32_t v);
+BtreeKey EncodeOidKey(Oid v);
+BtreeKey EncodeTextKey(std::string_view s);
+
+}  // namespace invfs

@@ -1,0 +1,264 @@
+#include "src/buffer/buffer_pool.h"
+
+#include <algorithm>
+
+namespace invfs {
+
+// -------------------------------------------------------------------- PageRef
+
+PageRef::PageRef(BufferPool* pool, size_t frame, std::byte* data)
+    : pool_(pool), frame_(frame), data_(data) {}
+
+PageRef::~PageRef() { Release(); }
+
+PageRef::PageRef(PageRef&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_), data_(other.data_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+}
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+void PageRef::MarkDirty() {
+  INV_CHECK(pool_ != nullptr);
+  std::lock_guard lock(pool_->mu_);
+  pool_->frames_[frame_].dirty = true;
+}
+
+// ----------------------------------------------------------------- BufferPool
+
+BufferPool::BufferPool(DeviceSwitch* devices, size_t num_buffers, SimClock* clock,
+                       CpuParams cpu)
+    : devices_(devices), clock_(clock), cpu_(cpu) {
+  INV_CHECK(num_buffers > 0);
+  frames_.resize(num_buffers);
+  for (auto& f : frames_) {
+    f.data = std::make_unique<std::byte[]>(kPageSize);
+  }
+}
+
+BufferPool::~BufferPool() = default;
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard lock(mu_);
+  INV_CHECK(frames_[frame].pins > 0);
+  --frames_[frame].pins;
+}
+
+void BufferPool::Touch(size_t frame) { frames_[frame].last_used = ++clock_tick_; }
+
+Result<uint32_t> BufferPool::DeviceBlocks(Oid rel) {
+  INV_ASSIGN_OR_RETURN(DeviceManager * mgr, devices_->ManagerFor(rel));
+  return mgr->NumBlocks(rel);
+}
+
+Result<uint32_t> BufferPool::NumBlocks(Oid rel) {
+  std::lock_guard lock(mu_);
+  auto it = pending_extensions_.find(rel);
+  const uint32_t pending = it == pending_extensions_.end() ? 0 : it->second;
+  INV_ASSIGN_OR_RETURN(uint32_t dev, DeviceBlocks(rel));
+  return dev + pending;
+}
+
+Result<size_t> BufferPool::EvictOne() {
+  size_t victim = frames_.size();
+  uint64_t oldest = ~0ULL;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.pins > 0) {
+      continue;
+    }
+    if (!f.valid) {
+      return i;  // free frame
+    }
+    if (f.last_used < oldest) {
+      oldest = f.last_used;
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::ResourceExhausted("all buffers pinned");
+  }
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    INV_RETURN_IF_ERROR(WriteFrame(victim));
+  }
+  table_.erase(f.tag);
+  f.valid = false;
+  f.dirty = false;
+  return victim;
+}
+
+Status BufferPool::WriteFrame(size_t frame) {
+  Frame& f = frames_[frame];
+  INV_ASSIGN_OR_RETURN(DeviceManager * mgr, devices_->ManagerFor(f.tag.rel));
+  INV_ASSIGN_OR_RETURN(uint32_t dev_size, mgr->NumBlocks(f.tag.rel));
+  // Devices cannot hold holes: if this block extends past the device's
+  // current size, force the intervening pending blocks (which must still be
+  // buffered — they were never written) out first, in order.
+  for (uint32_t b = dev_size; b < f.tag.block; ++b) {
+    auto it = table_.find(Tag{f.tag.rel, b});
+    if (it == table_.end()) {
+      return Status::Internal("pending extension block " + std::to_string(b) +
+                              " of rel " + std::to_string(f.tag.rel) +
+                              " missing from buffer pool");
+    }
+    Frame& g = frames_[it->second];
+    if (g.dirty) {
+      INV_RETURN_IF_ERROR(
+          mgr->WriteBlock(g.tag.rel, g.tag.block, {g.data.get(), kPageSize}));
+      g.dirty = false;
+    }
+  }
+  INV_RETURN_IF_ERROR(mgr->WriteBlock(f.tag.rel, f.tag.block, {f.data.get(), kPageSize}));
+  f.dirty = false;
+  // Recompute pending extensions for this relation.
+  INV_ASSIGN_OR_RETURN(uint32_t new_dev_size, mgr->NumBlocks(f.tag.rel));
+  auto pit = pending_extensions_.find(f.tag.rel);
+  if (pit != pending_extensions_.end()) {
+    INV_ASSIGN_OR_RETURN(uint32_t logical, [&]() -> Result<uint32_t> {
+      return static_cast<uint32_t>(pit->second + dev_size);
+    }());
+    pit->second = logical > new_dev_size ? logical - new_dev_size : 0;
+    if (pit->second == 0) {
+      pending_extensions_.erase(pit);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<PageRef> BufferPool::Pin(Oid rel, uint32_t block) {
+  std::lock_guard lock(mu_);
+  clock_->Advance(cpu_.page_cpu_us);
+  auto it = table_.find(Tag{rel, block});
+  if (it != table_.end()) {
+    ++hits_;
+    Frame& f = frames_[it->second];
+    ++f.pins;
+    Touch(it->second);
+    return PageRef(this, it->second, f.data.get());
+  }
+  ++misses_;
+  INV_ASSIGN_OR_RETURN(size_t frame, EvictOne());
+  Frame& f = frames_[frame];
+  INV_ASSIGN_OR_RETURN(DeviceManager * mgr, devices_->ManagerFor(rel));
+  INV_RETURN_IF_ERROR(mgr->ReadBlock(rel, block, {f.data.get(), kPageSize}));
+  // Self-identification check on every read from backing store: detects
+  // media corruption and misdirected writes (paper's reserved-space design).
+  Page page(f.data.get());
+  if (page.IsInitialized()) {
+    INV_RETURN_IF_ERROR(page.VerifySelfIdent(rel, block));
+  }
+  f.tag = Tag{rel, block};
+  f.valid = true;
+  f.dirty = false;
+  f.pins = 1;
+  table_[f.tag] = frame;
+  Touch(frame);
+  return PageRef(this, frame, f.data.get());
+}
+
+Result<PageRef> BufferPool::Extend(Oid rel, uint32_t* new_block) {
+  std::lock_guard lock(mu_);
+  clock_->Advance(cpu_.page_cpu_us);
+  INV_ASSIGN_OR_RETURN(uint32_t dev, DeviceBlocks(rel));
+  uint32_t& pending = pending_extensions_[rel];
+  const uint32_t block = dev + pending;
+  ++pending;
+  INV_ASSIGN_OR_RETURN(size_t frame, EvictOne());
+  Frame& f = frames_[frame];
+  f.tag = Tag{rel, block};
+  f.valid = true;
+  f.dirty = true;
+  f.pins = 1;
+  Page page(f.data.get());
+  page.Init(rel, block);
+  table_[f.tag] = frame;
+  Touch(frame);
+  if (new_block != nullptr) {
+    *new_block = block;
+  }
+  return PageRef(this, frame, f.data.get());
+}
+
+Status BufferPool::FlushRelation(Oid rel) {
+  std::lock_guard lock(mu_);
+  // std::map iteration is ordered by (rel, block): extension ordering holds.
+  for (auto it = table_.lower_bound(Tag{rel, 0});
+       it != table_.end() && it->first.rel == rel; ++it) {
+    Frame& f = frames_[it->second];
+    if (f.dirty) {
+      INV_RETURN_IF_ERROR(WriteFrame(it->second));
+    }
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard lock(mu_);
+  for (auto& [tag, frame] : table_) {
+    if (frames_[frame].dirty) {
+      INV_RETURN_IF_ERROR(WriteFrame(frame));
+    }
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::FlushAndInvalidate() {
+  INV_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard lock(mu_);
+  for (auto& f : frames_) {
+    if (f.pins > 0) {
+      return Status::Internal("cannot invalidate pinned buffer");
+    }
+    f.valid = false;
+    f.dirty = false;
+  }
+  table_.clear();
+  pending_extensions_.clear();
+  return Status::Ok();
+}
+
+void BufferPool::DiscardRelation(Oid rel) {
+  std::lock_guard lock(mu_);
+  for (auto it = table_.lower_bound(Tag{rel, 0});
+       it != table_.end() && it->first.rel == rel;) {
+    Frame& f = frames_[it->second];
+    INV_CHECK(f.pins == 0);
+    f.valid = false;
+    f.dirty = false;
+    it = table_.erase(it);
+  }
+  pending_extensions_.erase(rel);
+}
+
+void BufferPool::DiscardAll() {
+  std::lock_guard lock(mu_);
+  for (auto& f : frames_) {
+    f.valid = false;
+    f.dirty = false;
+    f.pins = 0;
+  }
+  table_.clear();
+  pending_extensions_.clear();
+}
+
+}  // namespace invfs

@@ -1,0 +1,137 @@
+// Shared buffer pool of 8 KB pages, LRU replacement.
+//
+// Mirrors POSTGRES 4.0.1: "an in-memory shared cache of recently used 8 KByte
+// data pages. The size of this cache is tunable ...; as shipped, the system
+// uses 64 buffers, but the version in use locally uses 300. Data pages are
+// kicked out of this cache in LRU order, regardless of the device from which
+// they came. Dirty pages are written to backing store before being deleted
+// from the cache."
+//
+// Because POSTGRES has no write-ahead log, commit durability comes from
+// forcing the dirty pages of every relation the transaction touched
+// (FlushRelation), plus persisting the commit-log entry. That force policy —
+// not a WAL — is what the paper's write benchmarks measure.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/device/device.h"
+#include "src/sim/cost_params.h"
+#include "src/storage/page.h"
+#include "src/util/status.h"
+
+namespace invfs {
+
+inline constexpr size_t kDefaultBuffers = 64;   // as shipped
+inline constexpr size_t kBerkeleyBuffers = 300; // Berkeley's local config
+
+class BufferPool;
+
+// RAII pin on a buffered page. The frame cannot be evicted while pinned.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(BufferPool* pool, size_t frame, std::byte* data);
+  ~PageRef();
+  PageRef(PageRef&& other) noexcept;
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+
+  Page page() { return Page(data_); }
+  const std::byte* data() const { return data_; }
+  std::byte* data() { return data_; }
+  // Must be called after modifying page contents.
+  void MarkDirty();
+  bool valid() const { return pool_ != nullptr; }
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  std::byte* data_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  BufferPool(DeviceSwitch* devices, size_t num_buffers, SimClock* clock,
+             CpuParams cpu = {});
+  ~BufferPool();
+
+  // Pin block `block` of `rel`, reading it from its device if not cached.
+  Result<PageRef> Pin(Oid rel, uint32_t block);
+
+  // Extend `rel` by one block; returns the new block pinned and initialized.
+  // The new page is dirty; it reaches the device at flush/eviction.
+  Result<PageRef> Extend(Oid rel, uint32_t* new_block);
+
+  // Logical size of the relation: device blocks plus unflushed extensions.
+  Result<uint32_t> NumBlocks(Oid rel);
+
+  // Write all dirty pages of `rel` to its device (commit force policy).
+  Status FlushRelation(Oid rel);
+  Status FlushAll();
+
+  // Flush everything and invalidate every frame; the next access reads from
+  // the device. Used by benchmarks ("all caches were flushed before each
+  // test") and by DropRelation.
+  Status FlushAndInvalidate();
+
+  // Drop all frames of `rel` without writing them (relation being deleted).
+  void DiscardRelation(Oid rel);
+
+  // Crash simulation: throw away all volatile state, including dirty pages.
+  void DiscardAll();
+
+  size_t num_buffers() const { return frames_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  friend class PageRef;
+
+  struct Tag {
+    Oid rel = kInvalidOid;
+    uint32_t block = 0;
+    auto operator<=>(const Tag&) const = default;
+  };
+
+  struct Frame {
+    Tag tag;
+    std::unique_ptr<std::byte[]> data;
+    bool valid = false;
+    bool dirty = false;
+    int pins = 0;
+    uint64_t last_used = 0;
+  };
+
+  void Unpin(size_t frame);
+  void Touch(size_t frame);
+  // Pick a victim frame (unpinned, least recently used) and write it back if
+  // dirty. Requires mu_ held.
+  Result<size_t> EvictOne();
+  // Write frame's page to its device, honoring extension ordering (a block
+  // beyond the device's current size forces lower pending blocks out first).
+  Status WriteFrame(size_t frame);
+  Result<uint32_t> DeviceBlocks(Oid rel);
+
+  DeviceSwitch* devices_;
+  SimClock* clock_;
+  CpuParams cpu_;
+
+  std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::map<Tag, size_t> table_;  // ordered: enables per-relation range scans
+  std::map<Oid, uint32_t> pending_extensions_;  // rel -> blocks past device size
+  uint64_t clock_tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace invfs

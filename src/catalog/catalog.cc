@@ -1,0 +1,684 @@
+#include "src/catalog/catalog.h"
+
+#include <algorithm>
+
+namespace invfs {
+namespace {
+
+Schema PgClassSchema() {
+  return Schema{{"relname", TypeId::kText},
+                {"relid", TypeId::kOid},
+                {"reldevice", TypeId::kInt4},
+                {"relkind", TypeId::kInt4}};
+}
+
+Schema PgAttributeSchema() {
+  return Schema{{"attrelid", TypeId::kOid},
+                {"attname", TypeId::kText},
+                {"atttypid", TypeId::kInt4},
+                {"attnum", TypeId::kInt4}};
+}
+
+Schema PgTypeSchema() {
+  return Schema{{"typname", TypeId::kText}, {"typid", TypeId::kOid}};
+}
+
+Schema PgProcSchema() {
+  return Schema{{"proname", TypeId::kText},   {"proid", TypeId::kOid},
+                {"prorettype", TypeId::kInt4}, {"pronargs", TypeId::kInt4},
+                {"prolang", TypeId::kInt4},    {"prosrc", TypeId::kText}};
+}
+
+Schema PgIndexSchema() {
+  return Schema{{"indexrelid", TypeId::kOid},
+                {"indrelid", TypeId::kOid},
+                {"indkeys", TypeId::kText}};
+}
+
+std::string EncodeKeyColumns(const std::vector<size_t>& cols) {
+  std::string out;
+  for (size_t c : cols) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += std::to_string(c);
+  }
+  return out;
+}
+
+std::vector<size_t> DecodeKeyColumns(const std::string& s) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = s.size();
+    }
+    out.push_back(static_cast<size_t>(std::stoul(s.substr(pos, comma - pos))));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// Built-in type names registered in pg_type at bootstrap; user file types are
+// appended after these.
+constexpr TypeId kBuiltinTypes[] = {TypeId::kBool, TypeId::kInt4,  TypeId::kInt8,
+                                    TypeId::kFloat8, TypeId::kText, TypeId::kBytea,
+                                    TypeId::kOid,  TypeId::kTimestamp};
+
+}  // namespace
+
+Catalog::Catalog(DeviceSwitch* devices, BufferPool* pool, TxnManager* txns)
+    : devices_(devices), pool_(pool), txns_(txns) {}
+
+Status Catalog::PhysicallyCreate(Oid oid, DeviceId device) {
+  DeviceManager* mgr = devices_->Get(device);
+  if (mgr == nullptr) {
+    return Status::InvalidArgument("no device " + std::to_string(device));
+  }
+  INV_RETURN_IF_ERROR(mgr->CreateRelation(oid));
+  devices_->BindRelation(oid, device);
+  return Status::Ok();
+}
+
+Result<TableInfo*> Catalog::MakeCachedTable(Oid oid, const std::string& name,
+                                            Schema schema, DeviceId device,
+                                            RelKind kind) {
+  auto info = std::make_unique<TableInfo>();
+  info->oid = oid;
+  info->name = name;
+  info->schema = std::move(schema);
+  info->device = device;
+  info->kind = kind;
+  info->heap = std::make_unique<Heap>(oid, &info->schema, pool_, txns_);
+  TableInfo* ptr = info.get();
+  tables_[oid] = std::move(info);
+  table_names_[name] = oid;
+  return ptr;
+}
+
+Status Catalog::InsertTableRows(TxnId txn, const TableInfo& info) {
+  Row class_row{Value::Text(info.name), Value::MakeOid(info.oid),
+                Value::Int4(static_cast<int32_t>(info.device)),
+                Value::Int4(static_cast<int32_t>(info.kind))};
+  INV_RETURN_IF_ERROR(pg_class_->heap->Insert(txn, class_row, info.oid).status());
+  for (size_t i = 0; i < info.schema.num_columns(); ++i) {
+    const Column& col = info.schema.column(i);
+    Row att_row{Value::MakeOid(info.oid), Value::Text(col.name),
+                Value::Int4(static_cast<int32_t>(col.type)),
+                Value::Int4(static_cast<int32_t>(i))};
+    INV_RETURN_IF_ERROR(pg_attribute_->heap->Insert(txn, att_row).status());
+  }
+  return Status::Ok();
+}
+
+Status Catalog::Bootstrap() {
+  std::lock_guard lock(mu_);
+  // 1. Physically create the five catalog relations on the default device.
+  struct Boot {
+    Oid oid;
+    const char* name;
+    Schema schema;
+  };
+  const Boot boots[] = {
+      {kPgClassOid, "pg_class", PgClassSchema()},
+      {kPgAttributeOid, "pg_attribute", PgAttributeSchema()},
+      {kPgTypeOid, "pg_type", PgTypeSchema()},
+      {kPgProcOid, "pg_proc", PgProcSchema()},
+      {kPgIndexOid, "pg_index", PgIndexSchema()},
+  };
+  for (const Boot& b : boots) {
+    INV_RETURN_IF_ERROR(PhysicallyCreate(b.oid, kDeviceMagneticDisk));
+    INV_ASSIGN_OR_RETURN(TableInfo * info,
+                         MakeCachedTable(b.oid, b.name, b.schema,
+                                         kDeviceMagneticDisk, RelKind::kHeap));
+    (void)info;
+  }
+  pg_class_ = tables_[kPgClassOid].get();
+  pg_attribute_ = tables_[kPgAttributeOid].get();
+  pg_type_ = tables_[kPgTypeOid].get();
+  pg_proc_ = tables_[kPgProcOid].get();
+  pg_index_ = tables_[kPgIndexOid].get();
+
+  // 2. Describe the catalogs in themselves, stamped by the always-committed
+  //    bootstrap transaction.
+  for (const Boot& b : boots) {
+    INV_RETURN_IF_ERROR(InsertTableRows(kBootstrapTxn, *tables_[b.oid]));
+  }
+
+  // 3. Seed built-in types.
+  for (TypeId t : kBuiltinTypes) {
+    const std::string name(TypeName(t));
+    Row row{Value::Text(name), Value::MakeOid(static_cast<Oid>(t))};
+    INV_RETURN_IF_ERROR(pg_type_->heap->Insert(kBootstrapTxn, row).status());
+    types_[name] = TypeInfo{static_cast<Oid>(t), name};
+  }
+
+  INV_RETURN_IF_ERROR(pool_->FlushAll());
+  return Status::Ok();
+}
+
+Status Catalog::Load() {
+  std::lock_guard lock(mu_);
+  // Catalog relations have fixed oids and schemas: construct them directly,
+  // then read everything else out of them.
+  const std::pair<Oid, Schema> fixed[] = {
+      {kPgClassOid, PgClassSchema()},
+      {kPgAttributeOid, PgAttributeSchema()},
+      {kPgTypeOid, PgTypeSchema()},
+      {kPgProcOid, PgProcSchema()},
+      {kPgIndexOid, PgIndexSchema()},
+  };
+  for (const auto& [oid, schema] : fixed) {
+    devices_->BindRelation(oid, kDeviceMagneticDisk);
+  }
+  const Snapshot snap{kTimestampNow, kInvalidTxn, &txns_->log()};
+
+  // Bootstrap TableInfos for catalogs (names refined from pg_class rows).
+  INV_ASSIGN_OR_RETURN(pg_class_, MakeCachedTable(kPgClassOid, "pg_class",
+                                                  PgClassSchema(),
+                                                  kDeviceMagneticDisk, RelKind::kHeap));
+  INV_ASSIGN_OR_RETURN(
+      pg_attribute_, MakeCachedTable(kPgAttributeOid, "pg_attribute",
+                                     PgAttributeSchema(), kDeviceMagneticDisk,
+                                     RelKind::kHeap));
+  INV_ASSIGN_OR_RETURN(pg_type_,
+                       MakeCachedTable(kPgTypeOid, "pg_type", PgTypeSchema(),
+                                       kDeviceMagneticDisk, RelKind::kHeap));
+  INV_ASSIGN_OR_RETURN(pg_proc_,
+                       MakeCachedTable(kPgProcOid, "pg_proc", PgProcSchema(),
+                                       kDeviceMagneticDisk, RelKind::kHeap));
+  INV_ASSIGN_OR_RETURN(pg_index_,
+                       MakeCachedTable(kPgIndexOid, "pg_index", PgIndexSchema(),
+                                       kDeviceMagneticDisk, RelKind::kHeap));
+
+  // Collect attribute rows grouped by relation.
+  std::map<Oid, std::vector<std::pair<int32_t, Column>>> atts;
+  {
+    auto it = pg_attribute_->heap->Scan(snap);
+    while (it.Next()) {
+      const Row& r = it.row();
+      atts[r[0].AsOid()].push_back(
+          {r[3].AsInt4(), Column{r[1].AsText(), static_cast<TypeId>(r[2].AsInt4())}});
+    }
+    INV_RETURN_IF_ERROR(it.status());
+  }
+
+  Oid max_oid = kFirstUserOid - 1;
+  struct PendingIndex {
+    Oid index_oid;
+    Oid table_oid;
+  };
+  std::vector<std::pair<Oid, Row>> class_rows;
+  {
+    auto it = pg_class_->heap->Scan(snap);
+    while (it.Next()) {
+      class_rows.emplace_back(it.meta().oid, it.row());
+    }
+    INV_RETURN_IF_ERROR(it.status());
+  }
+  for (const auto& [row_oid, row] : class_rows) {
+    const std::string name = row[0].AsText();
+    const Oid oid = row[1].AsOid();
+    const DeviceId device = static_cast<DeviceId>(row[2].AsInt4());
+    const RelKind kind = static_cast<RelKind>(row[3].AsInt4());
+    max_oid = std::max(max_oid, oid);
+    devices_->BindRelation(oid, device);
+    if (tables_.contains(oid)) {
+      continue;  // catalogs, already cached
+    }
+    if (kind == RelKind::kIndex) {
+      continue;  // handled via pg_index below
+    }
+    auto& att_list = atts[oid];
+    std::sort(att_list.begin(), att_list.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<Column> cols;
+    cols.reserve(att_list.size());
+    for (auto& [num, col] : att_list) {
+      cols.push_back(col);
+    }
+    INV_RETURN_IF_ERROR(
+        MakeCachedTable(oid, name, Schema(std::move(cols)), device, kind).status());
+  }
+
+  // Indexes.
+  {
+    auto it = pg_index_->heap->Scan(snap);
+    while (it.Next()) {
+      const Row& r = it.row();
+      const Oid index_oid = r[0].AsOid();
+      const Oid table_oid = r[1].AsOid();
+      auto tit = tables_.find(table_oid);
+      if (tit == tables_.end()) {
+        continue;
+      }
+      auto info = std::make_unique<IndexInfo>();
+      info->oid = index_oid;
+      info->table = table_oid;
+      info->key_columns = DecodeKeyColumns(r[2].AsText());
+      INV_ASSIGN_OR_RETURN(info->btree, BTree::Open(index_oid, pool_));
+      tit->second->indexes.push_back(info.get());
+      max_oid = std::max(max_oid, index_oid);
+      indexes_[index_oid] = std::move(info);
+    }
+    INV_RETURN_IF_ERROR(it.status());
+  }
+
+  // Archive links: archives are named "a,<base name>".
+  for (auto& [oid, info] : tables_) {
+    if (info->kind == RelKind::kArchive && info->name.rfind("a,", 0) == 0) {
+      auto nit = table_names_.find(info->name.substr(2));
+      if (nit != table_names_.end()) {
+        tables_[nit->second]->archive_oid = oid;
+      }
+    }
+  }
+
+  // Types and procs.
+  {
+    auto it = pg_type_->heap->Scan(snap);
+    while (it.Next()) {
+      const Row& r = it.row();
+      types_[r[0].AsText()] = TypeInfo{r[1].AsOid(), r[0].AsText()};
+      max_oid = std::max(max_oid, r[1].AsOid());
+    }
+    INV_RETURN_IF_ERROR(it.status());
+  }
+  {
+    auto it = pg_proc_->heap->Scan(snap);
+    while (it.Next()) {
+      const Row& r = it.row();
+      ProcInfo p;
+      p.name = r[0].AsText();
+      p.oid = r[1].AsOid();
+      p.rettype = static_cast<TypeId>(r[2].AsInt4());
+      p.nargs = r[3].AsInt4();
+      p.lang = static_cast<ProcLang>(r[4].AsInt4());
+      p.src = r[5].AsText();
+      max_oid = std::max(max_oid, p.oid);
+      procs_[p.name] = std::move(p);
+    }
+    INV_RETURN_IF_ERROR(it.status());
+  }
+
+  next_oid_ = max_oid + 1;
+  return Status::Ok();
+}
+
+Oid Catalog::AllocateOid() {
+  std::lock_guard lock(mu_);
+  return next_oid_++;
+}
+
+void Catalog::NoteCreated(TxnId txn, Oid oid) {
+  if (txns_->IsActive(txn)) {
+    created_by_txn_[txn].push_back(oid);
+  }
+}
+
+Result<TableInfo*> Catalog::CreateTable(TxnId txn, const std::string& name,
+                                        const Schema& schema, DeviceId device) {
+  std::lock_guard lock(mu_);
+  if (table_names_.contains(name)) {
+    return Status::AlreadyExists("table " + name);
+  }
+  const Oid oid = next_oid_++;
+  INV_RETURN_IF_ERROR(PhysicallyCreate(oid, device));
+  INV_ASSIGN_OR_RETURN(TableInfo * info,
+                       MakeCachedTable(oid, name, schema, device, RelKind::kHeap));
+  INV_RETURN_IF_ERROR(InsertTableRows(txn, *info));
+  NoteCreated(txn, oid);
+  return info;
+}
+
+Result<IndexInfo*> Catalog::CreateIndex(TxnId txn, TableInfo* table,
+                                        std::vector<size_t> key_columns) {
+  std::lock_guard lock(mu_);
+  const Oid oid = next_oid_++;
+  INV_RETURN_IF_ERROR(PhysicallyCreate(oid, table->device));
+  auto info = std::make_unique<IndexInfo>();
+  info->oid = oid;
+  info->table = table->oid;
+  info->key_columns = key_columns;
+  INV_ASSIGN_OR_RETURN(info->btree, BTree::Create(oid, pool_));
+
+  // pg_class row (so the relation is discoverable) + pg_index row.
+  Row class_row{Value::Text(table->name + "_idx" + std::to_string(oid)),
+                Value::MakeOid(oid), Value::Int4(static_cast<int32_t>(table->device)),
+                Value::Int4(static_cast<int32_t>(RelKind::kIndex))};
+  INV_RETURN_IF_ERROR(pg_class_->heap->Insert(txn, class_row, oid).status());
+  Row index_row{Value::MakeOid(oid), Value::MakeOid(table->oid),
+                Value::Text(EncodeKeyColumns(key_columns))};
+  INV_RETURN_IF_ERROR(pg_index_->heap->Insert(txn, index_row).status());
+
+  // Populate from existing visible rows.
+  const Snapshot snap = txns_->SnapshotFor(txn);
+  auto it = table->heap->Scan(snap);
+  while (it.Next()) {
+    std::vector<Value> key_vals;
+    for (size_t c : key_columns) {
+      key_vals.push_back(it.row()[c]);
+    }
+    INV_ASSIGN_OR_RETURN(BtreeKey key, EncodeKey(key_vals));
+    INV_RETURN_IF_ERROR(info->btree->Insert(key, it.tid()));
+  }
+  INV_RETURN_IF_ERROR(it.status());
+
+  IndexInfo* ptr = info.get();
+  table->indexes.push_back(ptr);
+  indexes_[oid] = std::move(info);
+  NoteCreated(txn, oid);
+  return ptr;
+}
+
+Status Catalog::DropTable(TxnId txn, const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto nit = table_names_.find(name);
+  if (nit == table_names_.end()) {
+    return Status::NotFound("table " + name);
+  }
+  TableInfo* info = tables_[nit->second].get();
+  const Snapshot snap = txns_->SnapshotFor(txn);
+
+  // Delete catalog rows for the table, its attributes, and its indexes.
+  std::vector<Oid> doomed{info->oid};
+  for (IndexInfo* idx : info->indexes) {
+    doomed.push_back(idx->oid);
+  }
+  if (info->archive_oid != kInvalidOid) {
+    doomed.push_back(info->archive_oid);
+  }
+  {
+    auto it = pg_class_->heap->Scan(snap);
+    while (it.Next()) {
+      if (std::find(doomed.begin(), doomed.end(), it.row()[1].AsOid()) != doomed.end()) {
+        INV_RETURN_IF_ERROR(pg_class_->heap->Delete(txn, it.tid()));
+      }
+    }
+    INV_RETURN_IF_ERROR(it.status());
+  }
+  {
+    auto it = pg_attribute_->heap->Scan(snap);
+    while (it.Next()) {
+      if (std::find(doomed.begin(), doomed.end(), it.row()[0].AsOid()) != doomed.end()) {
+        INV_RETURN_IF_ERROR(pg_attribute_->heap->Delete(txn, it.tid()));
+      }
+    }
+    INV_RETURN_IF_ERROR(it.status());
+  }
+  {
+    auto it = pg_index_->heap->Scan(snap);
+    while (it.Next()) {
+      if (std::find(doomed.begin(), doomed.end(), it.row()[0].AsOid()) != doomed.end()) {
+        INV_RETURN_IF_ERROR(pg_index_->heap->Delete(txn, it.tid()));
+      }
+    }
+    INV_RETURN_IF_ERROR(it.status());
+  }
+
+  // Physical destruction happens when the txn commits (OnCommit); until then
+  // only the name mapping disappears. Historical snapshots lose access to the
+  // file's data after the drop commits — the paper's vacuum/archive design
+  // has the same property for dropped relations.
+  table_names_.erase(nit);
+  dropped_by_txn_[txn].push_back(info->oid);
+  return Status::Ok();
+}
+
+void Catalog::OnCommit(TxnId txn) {
+  std::lock_guard lock(mu_);
+  created_by_txn_.erase(txn);
+  auto dit = dropped_by_txn_.find(txn);
+  if (dit != dropped_by_txn_.end()) {
+    for (Oid oid : dit->second) {
+      auto tit = tables_.find(oid);
+      if (tit == tables_.end()) {
+        continue;
+      }
+      TableInfo* info = tit->second.get();
+      std::vector<Oid> victims{oid};
+      for (IndexInfo* idx : info->indexes) {
+        victims.push_back(idx->oid);
+      }
+      if (info->archive_oid != kInvalidOid) {
+        victims.push_back(info->archive_oid);
+      }
+      for (Oid v : victims) {
+        pool_->DiscardRelation(v);
+        if (auto mgr = devices_->ManagerFor(v); mgr.ok()) {
+          (void)(*mgr)->DropRelation(v);
+        }
+        devices_->UnbindRelation(v);
+        indexes_.erase(v);
+        auto vt = tables_.find(v);
+        if (vt != tables_.end()) {
+          table_names_.erase(vt->second->name);
+          tables_.erase(vt);
+        }
+      }
+    }
+    dropped_by_txn_.erase(dit);
+  }
+}
+
+void Catalog::OnAbort(TxnId txn) {
+  std::lock_guard lock(mu_);
+  // Undo drops: restore the name mappings.
+  auto dit = dropped_by_txn_.find(txn);
+  if (dit != dropped_by_txn_.end()) {
+    for (Oid oid : dit->second) {
+      auto tit = tables_.find(oid);
+      if (tit != tables_.end()) {
+        table_names_[tit->second->name] = oid;
+      }
+    }
+    dropped_by_txn_.erase(dit);
+  }
+  // Undo creates: physically remove; the catalog rows die with the txn.
+  auto cit = created_by_txn_.find(txn);
+  if (cit != created_by_txn_.end()) {
+    for (Oid oid : cit->second) {
+      pool_->DiscardRelation(oid);
+      if (auto mgr = devices_->ManagerFor(oid); mgr.ok()) {
+        (void)(*mgr)->DropRelation(oid);
+      }
+      devices_->UnbindRelation(oid);
+      auto iit = indexes_.find(oid);
+      if (iit != indexes_.end()) {
+        auto tit = tables_.find(iit->second->table);
+        if (tit != tables_.end()) {
+          auto& vec = tit->second->indexes;
+          vec.erase(std::remove(vec.begin(), vec.end(), iit->second.get()), vec.end());
+        }
+        indexes_.erase(iit);
+        continue;
+      }
+      auto tit = tables_.find(oid);
+      if (tit != tables_.end()) {
+        table_names_.erase(tit->second->name);
+        tables_.erase(tit);
+      }
+    }
+    created_by_txn_.erase(cit);
+  }
+}
+
+Result<Oid> Catalog::DefineType(TxnId txn, const std::string& name) {
+  std::lock_guard lock(mu_);
+  if (types_.contains(name)) {
+    return Status::AlreadyExists("type " + name);
+  }
+  const Oid oid = next_oid_++;
+  Row row{Value::Text(name), Value::MakeOid(oid)};
+  INV_RETURN_IF_ERROR(pg_type_->heap->Insert(txn, row, oid).status());
+  types_[name] = TypeInfo{oid, name};
+  return oid;
+}
+
+Result<Oid> Catalog::DefineFunction(TxnId txn, const std::string& name, TypeId rettype,
+                                    int32_t nargs, ProcLang lang,
+                                    const std::string& src) {
+  std::lock_guard lock(mu_);
+  if (procs_.contains(name)) {
+    return Status::AlreadyExists("function " + name);
+  }
+  const Oid oid = next_oid_++;
+  Row row{Value::Text(name),
+          Value::MakeOid(oid),
+          Value::Int4(static_cast<int32_t>(rettype)),
+          Value::Int4(nargs),
+          Value::Int4(static_cast<int32_t>(lang)),
+          Value::Text(src)};
+  INV_RETURN_IF_ERROR(pg_proc_->heap->Insert(txn, row, oid).status());
+  procs_[name] = ProcInfo{oid, name, rettype, nargs, lang, src};
+  return oid;
+}
+
+Result<TableInfo*> Catalog::CreateArchive(TxnId txn, TableInfo* table) {
+  std::lock_guard lock(mu_);
+  if (table->archive_oid != kInvalidOid) {
+    return tables_[table->archive_oid].get();
+  }
+  const Oid oid = next_oid_++;
+  const std::string name = "a," + table->name;
+  // Archives default to the same device; sites with a jukebox would place
+  // them there (see vacuum tests for that configuration).
+  INV_RETURN_IF_ERROR(PhysicallyCreate(oid, table->device));
+  INV_ASSIGN_OR_RETURN(TableInfo * info, MakeCachedTable(oid, name, table->schema,
+                                                         table->device,
+                                                         RelKind::kArchive));
+  INV_RETURN_IF_ERROR(InsertTableRows(txn, *info));
+  table->archive_oid = oid;
+  NoteCreated(txn, oid);
+  return info;
+}
+
+Status Catalog::MigrateTable(TxnId txn, TableInfo* table, DeviceId new_device) {
+  std::lock_guard lock(mu_);
+  if (table->device == new_device) {
+    return Status::Ok();
+  }
+  DeviceManager* dst = devices_->Get(new_device);
+  if (dst == nullptr) {
+    return Status::InvalidArgument("no device " + std::to_string(new_device));
+  }
+  // Move the heap and every index, block by block, through the buffer pool's
+  // backing stores (flush first so the stores are current).
+  std::vector<Oid> victims{table->oid};
+  for (IndexInfo* idx : table->indexes) {
+    victims.push_back(idx->oid);
+  }
+  for (Oid oid : victims) {
+    INV_RETURN_IF_ERROR(pool_->FlushRelation(oid));
+    INV_ASSIGN_OR_RETURN(DeviceManager * src, devices_->ManagerFor(oid));
+    INV_ASSIGN_OR_RETURN(uint32_t nblocks, src->NumBlocks(oid));
+    INV_RETURN_IF_ERROR(dst->CreateRelation(oid));
+    std::vector<std::byte> buf(kPageSize);
+    for (uint32_t b = 0; b < nblocks; ++b) {
+      INV_RETURN_IF_ERROR(src->ReadBlock(oid, b, buf));
+      INV_RETURN_IF_ERROR(dst->WriteBlock(oid, b, buf));
+    }
+    pool_->DiscardRelation(oid);
+    INV_RETURN_IF_ERROR(src->DropRelation(oid));
+    devices_->BindRelation(oid, new_device);
+  }
+  table->device = new_device;
+
+  // Update the pg_class rows' reldevice.
+  const Snapshot snap = txns_->SnapshotFor(txn);
+  auto it = pg_class_->heap->Scan(snap);
+  std::vector<std::pair<Tid, Row>> updates;
+  while (it.Next()) {
+    if (std::find(victims.begin(), victims.end(), it.row()[1].AsOid()) !=
+        victims.end()) {
+      Row updated = it.row();
+      updated[2] = Value::Int4(static_cast<int32_t>(new_device));
+      updates.emplace_back(it.tid(), std::move(updated));
+    }
+  }
+  INV_RETURN_IF_ERROR(it.status());
+  for (auto& [tid, row] : updates) {
+    INV_RETURN_IF_ERROR(pg_class_->heap->Replace(txn, tid, row, row[1].AsOid()).status());
+  }
+  return Status::Ok();
+}
+
+Result<TableInfo*> Catalog::GetTable(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = table_names_.find(name);
+  if (it == table_names_.end()) {
+    return Status::NotFound("table " + name);
+  }
+  return tables_[it->second].get();
+}
+
+Result<TableInfo*> Catalog::GetTableByOid(Oid oid) {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(oid);
+  if (it == tables_.end()) {
+    return Status::NotFound("table oid " + std::to_string(oid));
+  }
+  return it->second.get();
+}
+
+Result<TableInfo*> Catalog::GetTableAt(const std::string& name, const Snapshot& snap) {
+  if (!snap.is_historical()) {
+    return GetTable(name);
+  }
+  // Resolve through pg_class as of the snapshot: renamed/dropped/recreated
+  // tables resolve to whatever oid held the name then.
+  Heap* pg_class_heap;
+  {
+    std::lock_guard lock(mu_);
+    pg_class_heap = pg_class_->heap.get();
+  }
+  auto it = pg_class_heap->Scan(snap);
+  while (it.Next()) {
+    if (it.row()[0].AsText() == name) {
+      return GetTableByOid(it.row()[1].AsOid());
+    }
+  }
+  INV_RETURN_IF_ERROR(it.status());
+  return Status::NotFound("table " + name + " did not exist at that time");
+}
+
+Result<ProcInfo*> Catalog::GetFunction(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = procs_.find(name);
+  if (it == procs_.end()) {
+    return Status::NotFound("function " + name);
+  }
+  return &it->second;
+}
+
+Result<TypeInfo*> Catalog::GetType(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = types_.find(name);
+  if (it == types_.end()) {
+    return Status::NotFound("type " + name);
+  }
+  return &it->second;
+}
+
+Result<TypeInfo*> Catalog::GetTypeByOid(Oid oid) {
+  std::lock_guard lock(mu_);
+  for (auto& [name, info] : types_) {
+    if (info.oid == oid) {
+      return &info;
+    }
+  }
+  return Status::NotFound("type oid " + std::to_string(oid));
+}
+
+std::vector<TableInfo*> Catalog::AllTables() {
+  std::lock_guard lock(mu_);
+  std::vector<TableInfo*> out;
+  out.reserve(tables_.size());
+  for (auto& [oid, info] : tables_) {
+    out.push_back(info.get());
+  }
+  return out;
+}
+
+}  // namespace invfs

@@ -1,0 +1,170 @@
+// System catalogs and the schema cache.
+//
+// Everything the database knows about itself is stored in ordinary heap
+// relations, exactly as in POSTGRES: pg_class (relations), pg_attribute
+// (columns), pg_type (types, including user-defined file types), pg_proc
+// (registered functions) and pg_index (index definitions). Catalog rows carry
+// the same MVCC header as user data, so DDL is transaction-protected: a
+// crashed "create file" leaves no trace, and time travel sees old schemas.
+//
+// A write-through in-memory cache (name -> TableInfo with live Heap/BTree
+// handles) serves current-state lookups; historical lookups scan pg_class
+// under the historical snapshot.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/access/btree.h"
+#include "src/access/heap.h"
+#include "src/buffer/buffer_pool.h"
+#include "src/device/device.h"
+#include "src/txn/txn_manager.h"
+#include "src/util/status.h"
+
+namespace invfs {
+
+// Fixed catalog relation oids (never vacuumed away, always on the default
+// magnetic-disk device).
+inline constexpr Oid kPgClassOid = 10;
+inline constexpr Oid kPgAttributeOid = 11;
+inline constexpr Oid kPgTypeOid = 12;
+inline constexpr Oid kPgProcOid = 13;
+inline constexpr Oid kPgIndexOid = 14;
+inline constexpr Oid kFirstUserOid = 100;
+
+enum class RelKind : int32_t {
+  kHeap = 0,
+  kIndex = 1,
+  kArchive = 2,  // vacuum's record archive for a heap
+};
+
+// Function language, per pg_proc.
+enum class ProcLang : int32_t {
+  kNative = 0,    // C++ callable registered in the FunctionRegistry
+  kPostquel = 1,  // stored POSTQUEL expression over $1..$n
+};
+
+struct IndexInfo {
+  Oid oid = kInvalidOid;
+  Oid table = kInvalidOid;
+  std::vector<size_t> key_columns;
+  std::unique_ptr<BTree> btree;
+};
+
+struct TableInfo {
+  Oid oid = kInvalidOid;
+  std::string name;
+  Schema schema;
+  DeviceId device = kDeviceMagneticDisk;
+  RelKind kind = RelKind::kHeap;
+  std::unique_ptr<Heap> heap;
+  std::vector<IndexInfo*> indexes;   // owned by Catalog::indexes_
+  Oid archive_oid = kInvalidOid;     // archive relation, if vacuum created one
+};
+
+struct ProcInfo {
+  Oid oid = kInvalidOid;
+  std::string name;
+  TypeId rettype = TypeId::kInt4;
+  int32_t nargs = 0;
+  ProcLang lang = ProcLang::kNative;
+  std::string src;  // POSTQUEL body, or native symbol name
+};
+
+struct TypeInfo {
+  Oid oid = kInvalidOid;
+  std::string name;
+};
+
+class Catalog {
+ public:
+  Catalog(DeviceSwitch* devices, BufferPool* pool, TxnManager* txns);
+
+  // Create the catalog relations and seed rows (fresh database), or load the
+  // cache from existing catalog relations (reopen after shutdown or crash).
+  Status Bootstrap();
+  Status Load();
+  static bool Exists(DeviceManager* default_device) {
+    return default_device->RelationExists(kPgClassOid);
+  }
+
+  // --- DDL (transactional; cache cleaned up via OnAbort) ------------------
+
+  Result<TableInfo*> CreateTable(TxnId txn, const std::string& name,
+                                 const Schema& schema, DeviceId device);
+  Status DropTable(TxnId txn, const std::string& name);
+  Result<IndexInfo*> CreateIndex(TxnId txn, TableInfo* table,
+                                 std::vector<size_t> key_columns);
+
+  Result<Oid> DefineType(TxnId txn, const std::string& name);
+  Result<Oid> DefineFunction(TxnId txn, const std::string& name, TypeId rettype,
+                             int32_t nargs, ProcLang lang, const std::string& src);
+
+  // Create an archive relation for `table` (vacuum). Named "a,<name>".
+  Result<TableInfo*> CreateArchive(TxnId txn, TableInfo* table);
+
+  // Rebind a table to a new device, moving its pages (file migration).
+  Status MigrateTable(TxnId txn, TableInfo* table, DeviceId new_device);
+
+  // --- lookups -------------------------------------------------------------
+
+  Result<TableInfo*> GetTable(const std::string& name);
+  Result<TableInfo*> GetTableByOid(Oid oid);
+  // Historical resolution: name -> oid under `snap` via pg_class scan.
+  Result<TableInfo*> GetTableAt(const std::string& name, const Snapshot& snap);
+  Result<ProcInfo*> GetFunction(const std::string& name);
+  Result<TypeInfo*> GetType(const std::string& name);
+  Result<TypeInfo*> GetTypeByOid(Oid oid);
+  std::vector<TableInfo*> AllTables();
+
+  Oid AllocateOid();
+
+  // Abort hook: undo cache effects of DDL performed by `txn`.
+  void OnAbort(TxnId txn);
+  // Commit hook: physically destroy relations dropped by `txn`.
+  void OnCommit(TxnId txn);
+
+  Heap* pg_class() { return pg_class_->heap.get(); }
+  Heap* pg_attribute() { return pg_attribute_->heap.get(); }
+  Heap* pg_proc() { return pg_proc_->heap.get(); }
+  Heap* pg_type() { return pg_type_->heap.get(); }
+
+  TxnManager* txns() { return txns_; }
+  BufferPool* pool() { return pool_; }
+  DeviceSwitch* devices() { return devices_; }
+
+ private:
+  // Insert the pg_class/pg_attribute rows describing `info`.
+  Status InsertTableRows(TxnId txn, const TableInfo& info);
+  Result<TableInfo*> MakeCachedTable(Oid oid, const std::string& name, Schema schema,
+                                     DeviceId device, RelKind kind);
+  Status PhysicallyCreate(Oid oid, DeviceId device);
+  void NoteCreated(TxnId txn, Oid oid);
+
+  DeviceSwitch* devices_;
+  BufferPool* pool_;
+  TxnManager* txns_;
+
+  std::mutex mu_;
+  Oid next_oid_ = kFirstUserOid;
+  std::map<Oid, std::unique_ptr<TableInfo>> tables_;
+  std::map<std::string, Oid> table_names_;
+  std::map<Oid, std::unique_ptr<IndexInfo>> indexes_;
+  std::map<std::string, ProcInfo> procs_;
+  std::map<std::string, TypeInfo> types_;
+  std::map<TxnId, std::vector<Oid>> created_by_txn_;
+  std::map<TxnId, std::vector<Oid>> dropped_by_txn_;
+
+  TableInfo* pg_class_ = nullptr;
+  TableInfo* pg_attribute_ = nullptr;
+  TableInfo* pg_type_ = nullptr;
+  TableInfo* pg_proc_ = nullptr;
+  TableInfo* pg_index_ = nullptr;
+};
+
+}  // namespace invfs

@@ -1,0 +1,111 @@
+#include "src/catalog/database.h"
+
+namespace invfs {
+
+Database::Database(StorageEnv* env, DatabaseOptions options)
+    : options_(options), clock_(&env->clock) {
+  devices_.Register(kDeviceMagneticDisk,
+                    std::make_unique<MagneticDiskDevice>(env->disk_store.get(), clock_,
+                                                         options.disk,
+                                                         options.disk_extent_pages));
+  if (options.enable_nvram) {
+    devices_.Register(kDeviceNvram,
+                      std::make_unique<NvramDevice>(env->nvram_store.get()));
+  }
+  if (options.enable_jukebox) {
+    devices_.Register(kDeviceJukebox,
+                      std::make_unique<JukeboxDevice>(env->jukebox_store.get(), clock_,
+                                                      options.jukebox, options.disk));
+  }
+  buffers_ = std::make_unique<BufferPool>(&devices_, options.buffers, clock_,
+                                          options.cpu);
+}
+
+Result<std::unique_ptr<Database>> Database::Open(StorageEnv* env,
+                                                 DatabaseOptions options) {
+  auto db = std::unique_ptr<Database>(new Database(env, options));
+  DeviceManager* disk = db->devices_.Get(kDeviceMagneticDisk);
+  db->devices_.BindRelation(kCommitLogRelOid, kDeviceMagneticDisk);
+  INV_ASSIGN_OR_RETURN(db->log_, CommitLog::Open(disk));
+  db->txns_ = std::make_unique<TxnManager>(db->log_.get(), db->buffers_.get(),
+                                           &db->locks_, db->clock_);
+  db->catalog_ = std::make_unique<Catalog>(&db->devices_, db->buffers_.get(),
+                                           db->txns_.get());
+  if (Catalog::Exists(disk)) {
+    INV_RETURN_IF_ERROR(db->catalog_->Load());
+  } else {
+    INV_RETURN_IF_ERROR(db->catalog_->Bootstrap());
+  }
+  return db;
+}
+
+Database::~Database() = default;
+
+Result<TxnId> Database::Begin() {
+  if (crashed_) {
+    return Status::Internal("database has crashed");
+  }
+  return txns_->Begin();
+}
+
+Status Database::Commit(TxnId txn) {
+  INV_RETURN_IF_ERROR(txns_->Commit(txn));
+  catalog_->OnCommit(txn);
+  return Status::Ok();
+}
+
+Status Database::Abort(TxnId txn) {
+  INV_RETURN_IF_ERROR(txns_->Abort(txn));
+  catalog_->OnAbort(txn);
+  return Status::Ok();
+}
+
+Result<Tid> Database::InsertRow(TxnId txn, TableInfo* table, const Row& row,
+                                Oid row_oid) {
+  INV_ASSIGN_OR_RETURN(Tid tid, table->heap->Insert(txn, row, row_oid));
+  for (IndexInfo* idx : table->indexes) {
+    std::vector<Value> key_vals;
+    key_vals.reserve(idx->key_columns.size());
+    for (size_t c : idx->key_columns) {
+      key_vals.push_back(row[c]);
+    }
+    INV_ASSIGN_OR_RETURN(BtreeKey key, EncodeKey(key_vals));
+    INV_RETURN_IF_ERROR(idx->btree->Insert(key, tid));
+    txns_->NoteTouched(txn, idx->oid);
+    if (options_.write_through_indexes) {
+      INV_RETURN_IF_ERROR(buffers_->FlushRelation(idx->oid));
+    }
+  }
+  return tid;
+}
+
+Status Database::DeleteRow(TxnId txn, TableInfo* table, Tid tid) {
+  // Index entries are intentionally retained: old versions must stay
+  // reachable for time travel; vacuum rebuilds indices after expunging.
+  return table->heap->Delete(txn, tid);
+}
+
+Result<Tid> Database::ReplaceRow(TxnId txn, TableInfo* table, Tid old_tid,
+                                 const Row& row, Oid row_oid) {
+  INV_RETURN_IF_ERROR(DeleteRow(txn, table, old_tid));
+  return InsertRow(txn, table, row, row_oid);
+}
+
+Status Database::LockTable(TxnId txn, const TableInfo* table, LockMode mode) {
+  Status s = locks_.Acquire(txn, table->oid, mode);
+  if (s.IsDeadlock()) {
+    // The victim must abort; surface the deadlock to the caller after
+    // cleaning up so the lock graph unwedges immediately.
+    (void)Abort(txn);
+  }
+  return s;
+}
+
+Status Database::FlushCaches() { return buffers_->FlushAndInvalidate(); }
+
+void Database::Crash() {
+  buffers_->DiscardAll();
+  crashed_ = true;
+}
+
+}  // namespace invfs

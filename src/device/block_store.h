@@ -1,0 +1,88 @@
+// BlockStore: raw persistent storage of 8 KB blocks, keyed by
+// (relation oid, block number). This is the layer *below* the device-manager
+// switch: device managers add layout policy and simulated cost on top of it.
+//
+// Two implementations:
+//  * MemBlockStore  — hermetic in-memory store used by tests and benchmarks.
+//    "Stable storage" semantics still hold for crash simulation: anything
+//    written here survives Database::Crash(), anything only in the buffer
+//    pool does not.
+//  * FileBlockStore — one file per relation under a directory, for examples
+//    that persist across process runs.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/sim/cost_params.h"
+#include "src/storage/common.h"
+#include "src/util/status.h"
+
+namespace invfs {
+
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+
+  virtual Status Create(Oid rel) = 0;
+  virtual Status Drop(Oid rel) = 0;
+  virtual bool Exists(Oid rel) const = 0;
+  virtual Result<uint32_t> NumBlocks(Oid rel) const = 0;
+  // Read block `block` (must be < NumBlocks) into `out` (>= kPageSize bytes).
+  virtual Status Read(Oid rel, uint32_t block, std::span<std::byte> out) = 0;
+  // Write block `block`; block == NumBlocks extends the relation by one.
+  virtual Status Write(Oid rel, uint32_t block, std::span<const std::byte> data) = 0;
+  virtual std::vector<Oid> ListRelations() const = 0;
+};
+
+class MemBlockStore final : public BlockStore {
+ public:
+  Status Create(Oid rel) override;
+  Status Drop(Oid rel) override;
+  bool Exists(Oid rel) const override;
+  Result<uint32_t> NumBlocks(Oid rel) const override;
+  Status Read(Oid rel, uint32_t block, std::span<std::byte> out) override;
+  Status Write(Oid rel, uint32_t block, std::span<const std::byte> data) override;
+  std::vector<Oid> ListRelations() const override;
+
+  // Fault injection: corrupt one byte of a stored block (media-failure tests
+  // for the self-identifying block check).
+  Status CorruptByte(Oid rel, uint32_t block, uint32_t offset);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Oid, std::vector<std::vector<std::byte>>> rels_;
+};
+
+// One file per relation: <dir>/rel<oid>.blk.
+class FileBlockStore final : public BlockStore {
+ public:
+  // Creates `dir` if needed. Existing relation files are picked up.
+  static Result<std::unique_ptr<FileBlockStore>> Open(const std::string& dir);
+  ~FileBlockStore() override;
+
+  Status Create(Oid rel) override;
+  Status Drop(Oid rel) override;
+  bool Exists(Oid rel) const override;
+  Result<uint32_t> NumBlocks(Oid rel) const override;
+  Status Read(Oid rel, uint32_t block, std::span<std::byte> out) override;
+  Status Write(Oid rel, uint32_t block, std::span<const std::byte> data) override;
+  std::vector<Oid> ListRelations() const override;
+
+ private:
+  explicit FileBlockStore(std::string dir) : dir_(std::move(dir)) {}
+  std::string PathFor(Oid rel) const;
+  Result<int> FdFor(Oid rel, bool create);
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<Oid, int> fds_;
+};
+
+}  // namespace invfs

@@ -1,0 +1,47 @@
+// FileApi: the uniform byte-stream interface the benchmark harness drives.
+//
+// Three implementations reproduce the paper's three configurations:
+//   * LocalInversionApi  — Inversion called in the data manager's address
+//     space (the paper's "single process" / user-defined-function mode);
+//   * RemoteInversionApi — Inversion through the marshalled TCP protocol
+//     (the paper's client/server mode);
+//   * NfsApi             — ULTRIX NFS with PRESTOserve (the baseline).
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/storage/common.h"
+#include "src/util/status.h"
+
+namespace invfs {
+
+class FileApi {
+ public:
+  virtual ~FileApi() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Transaction brackets. NFS has no transactions ("the NFS protocol makes
+  // every operation an atomic transaction"): no-ops there.
+  virtual Status Begin() = 0;
+  virtual Status Commit() = 0;
+
+  virtual Result<int> Creat(const std::string& path) = 0;
+  virtual Result<int> Open(const std::string& path, bool writable) = 0;
+  virtual Status Close(int fd) = 0;
+  virtual Result<int64_t> Read(int fd, std::span<std::byte> buf) = 0;
+  virtual Result<int64_t> Write(int fd, std::span<const std::byte> buf) = 0;
+  virtual Result<int64_t> Seek(int fd, int64_t offset, Whence whence) = 0;
+
+  // "The page size was chosen to be efficient for the file system under
+  // test": chunk size for Inversion, 8 KB for NFS.
+  virtual int64_t PreferredPageSize() const = 0;
+
+  // "All caches were flushed before each test."
+  virtual Status FlushCaches() = 0;
+};
+
+}  // namespace invfs

@@ -1,0 +1,142 @@
+#include "src/harness/paper_benchmark.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace invfs {
+namespace {
+
+constexpr char kBenchFile[] = "/bench25mb.dat";
+
+// Deterministic payload so verification is possible in tests.
+std::vector<std::byte> MakePayload(size_t n, uint64_t seed) {
+  std::vector<std::byte> out(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; i += 8) {
+    const uint64_t v = rng.Next();
+    for (size_t j = 0; j < 8 && i + j < n; ++j) {
+      out[i + j] = static_cast<std::byte>((v >> (8 * j)) & 0xFF);
+    }
+  }
+  return out;
+}
+
+struct Timer {
+  SimClock& clock;
+  SimMicros start;
+  explicit Timer(SimClock& c) : clock(c), start(c.Peek()) {}
+  double Elapsed() const { return clock.SecondsSince(start); }
+};
+
+}  // namespace
+
+Result<PaperBenchResult> RunPaperBenchmark(FileApi& api, SimClock& clock,
+                                           const PaperBenchParams& params) {
+  PaperBenchResult result;
+  Rng rng(params.seed);
+  const int64_t page = api.PreferredPageSize();
+  const int64_t file_bytes = params.file_bytes;
+  const int64_t xfer = std::min(params.transfer_bytes, file_bytes);
+
+  auto begin = [&]() -> Status {
+    return params.use_transactions ? api.Begin() : Status::Ok();
+  };
+  auto commit = [&]() -> Status {
+    return params.use_transactions ? api.Commit() : Status::Ok();
+  };
+
+  // ---- Test 1: create the file (sequential page-sized writes) --------------
+  {
+    INV_RETURN_IF_ERROR(api.FlushCaches());
+    const std::vector<std::byte> payload =
+        MakePayload(static_cast<size_t>(page), params.seed);
+    Timer t(clock);
+    INV_RETURN_IF_ERROR(begin());
+    INV_ASSIGN_OR_RETURN(int fd, api.Creat(kBenchFile));
+    int64_t written = 0;
+    while (written < file_bytes) {
+      const int64_t n = std::min<int64_t>(page, file_bytes - written);
+      INV_RETURN_IF_ERROR(
+          api.Write(fd, std::span(payload.data(), static_cast<size_t>(n))).status());
+      written += n;
+    }
+    INV_RETURN_IF_ERROR(api.Close(fd));
+    INV_RETURN_IF_ERROR(commit());
+    result.create_file_s = t.Elapsed();
+  }
+
+  auto timed_io = [&](bool write, int64_t unit, bool random,
+                      int64_t total) -> Result<double> {
+    std::vector<std::byte> buf(static_cast<size_t>(unit));
+    if (write) {
+      buf = MakePayload(static_cast<size_t>(unit), params.seed ^ 0xABCD);
+    }
+    const int64_t ops = (total + unit - 1) / unit;
+    // The transaction bracket and the open happen before the caches are
+    // flushed and the clock starts: the paper's numbers time the transfers,
+    // not pathname resolution.
+    INV_RETURN_IF_ERROR(begin());
+    INV_ASSIGN_OR_RETURN(int fd, api.Open(kBenchFile, write));
+    INV_RETURN_IF_ERROR(api.FlushCaches());
+    Timer t(clock);
+    for (int64_t i = 0; i < ops; ++i) {
+      int64_t offset;
+      if (random) {
+        offset = static_cast<int64_t>(
+            rng.Uniform(static_cast<uint64_t>((file_bytes - unit) / unit))) *
+            unit;
+      } else {
+        offset = i * unit;
+      }
+      INV_RETURN_IF_ERROR(api.Seek(fd, offset, Whence::kSet).status());
+      if (write) {
+        INV_RETURN_IF_ERROR(api.Write(fd, buf).status());
+      } else {
+        INV_RETURN_IF_ERROR(api.Read(fd, buf).status());
+      }
+    }
+    INV_RETURN_IF_ERROR(api.Close(fd));
+    INV_RETURN_IF_ERROR(commit());
+    return t.Elapsed();
+  };
+
+  // ---- Single-byte latency ---------------------------------------------------
+  INV_ASSIGN_OR_RETURN(result.read_single_byte_s,
+                       timed_io(/*write=*/false, /*unit=*/1, /*random=*/true,
+                                /*total=*/1));
+  INV_ASSIGN_OR_RETURN(result.write_single_byte_s,
+                       timed_io(/*write=*/true, 1, true, 1));
+
+  // ---- 1 MB reads -------------------------------------------------------------
+  INV_ASSIGN_OR_RETURN(result.read_1mb_single_s, timed_io(false, xfer, false, xfer));
+  INV_ASSIGN_OR_RETURN(result.read_1mb_seq_pages_s,
+                       timed_io(false, page, false, xfer));
+  INV_ASSIGN_OR_RETURN(result.read_1mb_rand_pages_s,
+                       timed_io(false, page, true, xfer));
+
+  // ---- 1 MB writes ------------------------------------------------------------
+  INV_ASSIGN_OR_RETURN(result.write_1mb_single_s, timed_io(true, xfer, false, xfer));
+  INV_ASSIGN_OR_RETURN(result.write_1mb_seq_pages_s,
+                       timed_io(true, page, false, xfer));
+  INV_ASSIGN_OR_RETURN(result.write_1mb_rand_pages_s,
+                       timed_io(true, page, true, xfer));
+
+  return result;
+}
+
+std::string FormatResultColumn(const PaperBenchResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "create=%0.1f 1mb_read=%0.1f seq_read=%0.1f rand_read=%0.1f "
+                "1mb_write=%0.1f seq_write=%0.1f rand_write=%0.1f "
+                "byte_read=%0.3f byte_write=%0.3f",
+                r.create_file_s, r.read_1mb_single_s, r.read_1mb_seq_pages_s,
+                r.read_1mb_rand_pages_s, r.write_1mb_single_s,
+                r.write_1mb_seq_pages_s, r.write_1mb_rand_pages_s,
+                r.read_single_byte_s, r.write_single_byte_s);
+  return buf;
+}
+
+}  // namespace invfs

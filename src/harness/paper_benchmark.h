@@ -1,0 +1,51 @@
+// The paper's benchmark (Performance section):
+//   * Create a 25 MByte file.
+//   * Measure the latency to read or write a single byte at a random
+//     location in the file.
+//   * Read 1 MByte in a single large transfer.
+//   * Read 1 MByte sequentially in page-sized units.
+//   * Read 1 MByte in page-sized units distributed at random.
+//   * Repeat the 1 MByte transfer tests, writing instead of reading.
+//   All caches are flushed before each test.
+//
+// Elapsed times are simulated seconds (SimClock deltas), deterministic across
+// runs. `scale` shrinks the workload proportionally for quick CI runs while
+// preserving every ratio the paper reports.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/harness/file_api.h"
+#include "src/sim/sim_clock.h"
+
+namespace invfs {
+
+struct PaperBenchResult {
+  double create_file_s = 0;
+  double read_1mb_single_s = 0;
+  double read_1mb_seq_pages_s = 0;
+  double read_1mb_rand_pages_s = 0;
+  double write_1mb_single_s = 0;
+  double write_1mb_seq_pages_s = 0;
+  double write_1mb_rand_pages_s = 0;
+  double read_single_byte_s = 0;
+  double write_single_byte_s = 0;
+};
+
+struct PaperBenchParams {
+  int64_t file_bytes = 25LL << 20;    // the 25 MB benchmark file
+  int64_t transfer_bytes = 1LL << 20; // the 1 MB transfer tests
+  uint64_t seed = 19930425;           // random-offset workload seed
+  bool use_transactions = true;       // wrap each test in Begin/Commit
+};
+
+// Runs the full nine-test suite against `api`, timing with `clock`.
+Result<PaperBenchResult> RunPaperBenchmark(FileApi& api, SimClock& clock,
+                                           const PaperBenchParams& params = {});
+
+// Formats one configuration's results as the rows of Table 3.
+std::string FormatResultColumn(const PaperBenchResult& r);
+
+}  // namespace invfs

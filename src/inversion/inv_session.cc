@@ -1,0 +1,667 @@
+// InvSession: the client-visible file API (Figure 2 of the paper).
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/inversion/inv_fs.h"
+#include "src/util/lzss.h"
+
+namespace invfs {
+namespace {
+
+Result<std::pair<std::string, std::string>> SplitParentPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must be absolute: '" + path + "'");
+  }
+  size_t end = path.size();
+  while (end > 1 && path[end - 1] == '/') {
+    --end;
+  }
+  const size_t slash = path.rfind('/', end - 1);
+  if (slash == std::string::npos || end <= slash + 1) {
+    return Status::InvalidArgument("path has no final component: '" + path + "'");
+  }
+  std::string dir = slash == 0 ? "/" : path.substr(0, slash);
+  std::string base = path.substr(slash + 1, end - slash - 1);
+  return std::make_pair(std::move(dir), std::move(base));
+}
+
+int64_t SelfIdent(Oid file, int64_t chunkno) {
+  return (static_cast<int64_t>(file) << 32) | chunkno;
+}
+
+}  // namespace
+
+InvSession::~InvSession() {
+  if (txn_ != kInvalidTxn) {
+    (void)fs_->db().Abort(txn_);
+    DiscardVolatile();
+  }
+}
+
+Snapshot InvSession::SnapFor(const Handle& h, TxnId txn) const {
+  if (h.historical) {
+    return fs_->db().SnapshotAt(h.as_of);
+  }
+  return fs_->db().SnapshotFor(txn);
+}
+
+Result<InvSession::Handle*> InvSession::GetHandle(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return Status::InvalidArgument("bad file descriptor " + std::to_string(fd));
+  }
+  return &it->second;
+}
+
+void InvSession::DiscardVolatile() {
+  for (auto& [fd, h] : fds_) {
+    h.buffer_dirty = false;
+    h.buffered_chunk = -1;
+    h.meta_dirty = false;
+  }
+}
+
+// ------------------------------------------------------------- transactions
+
+Status InvSession::p_begin() {
+  if (txn_ != kInvalidTxn) {
+    return Status::InvalidArgument(
+        "transaction already active (nested transactions are not supported)");
+  }
+  INV_ASSIGN_OR_RETURN(txn_, fs_->db().Begin());
+  return Status::Ok();
+}
+
+Status InvSession::p_commit() {
+  if (txn_ == kInvalidTxn) {
+    return Status::InvalidArgument("no transaction active");
+  }
+  Status flush = FlushAllHandles(txn_);
+  if (!flush.ok()) {
+    (void)p_abort();
+    return flush;
+  }
+  const TxnId txn = txn_;
+  txn_ = kInvalidTxn;
+  return fs_->db().Commit(txn);
+}
+
+Status InvSession::p_abort() {
+  if (txn_ == kInvalidTxn) {
+    return Status::InvalidArgument("no transaction active");
+  }
+  const TxnId txn = txn_;
+  txn_ = kInvalidTxn;
+  DiscardVolatile();
+  Status status = fs_->db().Abort(txn);
+  // Sizes seen through open fds may reflect aborted writes; refresh them.
+  const Snapshot snap{kTimestampNow, kInvalidTxn, &fs_->db().txns().log()};
+  for (auto& [fd, h] : fds_) {
+    if (!h.historical) {
+      if (auto att = fs_->FileattLookup(h.file, snap); att.ok() && att->has_value()) {
+        h.size = (*att)->second[InversionFs::kFaSize].AsInt8();
+      }
+    }
+  }
+  return status;
+}
+
+Status InvSession::FlushAllHandles(TxnId txn) {
+  for (auto& [fd, h] : fds_) {
+    INV_RETURN_IF_ERROR(FlushChunk(h, txn));
+    INV_RETURN_IF_ERROR(FlushMetadata(h, txn));
+  }
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------------- files
+
+Result<int> InvSession::p_creat(const std::string& path, CreatOptions options) {
+  return WithTxn([&](TxnId txn) -> Result<int> {
+    const Snapshot snap = fs_->db().SnapshotFor(txn);
+    INV_ASSIGN_OR_RETURN(auto split, SplitParentPath(path));
+    INV_ASSIGN_OR_RETURN(Oid parent, fs_->ResolvePath(split.first, snap));
+    INV_ASSIGN_OR_RETURN(FileStat parent_stat, fs_->StatOid(parent, snap));
+    if (!parent_stat.is_directory) {
+      return Status::InvalidArgument(split.first + " is not a directory");
+    }
+    INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, fs_->naming_, LockMode::kExclusive));
+    INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, fs_->fileatt_, LockMode::kExclusive));
+    INV_ASSIGN_OR_RETURN(auto existing, fs_->NamingLookup(parent, split.second, snap));
+    if (existing.has_value()) {
+      return Status::AlreadyExists(path);
+    }
+    INV_ASSIGN_OR_RETURN(TypeInfo * type, fs_->db().catalog().GetType(options.type));
+    if (!fs_->db().devices().Has(options.device)) {
+      return Status::InvalidArgument("no device " + std::to_string(options.device));
+    }
+
+    // "For every file, a uniquely-named table is created" — inv<oid>, located
+    // on the device encoded in the create mode, plus its chunk-number index.
+    const Oid oid = fs_->db().catalog().AllocateOid();
+    INV_ASSIGN_OR_RETURN(
+        TableInfo * chunk_table,
+        fs_->db().catalog().CreateTable(txn, InversionFs::ChunkTableName(oid),
+                                        Schema{{"chunkno", TypeId::kInt4},
+                                               {"data", TypeId::kBytea},
+                                               {"selfid", TypeId::kInt8},
+                                               {"rawlen", TypeId::kInt4}},
+                                        options.device));
+    IndexInfo* chunk_index = nullptr;
+    if (fs_->options_.maintain_chunk_index) {
+      INV_ASSIGN_OR_RETURN(chunk_index,
+                           fs_->db().catalog().CreateIndex(txn, chunk_table, {0}));
+    }
+
+    const Timestamp now = fs_->db().Now();
+    int32_t flags = 0;
+    if (options.compressed) {
+      flags |= kInvFlagCompressed;
+    }
+    if (!options.keep_history) {
+      flags |= kInvFlagNoHistory;
+    }
+    INV_RETURN_IF_ERROR(
+        fs_->db()
+            .InsertRow(txn, fs_->naming_,
+                       {Value::Text(split.second), Value::MakeOid(parent),
+                        Value::MakeOid(oid)})
+            .status());
+    INV_RETURN_IF_ERROR(
+        fs_->db()
+            .InsertRow(txn, fs_->fileatt_,
+                       {Value::MakeOid(oid), Value::Text(options.owner),
+                        Value::MakeOid(type->oid), Value::Int8(0),
+                        Value::MakeTimestamp(now), Value::MakeTimestamp(now),
+                        Value::MakeTimestamp(now),
+                        Value::Int4(static_cast<int32_t>(options.device)),
+                        Value::Int4(flags)})
+            .status());
+
+    Handle h;
+    h.file = oid;
+    h.chunk_table = chunk_table;
+    h.chunk_index = chunk_index;
+    h.writable = true;
+    h.compressed = options.compressed;
+    h.buffer.resize(kInvChunkSize);
+    const int fd = next_fd_++;
+    fds_[fd] = std::move(h);
+    return fd;
+  });
+}
+
+Result<int> InvSession::p_open(const std::string& path, OpenMode mode,
+                               Timestamp as_of) {
+  return WithTxn([&](TxnId txn) -> Result<int> {
+    const bool historical = as_of != kTimestampNow;
+    if (historical && mode == OpenMode::kWrite) {
+      // "Historical files may not be opened for writing."
+      return Status::ReadOnly("cannot open historical state for writing: " + path);
+    }
+    const Snapshot snap =
+        historical ? fs_->db().SnapshotAt(as_of) : fs_->db().SnapshotFor(txn);
+    INV_ASSIGN_OR_RETURN(Oid oid, fs_->ResolvePath(path, snap));
+    INV_ASSIGN_OR_RETURN(auto att, fs_->FileattLookup(oid, snap));
+    if (!att.has_value()) {
+      return Status::NotFound("no attributes for " + path);
+    }
+    const Row& att_row = (*att).second;
+    if (att_row[InversionFs::kFaType].AsOid() == fs_->dir_type_oid_) {
+      return Status::InvalidArgument(path + " is a directory");
+    }
+    // Chunk tables survive unlink (that is what makes undelete-via-time-travel
+    // work), so historical opens find the handle in the current catalog cache.
+    auto chunk_table = fs_->db().catalog().GetTable(InversionFs::ChunkTableName(oid));
+    if (!chunk_table.ok()) {
+      return Status::NotFound("data table missing for " + path);
+    }
+
+    Handle h;
+    h.file = oid;
+    h.chunk_table = *chunk_table;
+    h.chunk_index =
+        (*chunk_table)->indexes.empty() ? nullptr : (*chunk_table)->indexes[0];
+    h.writable = mode == OpenMode::kWrite;
+    h.historical = historical;
+    h.as_of = as_of;
+    h.compressed = (att_row[InversionFs::kFaFlags].AsInt4() & kInvFlagCompressed) != 0;
+    h.size = att_row[InversionFs::kFaSize].AsInt8();
+    h.chunks_at_open = (h.size + kInvChunkSize - 1) / kInvChunkSize;
+    h.buffer.resize(kInvChunkSize);
+    if (h.writable) {
+      INV_RETURN_IF_ERROR(
+          fs_->db().LockTable(txn, h.chunk_table, LockMode::kExclusive));
+    }
+    const int fd = next_fd_++;
+    fds_[fd] = std::move(h);
+    return fd;
+  });
+}
+
+Status InvSession::CloseInternal(int fd, TxnId txn) {
+  INV_ASSIGN_OR_RETURN(Handle * h, GetHandle(fd));
+  INV_RETURN_IF_ERROR(FlushChunk(*h, txn));
+  INV_RETURN_IF_ERROR(FlushMetadata(*h, txn));
+  fds_.erase(fd);
+  return Status::Ok();
+}
+
+Status InvSession::p_close(int fd) {
+  return WithTxn([&](TxnId txn) { return CloseInternal(fd, txn); });
+}
+
+Result<int64_t> InvSession::p_lseek(int fd, int64_t offset, Whence whence) {
+  INV_ASSIGN_OR_RETURN(Handle * h, GetHandle(fd));
+  int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCur:
+      base = h->offset;
+      break;
+    case Whence::kEnd:
+      base = h->size;
+      break;
+  }
+  const int64_t target = base + offset;
+  if (target < 0 || target > kInvMaxFileSize) {
+    return Status::InvalidArgument("seek offset out of range");
+  }
+  h->offset = target;
+  return target;
+}
+
+Result<FileStat> InvSession::p_fstat(int fd) {
+  INV_ASSIGN_OR_RETURN(Handle * h, GetHandle(fd));
+  return WithTxn([&](TxnId txn) -> Result<FileStat> {
+    INV_ASSIGN_OR_RETURN(FileStat st, fs_->StatOid(h->file, SnapFor(*h, txn)));
+    if (h->meta_dirty) {
+      st.size = h->size;  // uncommitted writes are visible to their author
+      st.mtime = h->pending_mtime;
+    }
+    return st;
+  });
+}
+
+// ----------------------------------------------------------------- chunk I/O
+
+int64_t InvSession::ChunkValidBytes(int64_t size, int64_t chunkno) {
+  const int64_t start = chunkno * static_cast<int64_t>(kInvChunkSize);
+  return std::clamp<int64_t>(size - start, 0, kInvChunkSize);
+}
+
+Result<std::optional<std::pair<Tid, Blob>>> InvSession::FetchChunk(
+    const Handle& h, int64_t chunkno, const Snapshot& snap) {
+  auto decode = [&](const Row& row, Tid tid)
+      -> Result<std::optional<std::pair<Tid, Blob>>> {
+    // Self-identifying record check (media corruption defense).
+    if (!row[2].is_null() && row[2].AsInt8() != SelfIdent(h.file, chunkno)) {
+      return Status::Corruption("chunk self-identification mismatch in file " +
+                                std::to_string(h.file) + " chunk " +
+                                std::to_string(chunkno));
+    }
+    const Blob& data = row[1].AsBytes();
+    if (!row[3].is_null()) {
+      INV_ASSIGN_OR_RETURN(
+          Blob raw, LzssDecompress(data, static_cast<size_t>(row[3].AsInt4())));
+      return std::optional(std::make_pair(tid, std::move(raw)));
+    }
+    return std::optional(std::make_pair(tid, data));
+  };
+
+  if (h.chunk_index != nullptr) {
+    INV_ASSIGN_OR_RETURN(
+        auto tids,
+        h.chunk_index->btree->Lookup(EncodeInt4Key(static_cast<int32_t>(chunkno))));
+    for (Tid tid : tids) {
+      INV_ASSIGN_OR_RETURN(auto row, h.chunk_table->heap->Fetch(snap, tid));
+      if (row.has_value()) {
+        return decode(*row, tid);
+      }
+    }
+  } else {
+    // Ablation path: no chunk index, sequential scan (this is what the paper's
+    // B-tree buys).
+    auto it = h.chunk_table->heap->Scan(snap);
+    while (it.Next()) {
+      if (it.row()[0].AsInt4() == chunkno) {
+        return decode(it.row(), it.tid());
+      }
+    }
+    INV_RETURN_IF_ERROR(it.status());
+  }
+  // Archived chunk versions (vacuumed) for historical reads.
+  if (snap.is_historical() && h.chunk_table->archive_oid != kInvalidOid) {
+    INV_ASSIGN_OR_RETURN(
+        TableInfo * archive,
+        fs_->db().catalog().GetTableByOid(h.chunk_table->archive_oid));
+    auto it = archive->heap->Scan(snap);
+    while (it.Next()) {
+      if (it.row()[0].AsInt4() == chunkno) {
+        return decode(it.row(), it.tid());
+      }
+    }
+    INV_RETURN_IF_ERROR(it.status());
+  }
+  return std::optional<std::pair<Tid, Blob>>();
+}
+
+Status InvSession::LoadChunk(Handle& h, TxnId txn, int64_t chunkno) {
+  INV_CHECK(h.buffered_chunk == -1 || !h.buffer_dirty);
+  std::fill(h.buffer.begin(), h.buffer.end(), std::byte{0});
+  h.buffered_chunk = chunkno;
+  h.buffer_len = 0;
+  h.buffer_dirty = false;
+  const Snapshot snap = SnapFor(h, txn);
+  INV_ASSIGN_OR_RETURN(auto chunk, FetchChunk(h, chunkno, snap));
+  if (chunk.has_value()) {
+    const Blob& data = (*chunk).second;
+    std::copy(data.begin(), data.end(), h.buffer.begin());
+    h.buffer_len = static_cast<int64_t>(data.size());
+  }
+  return Status::Ok();
+}
+
+Status InvSession::FlushChunk(Handle& h, TxnId txn) {
+  if (!h.buffer_dirty) {
+    return Status::Ok();
+  }
+  const int64_t chunkno = h.buffered_chunk;
+  const int64_t valid = std::max(h.buffer_len, ChunkValidBytes(h.size, chunkno));
+  Blob content(h.buffer.begin(), h.buffer.begin() + valid);
+  Value data_value = Value::Null();
+  Value rawlen_value = Value::Null();
+  if (h.compressed) {
+    Blob packed = LzssCompress(content);
+    if (packed.size() < content.size()) {
+      data_value = Value::Bytes(std::move(packed));
+      rawlen_value = Value::Int4(static_cast<int32_t>(valid));
+    }
+  }
+  if (data_value.is_null()) {
+    data_value = Value::Bytes(std::move(content));
+  }
+  Row row{Value::Int4(static_cast<int32_t>(chunkno)), std::move(data_value),
+          Value::Int8(SelfIdent(h.file, chunkno)), std::move(rawlen_value)};
+
+  INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, h.chunk_table, LockMode::kExclusive));
+  const Snapshot snap = fs_->db().SnapshotFor(txn);
+  // Without the chunk index, probing for an existing record costs a full
+  // table scan; skip it when this chunk verifiably never existed. (With the
+  // index the probe is cheap and always performed.)
+  std::optional<std::pair<Tid, Blob>> existing;
+  const bool may_exist = h.chunk_index != nullptr ||
+                         chunkno < h.chunks_at_open ||
+                         h.flushed_chunks.contains(chunkno);
+  if (may_exist) {
+    INV_ASSIGN_OR_RETURN(existing, FetchChunk(h, chunkno, snap));
+  }
+  if (existing.has_value()) {
+    // "the old record is marked as deleted by the current transaction, and
+    // the new record is marked as inserted by the current transaction."
+    INV_RETURN_IF_ERROR(
+        fs_->db().ReplaceRow(txn, h.chunk_table, (*existing).first, row).status());
+  } else {
+    INV_RETURN_IF_ERROR(fs_->db().InsertRow(txn, h.chunk_table, row).status());
+  }
+  h.buffer_dirty = false;
+  h.buffer_len = valid;
+  h.flushed_chunks.insert(chunkno);
+  return Status::Ok();
+}
+
+Status InvSession::FlushMetadata(Handle& h, TxnId txn) {
+  if (!h.meta_dirty) {
+    return Status::Ok();
+  }
+  INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, fs_->fileatt_, LockMode::kExclusive));
+  const Snapshot snap = fs_->db().SnapshotFor(txn);
+  INV_ASSIGN_OR_RETURN(auto att, fs_->FileattLookup(h.file, snap));
+  if (!att.has_value()) {
+    return Status::NotFound("fileatt row vanished for oid " + std::to_string(h.file));
+  }
+  Row updated = (*att).second;
+  updated[InversionFs::kFaSize] = Value::Int8(h.size);
+  updated[InversionFs::kFaMtime] = Value::MakeTimestamp(h.pending_mtime);
+  if (fs_->options_.update_atime) {
+    updated[InversionFs::kFaAtime] = Value::MakeTimestamp(fs_->db().Now());
+  }
+  INV_RETURN_IF_ERROR(
+      fs_->db().ReplaceRow(txn, fs_->fileatt_, (*att).first, updated).status());
+  h.meta_dirty = false;
+  return Status::Ok();
+}
+
+Result<int64_t> InvSession::ReadAt(Handle& h, TxnId txn, int64_t offset,
+                                   std::span<std::byte> out) {
+  if (offset >= h.size) {
+    return 0;
+  }
+  const int64_t want =
+      std::min<int64_t>(static_cast<int64_t>(out.size()), h.size - offset);
+  int64_t done = 0;
+  const Snapshot snap = SnapFor(h, txn);
+  while (done < want) {
+    const int64_t pos = offset + done;
+    const int64_t chunkno = pos / kInvChunkSize;
+    const int64_t within = pos % kInvChunkSize;
+    const int64_t n = std::min<int64_t>(kInvChunkSize - within, want - done);
+    if (h.buffered_chunk == chunkno) {
+      std::memcpy(out.data() + done, h.buffer.data() + within, n);
+    } else {
+      INV_ASSIGN_OR_RETURN(auto chunk, FetchChunk(h, chunkno, snap));
+      if (chunk.has_value()) {
+        const Blob& data = (*chunk).second;
+        const int64_t avail =
+            std::max<int64_t>(0, static_cast<int64_t>(data.size()) - within);
+        const int64_t copy = std::min(n, avail);
+        if (copy > 0) {
+          std::memcpy(out.data() + done, data.data() + within, copy);
+        }
+        if (copy < n) {
+          std::memset(out.data() + done + copy, 0, n - copy);
+        }
+      } else {
+        std::memset(out.data() + done, 0, n);  // hole in a sparse file
+      }
+    }
+    done += n;
+  }
+  // Model the buffer-allocate-and-copy CPU cost the paper's profiling found.
+  fs_->db().clock().Advance(
+      fs_->db().options().cpu.syscall_us +
+      (static_cast<uint64_t>(done) * fs_->db().options().cpu.copy_per_kilobyte_us) /
+          1024);
+  return done;
+}
+
+Result<int64_t> InvSession::WriteAt(Handle& h, TxnId txn, int64_t offset,
+                                    std::span<const std::byte> in) {
+  if (h.historical || !h.writable) {
+    return Status::ReadOnly("file descriptor is not writable");
+  }
+  if (offset + static_cast<int64_t>(in.size()) > kInvMaxFileSize) {
+    return Status::InvalidArgument("write would exceed maximum file size");
+  }
+  INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, h.chunk_table, LockMode::kExclusive));
+  int64_t done = 0;
+  const int64_t total = static_cast<int64_t>(in.size());
+  while (done < total) {
+    const int64_t pos = offset + done;
+    const int64_t chunkno = pos / kInvChunkSize;
+    const int64_t within = pos % kInvChunkSize;
+    const int64_t n = std::min<int64_t>(kInvChunkSize - within, total - done);
+    if (h.buffered_chunk != chunkno) {
+      INV_RETURN_IF_ERROR(FlushChunk(h, txn));
+      h.buffered_chunk = -1;
+      if (within == 0 && n == kInvChunkSize) {
+        // Full-chunk overwrite: no need to read the old contents. (The old
+        // *version* still gets its xmax stamped at flush time.)
+        std::fill(h.buffer.begin(), h.buffer.end(), std::byte{0});
+        h.buffered_chunk = chunkno;
+        h.buffer_len = 0;
+        h.buffer_dirty = false;
+      } else {
+        INV_RETURN_IF_ERROR(LoadChunk(h, txn, chunkno));
+      }
+    }
+    std::memcpy(h.buffer.data() + within, in.data() + done, n);
+    h.buffer_len = std::max(h.buffer_len, within + n);
+    h.buffer_dirty = true;
+    done += n;
+    // "Multiple small sequential writes during a single transaction are
+    // coalesced" — with coalescing off, every write becomes its own record
+    // replacement (the ablation measures what that costs).
+    if (!fs_->options_.coalesce_writes) {
+      INV_RETURN_IF_ERROR(FlushChunk(h, txn));
+    }
+  }
+  h.size = std::max(h.size, offset + total);
+  h.meta_dirty = true;
+  h.pending_mtime = fs_->db().Now();
+  fs_->db().clock().Advance(
+      fs_->db().options().cpu.syscall_us +
+      (static_cast<uint64_t>(total) * fs_->db().options().cpu.copy_per_kilobyte_us) /
+          1024);
+  return total;
+}
+
+Result<int64_t> InvSession::p_read(int fd, std::span<std::byte> buf) {
+  INV_ASSIGN_OR_RETURN(Handle * h, GetHandle(fd));
+  return WithTxn([&](TxnId txn) -> Result<int64_t> {
+    if (!h->historical) {
+      INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, h->chunk_table, LockMode::kShared));
+    }
+    INV_ASSIGN_OR_RETURN(int64_t n, ReadAt(*h, txn, h->offset, buf));
+    h->offset += n;
+    return n;
+  });
+}
+
+Result<int64_t> InvSession::p_write(int fd, std::span<const std::byte> buf) {
+  INV_ASSIGN_OR_RETURN(Handle * h, GetHandle(fd));
+  return WithTxn([&](TxnId txn) -> Result<int64_t> {
+    INV_ASSIGN_OR_RETURN(int64_t n, WriteAt(*h, txn, h->offset, buf));
+    h->offset += n;
+    return n;
+  });
+}
+
+// ----------------------------------------------------------------- namespace
+
+Status InvSession::mkdir(const std::string& path) {
+  return WithTxn([&](TxnId txn) -> Status {
+    const Snapshot snap = fs_->db().SnapshotFor(txn);
+    INV_ASSIGN_OR_RETURN(auto split, SplitParentPath(path));
+    INV_ASSIGN_OR_RETURN(Oid parent, fs_->ResolvePath(split.first, snap));
+    INV_ASSIGN_OR_RETURN(FileStat parent_stat, fs_->StatOid(parent, snap));
+    if (!parent_stat.is_directory) {
+      return Status::InvalidArgument(split.first + " is not a directory");
+    }
+    INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, fs_->naming_, LockMode::kExclusive));
+    INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, fs_->fileatt_, LockMode::kExclusive));
+    INV_ASSIGN_OR_RETURN(auto existing, fs_->NamingLookup(parent, split.second, snap));
+    if (existing.has_value()) {
+      return Status::AlreadyExists(path);
+    }
+    const Oid oid = fs_->db().catalog().AllocateOid();
+    const Timestamp now = fs_->db().Now();
+    INV_RETURN_IF_ERROR(
+        fs_->db()
+            .InsertRow(txn, fs_->naming_,
+                       {Value::Text(split.second), Value::MakeOid(parent),
+                        Value::MakeOid(oid)})
+            .status());
+    return fs_->db()
+        .InsertRow(txn, fs_->fileatt_,
+                   {Value::MakeOid(oid), Value::Text("root"),
+                    Value::MakeOid(fs_->dir_type_oid_), Value::Int8(0),
+                    Value::MakeTimestamp(now), Value::MakeTimestamp(now),
+                    Value::MakeTimestamp(now), Value::Int4(kDeviceMagneticDisk),
+                    Value::Int4(0)})
+        .status();
+  });
+}
+
+Status InvSession::unlink(const std::string& path) {
+  return WithTxn([&](TxnId txn) -> Status {
+    const Snapshot snap = fs_->db().SnapshotFor(txn);
+    INV_ASSIGN_OR_RETURN(auto split, SplitParentPath(path));
+    INV_ASSIGN_OR_RETURN(Oid parent, fs_->ResolvePath(split.first, snap));
+    INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, fs_->naming_, LockMode::kExclusive));
+    INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, fs_->fileatt_, LockMode::kExclusive));
+    INV_ASSIGN_OR_RETURN(auto entry, fs_->NamingLookup(parent, split.second, snap));
+    if (!entry.has_value()) {
+      return Status::NotFound(path);
+    }
+    const Oid oid = (*entry).second[2].AsOid();
+    INV_ASSIGN_OR_RETURN(FileStat st, fs_->StatOid(oid, snap));
+    if (st.is_directory) {
+      INV_ASSIGN_OR_RETURN(auto entries, fs_->ListDirectory(oid, snap));
+      if (!entries.empty()) {
+        return Status::InvalidArgument(path + " is a non-empty directory");
+      }
+    }
+    // Only the namespace and attribute rows die; the chunk table — and every
+    // historical version in it — survives, which is precisely what lets a
+    // user "undelete files removed accidentally" via time travel.
+    INV_RETURN_IF_ERROR(fs_->db().DeleteRow(txn, fs_->naming_, (*entry).first));
+    INV_ASSIGN_OR_RETURN(auto att, fs_->FileattLookup(oid, snap));
+    if (att.has_value()) {
+      INV_RETURN_IF_ERROR(fs_->db().DeleteRow(txn, fs_->fileatt_, (*att).first));
+    }
+    return Status::Ok();
+  });
+}
+
+Status InvSession::rename(const std::string& from, const std::string& to) {
+  return WithTxn([&](TxnId txn) -> Status {
+    const Snapshot snap = fs_->db().SnapshotFor(txn);
+    INV_ASSIGN_OR_RETURN(auto from_split, SplitParentPath(from));
+    INV_ASSIGN_OR_RETURN(auto to_split, SplitParentPath(to));
+    INV_ASSIGN_OR_RETURN(Oid from_parent, fs_->ResolvePath(from_split.first, snap));
+    INV_ASSIGN_OR_RETURN(Oid to_parent, fs_->ResolvePath(to_split.first, snap));
+    INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, fs_->naming_, LockMode::kExclusive));
+    INV_ASSIGN_OR_RETURN(auto entry,
+                         fs_->NamingLookup(from_parent, from_split.second, snap));
+    if (!entry.has_value()) {
+      return Status::NotFound(from);
+    }
+    INV_ASSIGN_OR_RETURN(auto clash,
+                         fs_->NamingLookup(to_parent, to_split.second, snap));
+    if (clash.has_value()) {
+      return Status::AlreadyExists(to);
+    }
+    Row updated = (*entry).second;
+    updated[0] = Value::Text(to_split.second);
+    updated[1] = Value::MakeOid(to_parent);
+    return fs_->db().ReplaceRow(txn, fs_->naming_, (*entry).first, updated).status();
+  });
+}
+
+Result<FileStat> InvSession::stat(const std::string& path, Timestamp as_of) {
+  return WithTxn([&](TxnId txn) -> Result<FileStat> {
+    const Snapshot snap = as_of != kTimestampNow ? fs_->db().SnapshotAt(as_of)
+                                                 : fs_->db().SnapshotFor(txn);
+    return fs_->StatPath(path, snap);
+  });
+}
+
+Result<std::vector<DirEntry>> InvSession::readdir(const std::string& path,
+                                                  Timestamp as_of) {
+  return WithTxn([&](TxnId txn) -> Result<std::vector<DirEntry>> {
+    const Snapshot snap = as_of != kTimestampNow ? fs_->db().SnapshotAt(as_of)
+                                                 : fs_->db().SnapshotFor(txn);
+    INV_ASSIGN_OR_RETURN(Oid dir, fs_->ResolvePath(path, snap));
+    INV_ASSIGN_OR_RETURN(FileStat st, fs_->StatOid(dir, snap));
+    if (!st.is_directory) {
+      return Status::InvalidArgument(path + " is not a directory");
+    }
+    return fs_->ListDirectory(dir, snap);
+  });
+}
+
+}  // namespace invfs

@@ -1,0 +1,100 @@
+#include "src/net/nfs_gateway.h"
+
+namespace invfs {
+
+InvNfsGateway::InvNfsGateway(InversionFs* fs) : fs_(fs) {
+  auto session = fs_->NewSession();
+  INV_CHECK(session.ok());
+  session_ = std::move(*session);
+}
+
+Result<std::pair<std::string, Timestamp>> InvNfsGateway::ParseTimePath(
+    const std::string& path) {
+  const size_t at = path.rfind('@');
+  if (at == std::string::npos) {
+    return std::make_pair(path, kTimestampNow);
+  }
+  // The suffix must apply to the final component and be all digits.
+  const std::string digits = path.substr(at + 1);
+  if (digits.empty() || path.find('/', at) != std::string::npos) {
+    return Status::InvalidArgument("malformed @timestamp suffix in " + path);
+  }
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("malformed @timestamp suffix in " + path);
+    }
+  }
+  return std::make_pair(path.substr(0, at),
+                        static_cast<Timestamp>(std::stoull(digits)));
+}
+
+Result<int> InvNfsGateway::Creat(const std::string& path) {
+  INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
+  if (parsed.second != kTimestampNow) {
+    return Status::ReadOnly("cannot create files in the past");
+  }
+  return session_->p_creat(parsed.first);
+}
+
+Result<int> InvNfsGateway::Open(const std::string& path, bool writable) {
+  INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
+  if (parsed.second != kTimestampNow && writable) {
+    return Status::ReadOnly("historical names are read-only: " + path);
+  }
+  return session_->p_open(parsed.first,
+                          writable ? OpenMode::kWrite : OpenMode::kRead,
+                          parsed.second);
+}
+
+Status InvNfsGateway::Close(int fd) { return session_->p_close(fd); }
+
+Result<int64_t> InvNfsGateway::Read(int fd, std::span<std::byte> buf) {
+  return session_->p_read(fd, buf);
+}
+
+Result<int64_t> InvNfsGateway::Write(int fd, std::span<const std::byte> buf) {
+  // Stateless-NFS semantics: the session has no open transaction, so the
+  // write commits (and is forced durable) before returning.
+  return session_->p_write(fd, buf);
+}
+
+Result<int64_t> InvNfsGateway::Seek(int fd, int64_t offset, Whence whence) {
+  return session_->p_lseek(fd, offset, whence);
+}
+
+Result<FileStat> InvNfsGateway::GetAttr(const std::string& path) {
+  INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
+  return session_->stat(parsed.first, parsed.second);
+}
+
+Status InvNfsGateway::Mkdir(const std::string& path) {
+  INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
+  if (parsed.second != kTimestampNow) {
+    return Status::ReadOnly("cannot mkdir in the past");
+  }
+  return session_->mkdir(parsed.first);
+}
+
+Status InvNfsGateway::Remove(const std::string& path) {
+  INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
+  if (parsed.second != kTimestampNow) {
+    return Status::ReadOnly("cannot remove files from the past");
+  }
+  return session_->unlink(parsed.first);
+}
+
+Status InvNfsGateway::Rename(const std::string& from, const std::string& to) {
+  INV_ASSIGN_OR_RETURN(auto pf, ParseTimePath(from));
+  INV_ASSIGN_OR_RETURN(auto pt, ParseTimePath(to));
+  if (pf.second != kTimestampNow || pt.second != kTimestampNow) {
+    return Status::ReadOnly("cannot rename across time");
+  }
+  return session_->rename(pf.first, pt.first);
+}
+
+Result<std::vector<DirEntry>> InvNfsGateway::Readdir(const std::string& path) {
+  INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
+  return session_->readdir(parsed.first, parsed.second);
+}
+
+}  // namespace invfs

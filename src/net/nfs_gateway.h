@@ -1,0 +1,61 @@
+// NFS gateway to Inversion — the paper's stated near-term plan:
+//
+// "In the near term, we plan to provide NFS access to Inversion. ... However,
+// we are unsure how to support transactions via NFS. The NFS protocol makes
+// every operation an atomic transaction ... We are most likely to follow the
+// protocol specification, and to provide no multi-operation transaction
+// protection for Inversion files accessed via NFS."
+//
+// This gateway implements exactly that position: every operation runs in its
+// own single-op transaction (InvSession auto-commit), stateless-NFS style,
+// and no p_begin/p_commit is exposed. Clients who want real transactions
+// "may still link with the special library" (InvSession / RemoteFileClient).
+//
+// Time travel is exposed the way the paper sketches for an NFS server —
+// "extending the file system namespace and passing dates along to the
+// database system" ([ROOM92]'s 3DFS approach): a path component suffix
+// `@<timestamp>` names the historical state, e.g.
+//     /etc/passwd@123456        read-only contents as of t=123456
+//     readdir("/proj@123456")   the directory as it was then
+// which is precisely the namespace extension the paper credits to 3DFS
+// (including its wart: such names are visible to, e.g., globbing).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/inversion/inv_fs.h"
+
+namespace invfs {
+
+class InvNfsGateway {
+ public:
+  explicit InvNfsGateway(InversionFs* fs);
+
+  // NFS-flavoured operations: no client-visible transactions; every call is
+  // individually atomic and durable before it returns.
+  Result<int> Creat(const std::string& path);
+  Result<int> Open(const std::string& path, bool writable);
+  Status Close(int fd);
+  Result<int64_t> Read(int fd, std::span<std::byte> buf);
+  Result<int64_t> Write(int fd, std::span<const std::byte> buf);
+  Result<int64_t> Seek(int fd, int64_t offset, Whence whence);
+  Result<FileStat> GetAttr(const std::string& path);
+  Status Mkdir(const std::string& path);
+  Status Remove(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+  Result<std::vector<DirEntry>> Readdir(const std::string& path);
+
+  // Splits a 3DFS-style "path@ts" name. Returns (clean path, timestamp);
+  // timestamp is kTimestampNow when no suffix is present.
+  static Result<std::pair<std::string, Timestamp>> ParseTimePath(
+      const std::string& path);
+
+ private:
+  InversionFs* fs_;
+  std::unique_ptr<InvSession> session_;
+};
+
+}  // namespace invfs

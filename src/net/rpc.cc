@@ -1,0 +1,467 @@
+#include "src/net/rpc.h"
+
+namespace invfs {
+namespace {
+
+// ---- shared value / struct marshalling --------------------------------------
+
+enum class WireType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt4,
+  kInt8,
+  kFloat8,
+  kText,
+  kBytea,
+  kOid,
+  kTimestamp,
+};
+
+void PutValue(ByteWriter& w, const Value& v) {
+  if (v.is_null()) {
+    w.U8(static_cast<uint8_t>(WireType::kNull));
+  } else if (v.HasType(TypeId::kBool)) {
+    w.U8(static_cast<uint8_t>(WireType::kBool));
+    w.U8(v.AsBool() ? 1 : 0);
+  } else if (v.HasType(TypeId::kInt4)) {
+    w.U8(static_cast<uint8_t>(WireType::kInt4));
+    w.U32(static_cast<uint32_t>(v.AsInt4()));
+  } else if (v.HasType(TypeId::kInt8)) {
+    w.U8(static_cast<uint8_t>(WireType::kInt8));
+    w.I64(v.AsInt8());
+  } else if (v.HasType(TypeId::kFloat8)) {
+    w.U8(static_cast<uint8_t>(WireType::kFloat8));
+    w.F64(v.AsFloat8());
+  } else if (v.HasType(TypeId::kText)) {
+    w.U8(static_cast<uint8_t>(WireType::kText));
+    w.Str(v.AsText());
+  } else if (v.HasType(TypeId::kBytea)) {
+    w.U8(static_cast<uint8_t>(WireType::kBytea));
+    w.Blob(v.AsBytes());
+  } else if (v.HasType(TypeId::kOid)) {
+    w.U8(static_cast<uint8_t>(WireType::kOid));
+    w.U32(v.AsOid());
+  } else {
+    w.U8(static_cast<uint8_t>(WireType::kTimestamp));
+    w.U64(v.AsTimestamp());
+  }
+}
+
+Value GetValue(ByteReader& r) {
+  switch (static_cast<WireType>(r.U8())) {
+    case WireType::kNull:
+      return Value::Null();
+    case WireType::kBool:
+      return Value::Bool(r.U8() != 0);
+    case WireType::kInt4:
+      return Value::Int4(static_cast<int32_t>(r.U32()));
+    case WireType::kInt8:
+      return Value::Int8(r.I64());
+    case WireType::kFloat8:
+      return Value::Float8(r.F64());
+    case WireType::kText:
+      return Value::Text(r.Str());
+    case WireType::kBytea:
+      return Value::Bytes(r.Blob());
+    case WireType::kOid:
+      return Value::MakeOid(r.U32());
+    case WireType::kTimestamp:
+      return Value::MakeTimestamp(r.U64());
+  }
+  return Value::Null();
+}
+
+void PutFileStat(ByteWriter& w, const FileStat& st) {
+  w.U32(st.oid);
+  w.Str(st.name);
+  w.Str(st.owner);
+  w.Str(st.type);
+  w.I64(st.size);
+  w.U64(st.ctime);
+  w.U64(st.mtime);
+  w.U64(st.atime);
+  w.U8(st.device);
+  w.U8(st.is_directory ? 1 : 0);
+  w.U8(st.compressed ? 1 : 0);
+}
+
+FileStat GetFileStat(ByteReader& r) {
+  FileStat st;
+  st.oid = r.U32();
+  st.name = r.Str();
+  st.owner = r.Str();
+  st.type = r.Str();
+  st.size = r.I64();
+  st.ctime = r.U64();
+  st.mtime = r.U64();
+  st.atime = r.U64();
+  st.device = r.U8();
+  st.is_directory = r.U8() != 0;
+  st.compressed = r.U8() != 0;
+  return st;
+}
+
+std::vector<std::byte> OkResponse(const ByteWriter& payload) {
+  ByteWriter w;
+  w.U8(1);
+  w.Bytes(payload.data());
+  return std::vector<std::byte>(w.data());
+}
+
+std::vector<std::byte> ErrorResponse(const Status& status) {
+  ByteWriter w;
+  w.U8(0);
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.Str(status.message());
+  return std::vector<std::byte>(w.data());
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------- server
+
+InversionServer::InversionServer(InversionFs* fs) : fs_(fs) {
+  auto session = fs_->NewSession();
+  INV_CHECK(session.ok());
+  session_ = std::move(*session);
+}
+
+std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> request) {
+  ByteReader r(request);
+  const RpcOp op = static_cast<RpcOp>(r.U8());
+  ByteWriter payload;
+  Status status = Status::Ok();
+
+  switch (op) {
+    case RpcOp::kBegin:
+      status = session_->p_begin();
+      break;
+    case RpcOp::kCommit:
+      status = session_->p_commit();
+      break;
+    case RpcOp::kAbort:
+      status = session_->p_abort();
+      break;
+    case RpcOp::kCreat: {
+      const std::string path = r.Str();
+      CreatOptions options;
+      options.device = r.U8();
+      options.owner = r.Str();
+      options.type = r.Str();
+      options.compressed = r.U8() != 0;
+      options.keep_history = r.U8() != 0;
+      auto fd = session_->p_creat(path, options);
+      status = fd.status();
+      if (fd.ok()) {
+        payload.U32(static_cast<uint32_t>(*fd));
+      }
+      break;
+    }
+    case RpcOp::kOpen: {
+      const std::string path = r.Str();
+      const OpenMode mode = r.U8() != 0 ? OpenMode::kWrite : OpenMode::kRead;
+      const Timestamp as_of = r.U64();
+      auto fd = session_->p_open(path, mode, as_of);
+      status = fd.status();
+      if (fd.ok()) {
+        payload.U32(static_cast<uint32_t>(*fd));
+      }
+      break;
+    }
+    case RpcOp::kClose:
+      status = session_->p_close(static_cast<int>(r.U32()));
+      break;
+    case RpcOp::kRead: {
+      const int fd = static_cast<int>(r.U32());
+      const uint32_t len = r.U32();
+      std::vector<std::byte> buf(len);
+      auto n = session_->p_read(fd, buf);
+      status = n.status();
+      if (n.ok()) {
+        payload.Blob(std::span(buf.data(), static_cast<size_t>(*n)));
+      }
+      break;
+    }
+    case RpcOp::kWrite: {
+      const int fd = static_cast<int>(r.U32());
+      std::vector<std::byte> data = r.Blob();
+      auto n = session_->p_write(fd, data);
+      status = n.status();
+      if (n.ok()) {
+        payload.I64(*n);
+      }
+      break;
+    }
+    case RpcOp::kLseek: {
+      const int fd = static_cast<int>(r.U32());
+      const int64_t offset = r.I64();
+      const Whence whence = static_cast<Whence>(r.U8());
+      auto pos = session_->p_lseek(fd, offset, whence);
+      status = pos.status();
+      if (pos.ok()) {
+        payload.I64(*pos);
+      }
+      break;
+    }
+    case RpcOp::kFstat: {
+      auto st = session_->p_fstat(static_cast<int>(r.U32()));
+      status = st.status();
+      if (st.ok()) {
+        PutFileStat(payload, *st);
+      }
+      break;
+    }
+    case RpcOp::kMkdir:
+      status = session_->mkdir(r.Str());
+      break;
+    case RpcOp::kUnlink:
+      status = session_->unlink(r.Str());
+      break;
+    case RpcOp::kRename: {
+      const std::string from = r.Str();
+      const std::string to = r.Str();
+      status = session_->rename(from, to);
+      break;
+    }
+    case RpcOp::kStat: {
+      const std::string path = r.Str();
+      const Timestamp as_of = r.U64();
+      auto st = session_->stat(path, as_of);
+      status = st.status();
+      if (st.ok()) {
+        PutFileStat(payload, *st);
+      }
+      break;
+    }
+    case RpcOp::kReaddir: {
+      const std::string path = r.Str();
+      const Timestamp as_of = r.U64();
+      auto entries = session_->readdir(path, as_of);
+      status = entries.status();
+      if (entries.ok()) {
+        payload.U32(static_cast<uint32_t>(entries->size()));
+        for (const DirEntry& e : *entries) {
+          payload.Str(e.name);
+          payload.U32(e.oid);
+          payload.U8(e.is_directory ? 1 : 0);
+        }
+      }
+      break;
+    }
+    case RpcOp::kQuery: {
+      auto rs = session_->Query(r.Str());
+      status = rs.status();
+      if (rs.ok()) {
+        payload.U32(static_cast<uint32_t>(rs->columns.size()));
+        for (const std::string& c : rs->columns) {
+          payload.Str(c);
+        }
+        payload.U32(static_cast<uint32_t>(rs->rows.size()));
+        for (const Row& row : rs->rows) {
+          for (const Value& v : row) {
+            PutValue(payload, v);
+          }
+        }
+      }
+      break;
+    }
+    default:
+      status = Status::InvalidArgument("unknown rpc op " +
+                                       std::to_string(static_cast<int>(op)));
+  }
+  if (!r.ok()) {
+    status = Status::InvalidArgument("malformed rpc request");
+  }
+  return status.ok() ? OkResponse(payload) : ErrorResponse(status);
+}
+
+// -------------------------------------------------------------------- client
+
+Result<std::vector<std::byte>> RemoteFileClient::Call(const ByteWriter& req) {
+  INV_ASSIGN_OR_RETURN(std::vector<std::byte> response,
+                       transport_->RoundTrip(req.data()));
+  ByteReader r(response);
+  if (r.U8() == 0) {
+    const ErrorCode code = static_cast<ErrorCode>(r.U8());
+    return Status(code, r.Str());
+  }
+  return std::vector<std::byte>(response.begin() + 1, response.end());
+}
+
+Status RemoteFileClient::p_begin() {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kBegin));
+  return Call(w).status();
+}
+
+Status RemoteFileClient::p_commit() {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kCommit));
+  return Call(w).status();
+}
+
+Status RemoteFileClient::p_abort() {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kAbort));
+  return Call(w).status();
+}
+
+Result<int> RemoteFileClient::p_creat(const std::string& path,
+                                      const CreatOptions& options) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kCreat));
+  w.Str(path);
+  w.U8(options.device);
+  w.Str(options.owner);
+  w.Str(options.type);
+  w.U8(options.compressed ? 1 : 0);
+  w.U8(options.keep_history ? 1 : 0);
+  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  ByteReader r(payload);
+  return static_cast<int>(r.U32());
+}
+
+Result<int> RemoteFileClient::p_open(const std::string& path, OpenMode mode,
+                                     Timestamp as_of) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kOpen));
+  w.Str(path);
+  w.U8(mode == OpenMode::kWrite ? 1 : 0);
+  w.U64(as_of);
+  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  ByteReader r(payload);
+  return static_cast<int>(r.U32());
+}
+
+Status RemoteFileClient::p_close(int fd) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kClose));
+  w.U32(static_cast<uint32_t>(fd));
+  return Call(w).status();
+}
+
+Result<int64_t> RemoteFileClient::p_read(int fd, std::span<std::byte> buf) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kRead));
+  w.U32(static_cast<uint32_t>(fd));
+  w.U32(static_cast<uint32_t>(buf.size()));
+  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  ByteReader r(payload);
+  std::vector<std::byte> data = r.Blob();
+  if (data.size() > buf.size()) {
+    return Status::Internal("server returned more data than requested");
+  }
+  std::copy(data.begin(), data.end(), buf.begin());
+  return static_cast<int64_t>(data.size());
+}
+
+Result<int64_t> RemoteFileClient::p_write(int fd, std::span<const std::byte> buf) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kWrite));
+  w.U32(static_cast<uint32_t>(fd));
+  w.Blob(buf);
+  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  ByteReader r(payload);
+  return r.I64();
+}
+
+Result<int64_t> RemoteFileClient::p_lseek(int fd, int64_t offset, Whence whence) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kLseek));
+  w.U32(static_cast<uint32_t>(fd));
+  w.I64(offset);
+  w.U8(static_cast<uint8_t>(whence));
+  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  ByteReader r(payload);
+  return r.I64();
+}
+
+Result<FileStat> RemoteFileClient::p_fstat(int fd) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kFstat));
+  w.U32(static_cast<uint32_t>(fd));
+  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  ByteReader r(payload);
+  return GetFileStat(r);
+}
+
+Status RemoteFileClient::mkdir(const std::string& path) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kMkdir));
+  w.Str(path);
+  return Call(w).status();
+}
+
+Status RemoteFileClient::unlink(const std::string& path) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kUnlink));
+  w.Str(path);
+  return Call(w).status();
+}
+
+Status RemoteFileClient::rename(const std::string& from, const std::string& to) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kRename));
+  w.Str(from);
+  w.Str(to);
+  return Call(w).status();
+}
+
+Result<FileStat> RemoteFileClient::stat(const std::string& path, Timestamp as_of) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kStat));
+  w.Str(path);
+  w.U64(as_of);
+  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  ByteReader r(payload);
+  return GetFileStat(r);
+}
+
+Result<std::vector<DirEntry>> RemoteFileClient::readdir(const std::string& path,
+                                                        Timestamp as_of) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kReaddir));
+  w.Str(path);
+  w.U64(as_of);
+  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  ByteReader r(payload);
+  const uint32_t n = r.U32();
+  std::vector<DirEntry> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    DirEntry e;
+    e.name = r.Str();
+    e.oid = r.U32();
+    e.is_directory = r.U8() != 0;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Result<ResultSet> RemoteFileClient::Query(const std::string& text) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kQuery));
+  w.Str(text);
+  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  ByteReader r(payload);
+  ResultSet rs;
+  const uint32_t ncols = r.U32();
+  for (uint32_t i = 0; i < ncols; ++i) {
+    rs.columns.push_back(r.Str());
+  }
+  const uint32_t nrows = r.U32();
+  for (uint32_t i = 0; i < nrows; ++i) {
+    Row row;
+    row.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      row.push_back(GetValue(r));
+    }
+    rs.rows.push_back(std::move(row));
+  }
+  if (!r.ok()) {
+    return Status::Corruption("malformed query response");
+  }
+  return rs;
+}
+
+}  // namespace invfs

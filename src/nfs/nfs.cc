@@ -1,0 +1,172 @@
+#include "src/nfs/nfs.h"
+
+#include <algorithm>
+
+namespace invfs {
+
+NfsServer::NfsServer(SimClock* clock, FfsSim* ffs, NfsServerOptions options)
+    : clock_(clock), ffs_(ffs), options_(options) {}
+
+Status NfsServer::Create(const std::string& path) { return ffs_->Create(path); }
+
+Status NfsServer::Remove(const std::string& path) { return ffs_->Remove(path); }
+
+Result<int64_t> NfsServer::GetSize(const std::string& path) {
+  return ffs_->Size(path);
+}
+
+Result<int64_t> NfsServer::Read(const std::string& path, int64_t offset,
+                                std::span<std::byte> out) {
+  return ffs_->ReadAt(path, offset, out);
+}
+
+Status NfsServer::DrainNvram(uint64_t bytes_needed) {
+  while (!nvram_fifo_.empty() &&
+         nvram_dirty_ + bytes_needed > options_.presto.nvram_bytes) {
+    const Pending p = nvram_fifo_.front();
+    nvram_fifo_.erase(nvram_fifo_.begin());
+    // The drained extent's bytes are already in the FFS page cache (the data
+    // went there when the write arrived); draining forces them to disk.
+    INV_RETURN_IF_ERROR(ffs_->Sync(p.path));
+    // Sync flushes all dirty pages of the file: retire every pending extent
+    // of that file from the FIFO.
+    nvram_dirty_ -= static_cast<uint64_t>(p.length);
+    for (auto it = nvram_fifo_.begin(); it != nvram_fifo_.end();) {
+      if (it->path == p.path) {
+        nvram_dirty_ -= static_cast<uint64_t>(it->length);
+        it = nvram_fifo_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> NfsServer::Write(const std::string& path, int64_t offset,
+                                 std::span<const std::byte> in) {
+  if (options_.presto.enabled) {
+    // PRESTOserve: the write is stable once in NVRAM (a few microseconds),
+    // and lands in the buffer cache unstably; disk happens at drain time.
+    INV_RETURN_IF_ERROR(DrainNvram(in.size()));
+    clock_->Advance(50);  // NVRAM board latency
+    INV_ASSIGN_OR_RETURN(int64_t n,
+                         ffs_->WriteAt(path, offset, in, /*stable=*/false));
+    nvram_fifo_.push_back(Pending{path, offset, n});
+    nvram_dirty_ += static_cast<uint64_t>(n);
+    return n;
+  }
+  // Stateless NFS without NVRAM: synchronous to the platter.
+  return ffs_->WriteAt(path, offset, in, /*stable=*/true);
+}
+
+Status NfsServer::FlushCaches() {
+  nvram_fifo_.clear();
+  nvram_dirty_ = 0;
+  return ffs_->FlushCaches();
+}
+
+// -------------------------------------------------------------------- client
+
+Result<NfsClient::Handle*> NfsClient::GetHandle(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return Status::InvalidArgument("bad nfs file descriptor " + std::to_string(fd));
+  }
+  return &it->second;
+}
+
+Result<int> NfsClient::Creat(const std::string& path) {
+  net_->ChargeMessage(128);  // CREATE request
+  INV_RETURN_IF_ERROR(server_->Create(path));
+  net_->ChargeMessage(96);  // reply with file handle
+  const int fd = next_fd_++;
+  fds_[fd] = Handle{path, 0, true};
+  return fd;
+}
+
+Result<int> NfsClient::Open(const std::string& path, bool writable) {
+  net_->ChargeMessage(128);  // LOOKUP
+  INV_ASSIGN_OR_RETURN(int64_t size, server_->GetSize(path));
+  (void)size;
+  net_->ChargeMessage(96);
+  const int fd = next_fd_++;
+  fds_[fd] = Handle{path, 0, writable};
+  return fd;
+}
+
+Status NfsClient::Close(int fd) {
+  INV_RETURN_IF_ERROR(GetHandle(fd).status());
+  fds_.erase(fd);  // stateless protocol: nothing to tell the server
+  return Status::Ok();
+}
+
+Result<int64_t> NfsClient::Read(int fd, std::span<std::byte> buf) {
+  INV_ASSIGN_OR_RETURN(Handle * h, GetHandle(fd));
+  const uint32_t max = server_->max_transfer();
+  int64_t done = 0;
+  while (done < static_cast<int64_t>(buf.size())) {
+    const uint32_t ask = static_cast<uint32_t>(
+        std::min<int64_t>(max, static_cast<int64_t>(buf.size()) - done));
+    net_->ChargeMessage(128);  // READ request
+    INV_ASSIGN_OR_RETURN(
+        int64_t n, server_->Read(h->path, h->offset + done,
+                                 buf.subspan(static_cast<size_t>(done), ask)));
+    net_->ChargeMessage(static_cast<uint64_t>(n) + 96);  // data reply
+    done += n;
+    if (n < ask) {
+      break;  // EOF
+    }
+  }
+  h->offset += done;
+  return done;
+}
+
+Result<int64_t> NfsClient::Write(int fd, std::span<const std::byte> buf) {
+  INV_ASSIGN_OR_RETURN(Handle * h, GetHandle(fd));
+  if (!h->writable) {
+    return Status::ReadOnly("nfs descriptor opened read-only");
+  }
+  const uint32_t max = server_->max_transfer();
+  int64_t done = 0;
+  while (done < static_cast<int64_t>(buf.size())) {
+    const uint32_t ask = static_cast<uint32_t>(
+        std::min<int64_t>(max, static_cast<int64_t>(buf.size()) - done));
+    net_->ChargeMessage(static_cast<uint64_t>(ask) + 128);  // WRITE request+data
+    INV_ASSIGN_OR_RETURN(
+        int64_t n, server_->Write(h->path, h->offset + done,
+                                  buf.subspan(static_cast<size_t>(done), ask)));
+    net_->ChargeMessage(96);  // ack
+    done += n;
+  }
+  h->offset += done;
+  return done;
+}
+
+Result<int64_t> NfsClient::Seek(int fd, int64_t offset, Whence whence) {
+  INV_ASSIGN_OR_RETURN(Handle * h, GetHandle(fd));
+  int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCur:
+      base = h->offset;
+      break;
+    case Whence::kEnd: {
+      // Seeks are client-local except SEEK_END, which needs GETATTR.
+      net_->ChargeMessage(128);
+      INV_ASSIGN_OR_RETURN(base, server_->GetSize(h->path));
+      net_->ChargeMessage(96);
+      break;
+    }
+  }
+  const int64_t target = base + offset;
+  if (target < 0) {
+    return Status::InvalidArgument("negative seek");
+  }
+  h->offset = target;
+  return target;
+}
+
+}  // namespace invfs

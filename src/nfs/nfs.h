@@ -1,0 +1,98 @@
+// The ULTRIX NFS baseline: an NFS v2-style server over FfsSim, fronted by a
+// PRESTOserve non-volatile RAM write cache, plus a client with the same
+// byte-stream API shape as Inversion's.
+//
+// The two properties the paper's write results hinge on are modelled
+// directly:
+//  * "To guarantee that NFS servers remain stateless, NFS must force every
+//    write to stable storage synchronously" — every WRITE RPC is stable
+//    before the reply;
+//  * "PRESTOserve consists of a board containing 1 MByte of battery-backed
+//    RAM and driver software to cache NFS writes in non-volatile memory" —
+//    with the board enabled, a write is stable the moment it lands in NVRAM;
+//    dirty NVRAM drains to disk only when the board fills. That is why the
+//    paper sees *no* degradation for random 1 MB writes: they fit entirely.
+//
+// NFS v2 transfers at most 8 KB per READ/WRITE RPC, so large client calls
+// fan out into page-sized RPCs — which is also true of the paper's setup.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/nfs/ffs_sim.h"
+#include "src/sim/net_model.h"
+#include "src/storage/common.h"
+
+namespace invfs {
+
+struct NfsServerOptions {
+  PrestoParams presto{};
+  uint32_t max_transfer = kPageSize;  // NFS v2 rsize/wsize
+};
+
+class NfsServer {
+ public:
+  NfsServer(SimClock* clock, FfsSim* ffs, NfsServerOptions options = {});
+
+  Status Create(const std::string& path);
+  Status Remove(const std::string& path);
+  Result<int64_t> GetSize(const std::string& path);
+  Result<int64_t> Read(const std::string& path, int64_t offset,
+                       std::span<std::byte> out);
+  // One WRITE RPC: stable before returning (NVRAM or disk).
+  Result<int64_t> Write(const std::string& path, int64_t offset,
+                        std::span<const std::byte> in);
+
+  // Drain NVRAM + flush server caches (benchmark setup).
+  Status FlushCaches();
+
+  uint64_t nvram_bytes_dirty() const { return nvram_dirty_; }
+  uint32_t max_transfer() const { return options_.max_transfer; }
+
+ private:
+  // Make room in NVRAM for `bytes` more, draining oldest entries to disk.
+  Status DrainNvram(uint64_t bytes_needed);
+
+  SimClock* clock_;
+  FfsSim* ffs_;
+  NfsServerOptions options_;
+  // NVRAM contents: FIFO of (path, offset, length) extents awaiting drain.
+  struct Pending {
+    std::string path;
+    int64_t offset;
+    int64_t length;
+  };
+  std::vector<Pending> nvram_fifo_;
+  uint64_t nvram_dirty_ = 0;
+};
+
+// Client stub: file-descriptor API over per-RPC simulated network cost.
+class NfsClient {
+ public:
+  NfsClient(NfsServer* server, NetModel* net) : server_(server), net_(net) {}
+
+  Result<int> Creat(const std::string& path);
+  Result<int> Open(const std::string& path, bool writable);
+  Status Close(int fd);
+  Result<int64_t> Read(int fd, std::span<std::byte> buf);
+  Result<int64_t> Write(int fd, std::span<const std::byte> buf);
+  Result<int64_t> Seek(int fd, int64_t offset, Whence whence);
+
+ private:
+  struct Handle {
+    std::string path;
+    int64_t offset = 0;
+    bool writable = false;
+  };
+  Result<Handle*> GetHandle(int fd);
+
+  NfsServer* server_;
+  NetModel* net_;
+  std::map<int, Handle> fds_;
+  int next_fd_ = 3;
+};
+
+}  // namespace invfs

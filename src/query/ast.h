@@ -1,0 +1,146 @@
+// Abstract syntax for the POSTQUEL subset Inversion exposes.
+//
+// Supported statements (sufficient for every query shown in the paper):
+//   retrieve (expr [, expr ...]) [from v in rel[, ...]] [where qual]
+//   append <rel> (col = expr, ...)
+//   replace <rel> (col = expr, ...) [where qual]
+//   delete <rel> [where qual]
+//   create <rel> (col = type, ...)
+//   define type <name>
+//   define function <name> (n args) returns <type> as {native|postquel} "<src>"
+//   define index on <rel> (col)
+//   define rule <name> on <rel> where <qual> do migrate <device>
+//   vacuum <rel>
+// Time travel: a range target may carry a timestamp, e.g.
+//   retrieve (n.filename) from n in naming["123456"]
+// which scans `naming` as of simulated-microsecond 123456.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/storage/value.h"
+
+namespace invfs {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kConst,     // literal
+  kColumnRef, // [range_var.]column
+  kFuncCall,  // name(args...)
+  kBinaryOp,  // lhs op rhs
+  kUnaryOp,   // op operand
+  kParam,     // $N inside a POSTQUEL-language function body
+};
+
+struct Expr {
+  ExprKind kind;
+  Value constant;                 // kConst
+  std::string range_var;          // kColumnRef (may be empty: unqualified)
+  std::string column;             // kColumnRef
+  std::string name;               // kFuncCall function name / operator symbol
+  std::vector<ExprPtr> args;      // call args; [lhs,rhs] for binop; [x] for unop
+  int param_index = 0;            // kParam
+
+  static ExprPtr Const(Value v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kConst;
+    e->constant = std::move(v);
+    return e;
+  }
+  static ExprPtr ColumnRef(std::string rv, std::string col) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kColumnRef;
+    e->range_var = std::move(rv);
+    e->column = std::move(col);
+    return e;
+  }
+  static ExprPtr Call(std::string fn, std::vector<ExprPtr> args) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kFuncCall;
+    e->name = std::move(fn);
+    e->args = std::move(args);
+    return e;
+  }
+  static ExprPtr Binary(std::string op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinaryOp;
+    e->name = std::move(op);
+    e->args.push_back(std::move(l));
+    e->args.push_back(std::move(r));
+    return e;
+  }
+  static ExprPtr Unary(std::string op, ExprPtr x) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kUnaryOp;
+    e->name = std::move(op);
+    e->args.push_back(std::move(x));
+    return e;
+  }
+  static ExprPtr Param(int index) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kParam;
+    e->param_index = index;
+    return e;
+  }
+};
+
+struct RangeDecl {
+  std::string var;                      // range variable name
+  std::string table;                    // relation name
+  std::optional<Timestamp> as_of;       // time-travel bracket
+};
+
+struct TargetItem {
+  std::string alias;  // output column label
+  ExprPtr expr;
+};
+
+struct SetItem {
+  std::string column;
+  ExprPtr expr;
+};
+
+enum class StmtKind {
+  kRetrieve,
+  kAppend,
+  kReplace,
+  kDelete,
+  kCreate,
+  kDefineType,
+  kDefineFunction,
+  kDefineIndex,
+  kDefineRule,
+  kVacuum,
+};
+
+struct Statement {
+  StmtKind kind;
+
+  // retrieve
+  std::vector<TargetItem> targets;
+  std::vector<RangeDecl> from;
+  ExprPtr where;
+
+  // append / replace / delete / create / define index / vacuum / define rule
+  std::string table;
+  std::vector<SetItem> sets;                        // append / replace
+  std::vector<std::pair<std::string, std::string>> columns;  // create: (name,type)
+
+  // define type / function / rule
+  std::string name;
+  std::string rettype;
+  int nargs = 0;
+  std::string lang;  // "native" | "postquel"
+  std::string src;
+  std::string index_column;  // define index
+  std::string rule_action;   // define rule: "migrate"
+  int rule_device = 0;       // migrate target device
+};
+
+}  // namespace invfs

@@ -1,0 +1,14 @@
+// Expression pretty-printer: emits POSTQUEL text that re-parses to an
+// equivalent tree (used to persist rule predicates and for diagnostics).
+
+#pragma once
+
+#include <string>
+
+#include "src/query/ast.h"
+
+namespace invfs {
+
+std::string ExprToString(const Expr& expr);
+
+}  // namespace invfs

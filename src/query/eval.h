@@ -1,0 +1,17 @@
+// Expression evaluator over EvalContext bindings.
+
+#pragma once
+
+#include "src/query/ast.h"
+#include "src/query/function_registry.h"
+
+namespace invfs {
+
+// Evaluate `expr` in `ctx`. Comparison/arithmetic on NULL yields NULL; NULL
+// in a boolean position counts as false.
+Result<Value> Eval(const Expr& expr, EvalContext& ctx);
+
+// Convenience: evaluate as a boolean predicate (NULL -> false).
+Result<bool> EvalPredicate(const Expr& expr, EvalContext& ctx);
+
+}  // namespace invfs

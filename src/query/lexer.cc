@@ -1,0 +1,111 @@
+#include "src/query/lexer.h"
+
+#include <cctype>
+
+namespace invfs {
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      tok.kind = TokKind::kIdent;
+      tok.text = std::string(input.substr(i, j - i));
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        if (input[j] == '.') {
+          // ".." or trailing dot would be odd; a single dot makes a float.
+          if (is_float) {
+            break;
+          }
+          is_float = true;
+        }
+        ++j;
+      }
+      const std::string text(input.substr(i, j - i));
+      if (is_float) {
+        tok.kind = TokKind::kFloat;
+        tok.float_val = std::stod(text);
+      } else {
+        tok.kind = TokKind::kInt;
+        tok.int_val = std::stoll(text);
+      }
+      tok.text = text;
+      i = j;
+    } else if (c == '"') {
+      size_t j = i + 1;
+      std::string body;
+      while (j < n && input[j] != '"') {
+        if (input[j] == '\\' && j + 1 < n) {
+          ++j;
+        }
+        body.push_back(input[j]);
+        ++j;
+      }
+      if (j >= n) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(i));
+      }
+      tok.kind = TokKind::kString;
+      tok.text = std::move(body);
+      i = j + 1;
+    } else if (c == '$') {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+        ++j;
+      }
+      if (j == i + 1) {
+        return Status::InvalidArgument("bad parameter reference at offset " +
+                                       std::to_string(i));
+      }
+      tok.kind = TokKind::kParam;
+      tok.int_val = std::stoll(std::string(input.substr(i + 1, j - i - 1)));
+      i = j;
+    } else {
+      // Two-character operators first.
+      if (i + 1 < n) {
+        const std::string two(input.substr(i, 2));
+        if (two == "!=" || two == "<=" || two == ">=") {
+          tok.kind = TokKind::kSymbol;
+          tok.text = two;
+          out.push_back(tok);
+          i += 2;
+          continue;
+        }
+      }
+      static constexpr std::string_view kSingles = "(),.=<>+-*/[]";
+      if (kSingles.find(c) == std::string_view::npos) {
+        return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                       "' at offset " + std::to_string(i));
+      }
+      tok.kind = TokKind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.offset = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace invfs

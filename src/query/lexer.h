@@ -1,0 +1,35 @@
+// Tokenizer for the POSTQUEL subset.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace invfs {
+
+enum class TokKind {
+  kIdent,     // bare word (keywords resolved by the parser)
+  kInt,       // integer literal
+  kFloat,     // floating literal
+  kString,    // "quoted"
+  kSymbol,    // punctuation / operator
+  kParam,     // $N
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;    // identifier / symbol / string body
+  int64_t int_val = 0;
+  double float_val = 0;
+  size_t offset = 0;   // for error messages
+};
+
+// Tokenize an entire statement string. Symbols recognized:
+//   ( ) , . = != < <= > >= + - * / [ ]
+Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace invfs

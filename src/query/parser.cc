@@ -1,0 +1,450 @@
+#include "src/query/parser.h"
+
+#include "src/query/lexer.h"
+
+namespace invfs {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<Statement> ParseStmt();
+  Result<ExprPtr> ParseExprPublic() {
+    INV_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    INV_RETURN_IF_ERROR(Expect(TokKind::kEnd, ""));
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[pos_]; }
+  Token Take() { return toks_[pos_++]; }
+  bool AtIdent(std::string_view kw) const {
+    return Peek().kind == TokKind::kIdent && Peek().text == kw;
+  }
+  bool AtSymbol(std::string_view s) const {
+    return Peek().kind == TokKind::kSymbol && Peek().text == s;
+  }
+  bool EatIdent(std::string_view kw) {
+    if (AtIdent(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool EatSymbol(std::string_view s) {
+    if (AtSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokKind kind, std::string_view text) {
+    if (Peek().kind != kind || (!text.empty() && Peek().text != text)) {
+      return Status::InvalidArgument("parse error at offset " +
+                                     std::to_string(Peek().offset) + ": expected '" +
+                                     std::string(text) + "', got '" + Peek().text +
+                                     "'");
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("parse error at offset " +
+                                     std::to_string(Peek().offset) +
+                                     ": expected identifier");
+    }
+    return Take().text;
+  }
+
+  Result<Statement> ParseRetrieve();
+  Result<Statement> ParseAppend();
+  Result<Statement> ParseReplace();
+  Result<Statement> ParseDelete();
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseDefine();
+  Result<Statement> ParseVacuum();
+
+  Result<std::vector<SetItem>> ParseSetList();
+
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+Result<Statement> Parser::ParseStmt() {
+  if (EatIdent("retrieve")) {
+    return ParseRetrieve();
+  }
+  if (EatIdent("append")) {
+    return ParseAppend();
+  }
+  if (EatIdent("replace")) {
+    return ParseReplace();
+  }
+  if (EatIdent("delete")) {
+    return ParseDelete();
+  }
+  if (EatIdent("create")) {
+    return ParseCreate();
+  }
+  if (EatIdent("define")) {
+    return ParseDefine();
+  }
+  if (EatIdent("vacuum")) {
+    return ParseVacuum();
+  }
+  return Status::InvalidArgument("unknown statement: '" + Peek().text + "'");
+}
+
+Result<Statement> Parser::ParseRetrieve() {
+  Statement s;
+  s.kind = StmtKind::kRetrieve;
+  INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+  for (;;) {
+    TargetItem item;
+    // Optional "alias =" prefix: an identifier followed by '=' that is not
+    // part of a larger expression. Disambiguate by lookahead: ident '=' is an
+    // alias only if what follows '=' parses as an expression — POSTQUEL's
+    // actual rule; we approximate with: ident '=' not-followed-by '=' .
+    if (Peek().kind == TokKind::kIdent && toks_[pos_ + 1].kind == TokKind::kSymbol &&
+        toks_[pos_ + 1].text == "=") {
+      item.alias = Take().text;
+      ++pos_;  // '='
+    }
+    INV_ASSIGN_OR_RETURN(item.expr, ParseOr());
+    if (item.alias.empty()) {
+      item.alias = item.expr->kind == ExprKind::kColumnRef
+                       ? item.expr->column
+                       : "col" + std::to_string(s.targets.size());
+    }
+    s.targets.push_back(std::move(item));
+    if (!EatSymbol(",")) {
+      break;
+    }
+  }
+  INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+  if (EatIdent("from")) {
+    for (;;) {
+      RangeDecl decl;
+      INV_ASSIGN_OR_RETURN(decl.var, ExpectIdent());
+      INV_RETURN_IF_ERROR(Expect(TokKind::kIdent, "in"));
+      INV_ASSIGN_OR_RETURN(decl.table, ExpectIdent());
+      if (EatSymbol("[")) {
+        // naming["123"] or naming[123]: timestamp in simulated microseconds.
+        if (Peek().kind == TokKind::kString) {
+          decl.as_of = static_cast<Timestamp>(std::stoull(Take().text));
+        } else if (Peek().kind == TokKind::kInt) {
+          decl.as_of = static_cast<Timestamp>(Take().int_val);
+        } else {
+          return Status::InvalidArgument("expected timestamp in time-travel bracket");
+        }
+        INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "]"));
+      }
+      s.from.push_back(std::move(decl));
+      if (!EatSymbol(",")) {
+        break;
+      }
+    }
+  }
+  if (EatIdent("where")) {
+    INV_ASSIGN_OR_RETURN(s.where, ParseOr());
+  }
+  INV_RETURN_IF_ERROR(Expect(TokKind::kEnd, ""));
+  return s;
+}
+
+Result<std::vector<SetItem>> Parser::ParseSetList() {
+  std::vector<SetItem> sets;
+  INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+  for (;;) {
+    SetItem item;
+    INV_ASSIGN_OR_RETURN(item.column, ExpectIdent());
+    INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "="));
+    INV_ASSIGN_OR_RETURN(item.expr, ParseOr());
+    sets.push_back(std::move(item));
+    if (!EatSymbol(",")) {
+      break;
+    }
+  }
+  INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+  return sets;
+}
+
+Result<Statement> Parser::ParseAppend() {
+  Statement s;
+  s.kind = StmtKind::kAppend;
+  INV_ASSIGN_OR_RETURN(s.table, ExpectIdent());
+  INV_ASSIGN_OR_RETURN(s.sets, ParseSetList());
+  INV_RETURN_IF_ERROR(Expect(TokKind::kEnd, ""));
+  return s;
+}
+
+Result<Statement> Parser::ParseReplace() {
+  Statement s;
+  s.kind = StmtKind::kReplace;
+  INV_ASSIGN_OR_RETURN(s.table, ExpectIdent());
+  INV_ASSIGN_OR_RETURN(s.sets, ParseSetList());
+  if (EatIdent("where")) {
+    INV_ASSIGN_OR_RETURN(s.where, ParseOr());
+  }
+  INV_RETURN_IF_ERROR(Expect(TokKind::kEnd, ""));
+  return s;
+}
+
+Result<Statement> Parser::ParseDelete() {
+  Statement s;
+  s.kind = StmtKind::kDelete;
+  INV_ASSIGN_OR_RETURN(s.table, ExpectIdent());
+  if (EatIdent("where")) {
+    INV_ASSIGN_OR_RETURN(s.where, ParseOr());
+  }
+  INV_RETURN_IF_ERROR(Expect(TokKind::kEnd, ""));
+  return s;
+}
+
+Result<Statement> Parser::ParseCreate() {
+  Statement s;
+  s.kind = StmtKind::kCreate;
+  INV_ASSIGN_OR_RETURN(s.table, ExpectIdent());
+  INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+  for (;;) {
+    INV_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+    INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "="));
+    INV_ASSIGN_OR_RETURN(std::string type, ExpectIdent());
+    s.columns.emplace_back(std::move(col), std::move(type));
+    if (!EatSymbol(",")) {
+      break;
+    }
+  }
+  INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+  INV_RETURN_IF_ERROR(Expect(TokKind::kEnd, ""));
+  return s;
+}
+
+Result<Statement> Parser::ParseDefine() {
+  Statement s;
+  if (EatIdent("type")) {
+    s.kind = StmtKind::kDefineType;
+    INV_ASSIGN_OR_RETURN(s.name, ExpectIdent());
+  } else if (EatIdent("function")) {
+    s.kind = StmtKind::kDefineFunction;
+    INV_ASSIGN_OR_RETURN(s.name, ExpectIdent());
+    INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+    if (Peek().kind != TokKind::kInt) {
+      return Status::InvalidArgument("define function: expected argument count");
+    }
+    s.nargs = static_cast<int>(Take().int_val);
+    INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+    INV_RETURN_IF_ERROR(Expect(TokKind::kIdent, "returns"));
+    INV_ASSIGN_OR_RETURN(s.rettype, ExpectIdent());
+    INV_RETURN_IF_ERROR(Expect(TokKind::kIdent, "as"));
+    INV_ASSIGN_OR_RETURN(s.lang, ExpectIdent());
+    if (Peek().kind != TokKind::kString) {
+      return Status::InvalidArgument("define function: expected source string");
+    }
+    s.src = Take().text;
+  } else if (EatIdent("index")) {
+    s.kind = StmtKind::kDefineIndex;
+    INV_RETURN_IF_ERROR(Expect(TokKind::kIdent, "on"));
+    INV_ASSIGN_OR_RETURN(s.table, ExpectIdent());
+    INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, "("));
+    INV_ASSIGN_OR_RETURN(s.index_column, ExpectIdent());
+    INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+  } else if (EatIdent("rule")) {
+    s.kind = StmtKind::kDefineRule;
+    INV_ASSIGN_OR_RETURN(s.name, ExpectIdent());
+    INV_RETURN_IF_ERROR(Expect(TokKind::kIdent, "on"));
+    INV_ASSIGN_OR_RETURN(s.table, ExpectIdent());
+    INV_RETURN_IF_ERROR(Expect(TokKind::kIdent, "where"));
+    INV_ASSIGN_OR_RETURN(s.where, ParseOr());
+    INV_RETURN_IF_ERROR(Expect(TokKind::kIdent, "do"));
+    INV_RETURN_IF_ERROR(Expect(TokKind::kIdent, "migrate"));
+    s.rule_action = "migrate";
+    if (Peek().kind != TokKind::kInt) {
+      return Status::InvalidArgument("define rule: expected device id after migrate");
+    }
+    s.rule_device = static_cast<int>(Take().int_val);
+  } else {
+    return Status::InvalidArgument("define: expected type/function/index/rule");
+  }
+  INV_RETURN_IF_ERROR(Expect(TokKind::kEnd, ""));
+  return s;
+}
+
+Result<Statement> Parser::ParseVacuum() {
+  Statement s;
+  s.kind = StmtKind::kVacuum;
+  INV_ASSIGN_OR_RETURN(s.table, ExpectIdent());
+  INV_RETURN_IF_ERROR(Expect(TokKind::kEnd, ""));
+  return s;
+}
+
+Result<ExprPtr> Parser::ParseOr() {
+  INV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (EatIdent("or")) {
+    INV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = Expr::Binary("or", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  INV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (EatIdent("and")) {
+    INV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = Expr::Binary("and", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (EatIdent("not")) {
+    INV_ASSIGN_OR_RETURN(ExprPtr x, ParseNot());
+    return Expr::Unary("not", std::move(x));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  INV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  static constexpr std::string_view kOps[] = {"=", "!=", "<=", ">=", "<", ">"};
+  for (std::string_view op : kOps) {
+    if (AtSymbol(op)) {
+      ++pos_;
+      INV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return Expr::Binary(std::string(op), std::move(lhs), std::move(rhs));
+    }
+  }
+  // "x in y": substring / membership test (paper: "RISC" in keywords(file)).
+  if (EatIdent("in")) {
+    INV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return Expr::Binary("in", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  INV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  for (;;) {
+    if (EatSymbol("+")) {
+      INV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary("+", std::move(lhs), std::move(rhs));
+    } else if (EatSymbol("-")) {
+      INV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary("-", std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  INV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  for (;;) {
+    if (EatSymbol("*")) {
+      INV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary("*", std::move(lhs), std::move(rhs));
+    } else if (EatSymbol("/")) {
+      INV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary("/", std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (EatSymbol("-")) {
+    INV_ASSIGN_OR_RETURN(ExprPtr x, ParseUnary());
+    return Expr::Unary("-", std::move(x));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokKind::kInt: {
+      const int64_t v = Take().int_val;
+      if (v >= INT32_MIN && v <= INT32_MAX) {
+        return Expr::Const(Value::Int4(static_cast<int32_t>(v)));
+      }
+      return Expr::Const(Value::Int8(v));
+    }
+    case TokKind::kFloat:
+      return Expr::Const(Value::Float8(Take().float_val));
+    case TokKind::kString:
+      return Expr::Const(Value::Text(Take().text));
+    case TokKind::kParam:
+      return Expr::Param(static_cast<int>(Take().int_val));
+    case TokKind::kSymbol:
+      if (t.text == "(") {
+        ++pos_;
+        INV_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+        INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+        return e;
+      }
+      break;
+    case TokKind::kIdent: {
+      std::string name = Take().text;
+      if (name == "true") {
+        return Expr::Const(Value::Bool(true));
+      }
+      if (name == "false") {
+        return Expr::Const(Value::Bool(false));
+      }
+      if (name == "null") {
+        return Expr::Const(Value::Null());
+      }
+      if (EatSymbol("(")) {
+        std::vector<ExprPtr> args;
+        if (!AtSymbol(")")) {
+          for (;;) {
+            INV_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+            args.push_back(std::move(arg));
+            if (!EatSymbol(",")) {
+              break;
+            }
+          }
+        }
+        INV_RETURN_IF_ERROR(Expect(TokKind::kSymbol, ")"));
+        return Expr::Call(std::move(name), std::move(args));
+      }
+      if (EatSymbol(".")) {
+        INV_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        return Expr::ColumnRef(std::move(name), std::move(col));
+      }
+      return Expr::ColumnRef("", std::move(name));
+    }
+    default:
+      break;
+  }
+  return Status::InvalidArgument("parse error at offset " + std::to_string(t.offset) +
+                                 ": unexpected '" + t.text + "'");
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view input) {
+  INV_ASSIGN_OR_RETURN(auto tokens, Lex(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseStmt();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view input) {
+  INV_ASSIGN_OR_RETURN(auto tokens, Lex(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseExprPublic();
+}
+
+}  // namespace invfs

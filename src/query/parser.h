@@ -1,0 +1,19 @@
+// Recursive-descent parser for the POSTQUEL subset (see ast.h for grammar).
+
+#pragma once
+
+#include <string_view>
+
+#include "src/query/ast.h"
+#include "src/util/status.h"
+
+namespace invfs {
+
+// Parse one statement.
+Result<Statement> ParseStatement(std::string_view input);
+
+// Parse a bare expression (used for POSTQUEL-language function bodies and
+// rule predicates).
+Result<ExprPtr> ParseExpression(std::string_view input);
+
+}  // namespace invfs

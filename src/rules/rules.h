@@ -1,0 +1,77 @@
+// Predicate rules engine: the paper's file-migration mechanism.
+//
+// "We are exploring strategies for using the POSTGRES predicate rules system
+// to allow users and administrators to define migration policies. Arbitrarily
+// complex rules controlling the locations of files or groups of files would
+// be declared to the database manager. When a file met the announced
+// conditions, it would be moved from one location in the storage hierarchy to
+// another."
+//
+// A rule is (name, target table, POSTQUEL predicate, action). The only
+// built-in action is `migrate <device>`; the Inversion layer registers the
+// callback that actually moves a file's chunk table between devices. Rules
+// are persisted in a `pg_rule` relation so they survive restarts.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/catalog/database.h"
+#include "src/query/ast.h"
+#include "src/query/function_registry.h"
+
+namespace invfs {
+
+struct Rule {
+  std::string name;
+  std::string table;        // relation the predicate ranges over
+  ExprPtr predicate;        // bound with range var == table name
+  std::string predicate_src;
+  std::string action;       // "migrate"
+  DeviceId target_device = kDeviceMagneticDisk;
+};
+
+class RuleEngine {
+ public:
+  RuleEngine(Database* db, FunctionRegistry* registry);
+
+  // Load persisted rules (call once after Database::Open).
+  Status Load();
+
+  // Define and persist a migration rule. `predicate_src` is a POSTQUEL
+  // expression over the columns of `table`.
+  Status DefineMigrationRule(TxnId txn, const std::string& name,
+                             const std::string& table,
+                             const std::string& predicate_src, DeviceId device);
+
+  // Executor hook for `define rule ... do migrate <device>` statements.
+  Status DefineFromStatement(const Statement& stmt, TxnId txn);
+
+  Status DropRule(TxnId txn, const std::string& name);
+
+  // Action callback: (txn, matched table, matched row, target device).
+  // Returns true if it acted, false if the row already satisfied the goal
+  // (keeps ApplyRules' fired count idempotent).
+  using ActionFn =
+      std::function<Result<bool>(TxnId, const TableInfo*, const Row&, DeviceId)>;
+  void SetMigrateAction(ActionFn fn) { migrate_ = std::move(fn); }
+
+  // Evaluate every rule against the current contents of its table and fire
+  // the action for each matching row. Returns the number of actions fired.
+  // (The paper's system would run this periodically, like vacuum.)
+  Result<int> ApplyRules(TxnId txn);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+
+ private:
+  Result<TableInfo*> RuleTable(TxnId txn);
+
+  Database* db_;
+  FunctionRegistry* registry_;
+  ActionFn migrate_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace invfs

@@ -1,0 +1,137 @@
+#include "src/txn/commit_log.h"
+
+#include <cstring>
+
+#include "src/util/bytes.h"
+
+namespace invfs {
+
+Result<std::unique_ptr<CommitLog>> CommitLog::Open(DeviceManager* device) {
+  auto log = std::unique_ptr<CommitLog>(new CommitLog(device));
+  if (!device->RelationExists(kCommitLogRelOid)) {
+    INV_RETURN_IF_ERROR(device->CreateRelation(kCommitLogRelOid));
+  }
+  INV_RETURN_IF_ERROR(log->LoadFromDevice());
+  // The bootstrap transaction is always committed at time zero.
+  if (log->entries_.size() <= kBootstrapTxn) {
+    log->entries_.resize(kBootstrapTxn + 1);
+  }
+  log->entries_[kBootstrapTxn] = Entry{TxnStatus::kCommitted, 0};
+  return log;
+}
+
+Status CommitLog::LoadFromDevice() {
+  INV_ASSIGN_OR_RETURN(uint32_t nblocks, device_->NumBlocks(kCommitLogRelOid));
+  std::vector<std::byte> buf(kPageSize);
+  for (uint32_t b = 0; b < nblocks; ++b) {
+    INV_RETURN_IF_ERROR(device_->ReadBlock(kCommitLogRelOid, b, buf));
+    for (uint32_t i = 0; i < kEntriesPerPage; ++i) {
+      const std::byte* p = buf.data() + i * kEntrySize;
+      Entry e;
+      e.status = static_cast<TxnStatus>(GetU32(p));
+      e.commit_ts = GetU64(p + 8);
+      const TxnId xid = b * kEntriesPerPage + i;
+      if (e.status != TxnStatus::kUnused) {
+        if (entries_.size() <= xid) {
+          entries_.resize(xid + 1);
+        }
+        // Crash recovery: an in-progress entry means the writer died before
+        // commit. It never happened.
+        if (e.status == TxnStatus::kInProgress) {
+          e.status = TxnStatus::kAborted;
+        }
+        entries_[xid] = e;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CommitLog::BeginTxn(TxnId xid) {
+  std::lock_guard lock(mu_);
+  if (entries_.size() <= xid) {
+    entries_.resize(xid + 1);
+  }
+  if (entries_[xid].status != TxnStatus::kUnused) {
+    return Status::Internal("xid " + std::to_string(xid) + " reused");
+  }
+  entries_[xid].status = TxnStatus::kInProgress;
+  // Persist the start record. This is what prevents xid reuse after a crash:
+  // recovery turns surviving in-progress entries into aborts and the next
+  // incarnation allocates past them.
+  return PersistEntry(xid);
+}
+
+Status CommitLog::PersistEntry(TxnId xid) {
+  // Read-modify-write the containing page directly on the device (the log is
+  // not routed through the buffer pool: its durability is the commit point).
+  const uint32_t block = xid / kEntriesPerPage;
+  INV_ASSIGN_OR_RETURN(uint32_t nblocks, device_->NumBlocks(kCommitLogRelOid));
+  std::vector<std::byte> buf(kPageSize, std::byte{0});
+  // Extend with zero pages up to `block`.
+  for (uint32_t b = nblocks; b <= block; ++b) {
+    INV_RETURN_IF_ERROR(device_->WriteBlock(kCommitLogRelOid, b, buf));
+  }
+  INV_RETURN_IF_ERROR(device_->ReadBlock(kCommitLogRelOid, block, buf));
+  const TxnId first = block * kEntriesPerPage;
+  for (uint32_t i = 0; i < kEntriesPerPage; ++i) {
+    const TxnId x = first + i;
+    std::byte* p = buf.data() + i * kEntrySize;
+    if (x < entries_.size()) {
+      PutU32(p, static_cast<uint32_t>(entries_[x].status));
+      PutU32(p + 4, 0);
+      PutU64(p + 8, entries_[x].commit_ts);
+    }
+  }
+  return device_->WriteBlock(kCommitLogRelOid, block, buf);
+}
+
+Status CommitLog::CommitTxn(TxnId xid, Timestamp commit_ts) {
+  std::lock_guard lock(mu_);
+  if (xid >= entries_.size() || entries_[xid].status != TxnStatus::kInProgress) {
+    return Status::Internal("commit of unknown xid " + std::to_string(xid));
+  }
+  entries_[xid] = Entry{TxnStatus::kCommitted, commit_ts};
+  return PersistEntry(xid);
+}
+
+Status CommitLog::AbortTxn(TxnId xid) {
+  std::lock_guard lock(mu_);
+  if (xid >= entries_.size() || entries_[xid].status != TxnStatus::kInProgress) {
+    return Status::Internal("abort of unknown xid " + std::to_string(xid));
+  }
+  entries_[xid].status = TxnStatus::kAborted;
+  return Status::Ok();
+}
+
+TxnStatus CommitLog::StatusOf(TxnId xid) const {
+  std::lock_guard lock(mu_);
+  if (xid >= entries_.size()) {
+    return TxnStatus::kUnused;
+  }
+  return entries_[xid].status;
+}
+
+Timestamp CommitLog::CommitTimeOf(TxnId xid) const {
+  std::lock_guard lock(mu_);
+  if (xid >= entries_.size() || entries_[xid].status != TxnStatus::kCommitted) {
+    return 0;
+  }
+  return entries_[xid].commit_ts;
+}
+
+bool CommitLog::CommittedBefore(TxnId xid, Timestamp as_of) const {
+  std::lock_guard lock(mu_);
+  if (xid >= entries_.size()) {
+    return false;
+  }
+  const Entry& e = entries_[xid];
+  return e.status == TxnStatus::kCommitted && e.commit_ts <= as_of;
+}
+
+TxnId CommitLog::MaxTxnId() const {
+  std::lock_guard lock(mu_);
+  return entries_.empty() ? 0 : static_cast<TxnId>(entries_.size() - 1);
+}
+
+}  // namespace invfs

@@ -1,0 +1,86 @@
+// CommitLog: POSTGRES' transaction status file (the TIME relation).
+//
+// The no-overwrite storage manager needs exactly two facts about any
+// transaction to decide tuple visibility: did it commit, and when. Both are
+// recorded here, persisted to a reserved relation on the default device. At
+// crash recovery there is *nothing to replay*: a transaction whose entry is
+// not "committed" simply never happened, and every tuple it wrote is dead on
+// arrival. This is the paper's "file system recovery is essentially
+// instantaneous".
+//
+// On-disk layout: raw pages (no slotting) of 16-byte entries indexed by xid:
+//   u32 status (0 unused / 1 in-progress / 2 committed / 3 aborted)
+//   u32 reserved
+//   u64 commit timestamp (valid when committed)
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/device/device.h"
+#include "src/storage/common.h"
+#include "src/util/status.h"
+
+namespace invfs {
+
+// Reserved relation oid for the commit log.
+inline constexpr Oid kCommitLogRelOid = 2;
+
+enum class TxnStatus : uint32_t {
+  kUnused = 0,
+  kInProgress = 1,
+  kCommitted = 2,
+  kAborted = 3,
+};
+
+class CommitLog {
+ public:
+  // Opens (or creates) the log on `device`. Existing entries are loaded; any
+  // in-progress entries found at open are from a crashed process and are
+  // marked aborted — that *is* the entire recovery procedure.
+  static Result<std::unique_ptr<CommitLog>> Open(DeviceManager* device);
+
+  // Register a new transaction id as in-progress and persist the start
+  // record, so a crash can never lead to xid reuse (recovery reads surviving
+  // in-progress entries as aborted and allocates past them).
+  Status BeginTxn(TxnId xid);
+
+  // Persist the commit decision (forces the containing log page to stable
+  // storage before returning).
+  Status CommitTxn(TxnId xid, Timestamp commit_ts);
+  // Aborts are recorded in memory; persistence is optional because an
+  // unpersisted abort reads as in-progress, which is equally invisible.
+  Status AbortTxn(TxnId xid);
+
+  TxnStatus StatusOf(TxnId xid) const;
+  // Commit timestamp; 0 unless committed.
+  Timestamp CommitTimeOf(TxnId xid) const;
+
+  // True iff `xid` committed at or before `as_of`.
+  bool CommittedBefore(TxnId xid, Timestamp as_of) const;
+
+  // Highest xid ever registered (for xid allocation after reopen).
+  TxnId MaxTxnId() const;
+
+ private:
+  explicit CommitLog(DeviceManager* device) : device_(device) {}
+
+  struct Entry {
+    TxnStatus status = TxnStatus::kUnused;
+    Timestamp commit_ts = 0;
+  };
+
+  static constexpr uint32_t kEntrySize = 16;
+  static constexpr uint32_t kEntriesPerPage = kPageSize / kEntrySize;
+
+  Status LoadFromDevice();
+  Status PersistEntry(TxnId xid);
+
+  DeviceManager* device_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // indexed by xid
+};
+
+}  // namespace invfs

@@ -1,0 +1,111 @@
+#include "src/txn/lock_manager.h"
+
+namespace invfs {
+
+bool LockManager::Compatible(const RelLock& state, TxnId txn, LockMode mode) {
+  for (const auto& [holder, held_mode] : state.holders) {
+    if (holder == txn) {
+      continue;  // self-compatibility (including upgrade)
+    }
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LockManager::WouldDeadlock(TxnId txn, Oid rel) const {
+  // DFS over the waits-for graph starting from the holders that block `txn`.
+  // Edge u -> v exists when u waits on a relation v holds.
+  std::set<TxnId> visited;
+  std::vector<TxnId> stack;
+  auto it = locks_.find(rel);
+  if (it == locks_.end()) {
+    return false;
+  }
+  for (const auto& [holder, mode] : it->second.holders) {
+    if (holder != txn) {
+      stack.push_back(holder);
+    }
+  }
+  while (!stack.empty()) {
+    TxnId u = stack.back();
+    stack.pop_back();
+    if (u == txn) {
+      return true;  // cycle back to the requester
+    }
+    if (!visited.insert(u).second) {
+      continue;
+    }
+    auto wit = waiting_on_.find(u);
+    if (wit == waiting_on_.end()) {
+      continue;
+    }
+    auto lit = locks_.find(wit->second);
+    if (lit == locks_.end()) {
+      continue;
+    }
+    for (const auto& [holder, mode] : lit->second.holders) {
+      if (holder != u) {
+        stack.push_back(holder);
+      }
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, Oid rel, LockMode mode) {
+  std::unique_lock lock(mu_);
+  RelLock& state = locks_[rel];
+  // Already hold a sufficient lock?
+  auto hit = state.holders.find(txn);
+  if (hit != state.holders.end() &&
+      (hit->second == LockMode::kExclusive || mode == LockMode::kShared)) {
+    return Status::Ok();
+  }
+  while (!Compatible(state, txn, mode)) {
+    if (WouldDeadlock(txn, rel)) {
+      return Status::Deadlock("txn " + std::to_string(txn) + " would deadlock on rel " +
+                              std::to_string(rel));
+    }
+    waiting_on_[txn] = rel;
+    cv_.wait(lock);
+    waiting_on_.erase(txn);
+  }
+  state.holders[txn] = mode;  // grants and upgrades
+  return Status::Ok();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard lock(mu_);
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    it->second.holders.erase(txn);
+    if (it->second.holders.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  waiting_on_.erase(txn);
+  cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, Oid rel, LockMode mode) const {
+  std::lock_guard lock(mu_);
+  auto it = locks_.find(rel);
+  if (it == locks_.end()) {
+    return false;
+  }
+  auto hit = it->second.holders.find(txn);
+  if (hit == it->second.holders.end()) {
+    return false;
+  }
+  return mode == LockMode::kShared || hit->second == LockMode::kExclusive;
+}
+
+size_t LockManager::NumLockedRelations() const {
+  std::lock_guard lock(mu_);
+  return locks_.size();
+}
+
+}  // namespace invfs

@@ -1,0 +1,51 @@
+// Snapshot: a transaction-consistent view of the database, current or
+// historical. This is the mechanism behind Inversion's fine-grained time
+// travel: "users can 'change time' to any instant in history, and see the
+// database exactly as they would have seen it then."
+
+#pragma once
+
+#include "src/storage/common.h"
+#include "src/storage/tuple.h"
+#include "src/txn/commit_log.h"
+
+namespace invfs {
+
+struct Snapshot {
+  // Point in time this snapshot observes. kTimestampNow means "latest
+  // committed state plus my own uncommitted changes".
+  Timestamp as_of = kTimestampNow;
+  // The observing transaction; kInvalidTxn for pure historical reads.
+  TxnId self = kInvalidTxn;
+  const CommitLog* log = nullptr;
+
+  bool is_historical() const { return as_of != kTimestampNow; }
+
+  // POSTGRES visibility: a tuple version is visible iff its inserter is
+  // in-view (committed before as_of, or is the observer itself) and its
+  // deleter is not.
+  bool IsVisible(const TupleMeta& meta) const {
+    const bool inserted =
+        (self != kInvalidTxn && meta.xmin == self && !is_historical()) ||
+        log->CommittedBefore(meta.xmin, as_of);
+    if (!inserted) {
+      return false;
+    }
+    if (meta.xmax == kInvalidTxn) {
+      return true;
+    }
+    const bool deleted =
+        (self != kInvalidTxn && meta.xmax == self && !is_historical()) ||
+        log->CommittedBefore(meta.xmax, as_of);
+    return !deleted;
+  }
+
+  // True when the tuple version is dead to *every* present and future
+  // current-time snapshot (deleter committed): vacuum's archiving criterion.
+  bool IsDeadForever(const TupleMeta& meta) const {
+    return meta.xmax != kInvalidTxn &&
+           log->StatusOf(meta.xmax) == TxnStatus::kCommitted;
+  }
+};
+
+}  // namespace invfs

@@ -1,0 +1,80 @@
+#include "src/txn/txn_manager.h"
+
+namespace invfs {
+
+TxnManager::TxnManager(CommitLog* log, BufferPool* buffers, LockManager* locks,
+                       SimClock* clock)
+    : log_(log), buffers_(buffers), locks_(locks), clock_(clock) {
+  next_xid_ = log_->MaxTxnId() + 1;
+  if (next_xid_ <= kBootstrapTxn) {
+    next_xid_ = kBootstrapTxn + 1;
+  }
+}
+
+Result<TxnId> TxnManager::Begin() {
+  std::lock_guard lock(mu_);
+  const TxnId xid = next_xid_++;
+  INV_RETURN_IF_ERROR(log_->BeginTxn(xid));
+  active_[xid] = {};
+  return xid;
+}
+
+Status TxnManager::Commit(TxnId txn) {
+  std::set<Oid> touched;
+  {
+    std::lock_guard lock(mu_);
+    auto it = active_.find(txn);
+    if (it == active_.end()) {
+      return Status::TxnAborted("commit of inactive txn " + std::to_string(txn));
+    }
+    touched = it->second;
+    active_.erase(it);
+  }
+  // Force policy: all data this transaction changed must be durable before
+  // the commit record.
+  for (Oid rel : touched) {
+    INV_RETURN_IF_ERROR(buffers_->FlushRelation(rel));
+  }
+  INV_RETURN_IF_ERROR(log_->CommitTxn(txn, clock_->Now()));
+  locks_->ReleaseAll(txn);
+  return Status::Ok();
+}
+
+Status TxnManager::Abort(TxnId txn) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = active_.find(txn);
+    if (it == active_.end()) {
+      return Status::TxnAborted("abort of inactive txn " + std::to_string(txn));
+    }
+    active_.erase(it);
+  }
+  // Nothing to undo: tuples stamped with this xid are invisible to every
+  // snapshot because the xid never commits. (Space is reclaimed by vacuum.)
+  INV_RETURN_IF_ERROR(log_->AbortTxn(txn));
+  locks_->ReleaseAll(txn);
+  return Status::Ok();
+}
+
+bool TxnManager::IsActive(TxnId txn) const {
+  std::lock_guard lock(mu_);
+  return active_.contains(txn);
+}
+
+void TxnManager::NoteTouched(TxnId txn, Oid rel) {
+  std::lock_guard lock(mu_);
+  auto it = active_.find(txn);
+  if (it != active_.end()) {
+    it->second.insert(rel);
+  }
+}
+
+Snapshot TxnManager::SnapshotFor(TxnId txn) const {
+  return Snapshot{kTimestampNow, txn, log_};
+}
+
+Snapshot TxnManager::SnapshotAt(Timestamp t) const {
+  return Snapshot{t, kInvalidTxn, log_};
+}
+
+}  // namespace invfs

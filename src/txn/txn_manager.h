@@ -1,0 +1,65 @@
+// TxnManager: transaction lifecycle over the commit log, buffer pool force
+// policy, and lock manager.
+//
+// Commit sequence (POSTGRES, no WAL):
+//   1. force every dirty page of every relation the transaction touched to
+//      its device (the no-overwrite manager's only durability requirement);
+//   2. persist the commit-log entry with the commit timestamp.
+// The commit-log write is the commit point: a crash before it leaves every
+// tuple stamped with this xid invisible forever; a crash after it finds all
+// the data already on stable storage.
+//
+// Neither POSTGRES 4.0.1 nor Inversion supports nested transactions, so one
+// client has at most one transaction open at a time; the Inversion layer
+// enforces that per-session rule.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/sim/sim_clock.h"
+#include "src/txn/commit_log.h"
+#include "src/txn/lock_manager.h"
+#include "src/txn/snapshot.h"
+#include "src/util/status.h"
+
+namespace invfs {
+
+class TxnManager {
+ public:
+  TxnManager(CommitLog* log, BufferPool* buffers, LockManager* locks, SimClock* clock);
+
+  Result<TxnId> Begin();
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+  bool IsActive(TxnId txn) const;
+
+  // Record that `txn` dirtied `rel`, so commit knows what to force.
+  void NoteTouched(TxnId txn, Oid rel);
+
+  // Current-state snapshot as seen by `txn` (includes its own writes).
+  Snapshot SnapshotFor(TxnId txn) const;
+  // Historical snapshot: the transaction-consistent state at time `t`.
+  Snapshot SnapshotAt(Timestamp t) const;
+
+  Timestamp Now() { return clock_->Now(); }
+
+  LockManager& locks() { return *locks_; }
+  CommitLog& log() { return *log_; }
+
+ private:
+  CommitLog* log_;
+  BufferPool* buffers_;
+  LockManager* locks_;
+  SimClock* clock_;
+
+  mutable std::mutex mu_;
+  TxnId next_xid_;
+  std::map<TxnId, std::set<Oid>> active_;  // txn -> touched relations
+};
+
+}  // namespace invfs

@@ -1,0 +1,34 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace invfs {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78;  // reflected CRC-32C
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(std::span<const std::byte> data, uint32_t seed) {
+  uint32_t crc = ~seed;
+  for (std::byte b : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<uint8_t>(b)) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace invfs

@@ -1,0 +1,21 @@
+// CRC-32 (Castagnoli polynomial) used for page self-identification checks.
+//
+// The paper reserves space in file-data records for self-identifying blocks
+// to detect media corruption; we implement that check with this CRC.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace invfs {
+
+// CRC of `data`, optionally chained from a previous crc.
+uint32_t Crc32c(std::span<const std::byte> data, uint32_t seed = 0);
+
+inline uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0) {
+  return Crc32c(std::span(static_cast<const std::byte*>(data), len), seed);
+}
+
+}  // namespace invfs

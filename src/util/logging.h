@@ -1,0 +1,26 @@
+// Minimal leveled logging. Off by default above WARN so benchmark output
+// stays clean; tests can raise verbosity via SetLogLevel.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace invfs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+}  // namespace invfs
+
+#define INV_LOG(level, msg)                                                   \
+  do {                                                                        \
+    if (static_cast<int>(::invfs::LogLevel::level) >=                         \
+        static_cast<int>(::invfs::GetLogLevel())) {                           \
+      ::invfs::LogMessage(::invfs::LogLevel::level, __FILE__, __LINE__, msg); \
+    }                                                                         \
+  } while (0)

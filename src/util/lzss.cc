@@ -1,0 +1,153 @@
+#include "src/util/lzss.h"
+
+#include <array>
+#include <cstring>
+
+namespace invfs {
+namespace {
+
+constexpr size_t kWindow = 4096;    // 12-bit distance
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 18;    // kMinMatch + 15
+constexpr size_t kHashSize = 1 << 13;
+
+// Hash of 3 bytes for the match-finder chain heads.
+inline uint32_t Hash3(const std::byte* p) {
+  uint32_t v = static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+               (static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8) |
+               (static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16);
+  return (v * 2654435761u) >> (32 - 13);
+}
+
+}  // namespace
+
+std::vector<std::byte> LzssCompress(std::span<const std::byte> input) {
+  std::vector<std::byte> out;
+  out.reserve(input.size() + input.size() / 8 + 1);
+
+  // head[h] = most recent position with hash h; prev[i % kWindow] = previous
+  // position in the same chain. -1 terminates.
+  std::array<int32_t, kHashSize> head;
+  head.fill(-1);
+  std::vector<int32_t> prev(kWindow, -1);
+
+  const std::byte* data = input.data();
+  const size_t n = input.size();
+
+  size_t flag_pos = 0;  // index of current flag byte in `out`
+  int flag_bit = 8;     // 8 == flag byte exhausted / not yet allocated
+  uint8_t flag = 0;
+
+  auto emit_flag_bit = [&](bool literal) {
+    if (flag_bit == 8) {
+      flag_pos = out.size();
+      out.push_back(std::byte{0});
+      flag = 0;
+      flag_bit = 0;
+    }
+    if (literal) {
+      flag |= static_cast<uint8_t>(1u << flag_bit);
+    }
+    ++flag_bit;
+    out[flag_pos] = std::byte{flag};
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (i + kMinMatch <= n) {
+      uint32_t h = Hash3(data + i);
+      int32_t cand = head[h];
+      int probes = 32;
+      while (cand >= 0 && i - static_cast<size_t>(cand) <= kWindow && probes-- > 0) {
+        const size_t dist = i - static_cast<size_t>(cand);
+        if (dist > 0) {
+          size_t len = 0;
+          const size_t max_len = (n - i < kMaxMatch) ? (n - i) : kMaxMatch;
+          while (len < max_len && data[cand + len] == data[i + len]) {
+            ++len;
+          }
+          if (len > best_len) {
+            best_len = len;
+            best_dist = dist;
+            if (len == kMaxMatch) {
+              break;
+            }
+          }
+        }
+        cand = prev[static_cast<size_t>(cand) % kWindow];
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      emit_flag_bit(false);
+      const uint16_t token = static_cast<uint16_t>(((best_dist - 1) << 4) |
+                                                   (best_len - kMinMatch));
+      out.push_back(std::byte{static_cast<uint8_t>(token & 0xFF)});
+      out.push_back(std::byte{static_cast<uint8_t>(token >> 8)});
+      // Insert every covered position into the chains so later matches can
+      // reference the interior of this match.
+      const size_t end = i + best_len;
+      while (i < end) {
+        if (i + kMinMatch <= n) {
+          uint32_t h = Hash3(data + i);
+          prev[i % kWindow] = head[h];
+          head[h] = static_cast<int32_t>(i);
+        }
+        ++i;
+      }
+    } else {
+      emit_flag_bit(true);
+      out.push_back(data[i]);
+      if (i + kMinMatch <= n) {
+        uint32_t h = Hash3(data + i);
+        prev[i % kWindow] = head[h];
+        head[h] = static_cast<int32_t>(i);
+      }
+      ++i;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::byte>> LzssDecompress(std::span<const std::byte> input,
+                                              size_t expected_size) {
+  std::vector<std::byte> out;
+  out.reserve(expected_size);
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n && out.size() < expected_size) {
+    uint8_t flag = static_cast<uint8_t>(input[i++]);
+    for (int bit = 0; bit < 8 && out.size() < expected_size; ++bit) {
+      if (flag & (1u << bit)) {
+        if (i >= n) {
+          return Status::Corruption("lzss: truncated literal");
+        }
+        out.push_back(input[i++]);
+      } else {
+        if (i + 1 >= n) {
+          return Status::Corruption("lzss: truncated match token");
+        }
+        const uint16_t token =
+            static_cast<uint16_t>(static_cast<uint8_t>(input[i])) |
+            (static_cast<uint16_t>(static_cast<uint8_t>(input[i + 1])) << 8);
+        i += 2;
+        const size_t dist = (token >> 4) + 1;
+        const size_t len = (token & 0xF) + kMinMatch;
+        if (dist > out.size()) {
+          return Status::Corruption("lzss: match distance before stream start");
+        }
+        for (size_t k = 0; k < len; ++k) {
+          out.push_back(out[out.size() - dist]);
+        }
+      }
+    }
+  }
+  if (out.size() != expected_size) {
+    return Status::Corruption("lzss: decompressed size mismatch");
+  }
+  return out;
+}
+
+}  // namespace invfs

@@ -1,0 +1,34 @@
+// LZSS compression codec for Inversion's compressed-chunk support.
+//
+// The paper ("Services Under Investigation") stores user files as compressed
+// chunks, with per-chunk compressed/uncompressed sizes recorded so that random
+// access only decompresses the chunk containing the requested bytes. This
+// codec compresses each ~8 KB chunk independently; there is no cross-chunk
+// state, which is what makes random access cheap.
+//
+// Format: a stream of flag bytes, each describing the next 8 items.
+// Flag bit set   -> literal byte follows.
+// Flag bit clear -> 2-byte little-endian token: 12-bit backward distance
+//                   (1..4096) and 4-bit length (3..18).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace invfs {
+
+// Compresses `input`. Output is self-delimiting given its exact size.
+// Worst case output is input.size() * 9/8 + 1 bytes.
+std::vector<std::byte> LzssCompress(std::span<const std::byte> input);
+
+// Decompresses `input` produced by LzssCompress. `expected_size` is the
+// uncompressed size recorded alongside the chunk; decoding validates it.
+Result<std::vector<std::byte>> LzssDecompress(std::span<const std::byte> input,
+                                              size_t expected_size);
+
+}  // namespace invfs

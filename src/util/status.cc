@@ -1,0 +1,47 @@
+#include "src/util/status.h"
+
+namespace invfs {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "Ok";
+    case ErrorCode::kNotFound:
+      return "NotFound";
+    case ErrorCode::kAlreadyExists:
+      return "AlreadyExists";
+    case ErrorCode::kInvalidArgument:
+      return "InvalidArgument";
+    case ErrorCode::kIoError:
+      return "IoError";
+    case ErrorCode::kCorruption:
+      return "Corruption";
+    case ErrorCode::kDeadlock:
+      return "Deadlock";
+    case ErrorCode::kTxnAborted:
+      return "TxnAborted";
+    case ErrorCode::kReadOnly:
+      return "ReadOnly";
+    case ErrorCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case ErrorCode::kPermissionDenied:
+      return "PermissionDenied";
+    case ErrorCode::kUnimplemented:
+      return "Unimplemented";
+    case ErrorCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "Ok";
+  }
+  std::string s(ErrorCodeName(code_));
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+}  // namespace invfs

@@ -1,0 +1,162 @@
+// Status and Result<T>: error handling for the Inversion storage engine.
+//
+// The engine does not throw on anticipated failures (I/O errors, constraint
+// violations, lock timeouts); every fallible call returns a Status or a
+// Result<T>. Unanticipated programming errors abort via INV_CHECK.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace invfs {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kNotFound,        // named object does not exist
+  kAlreadyExists,   // create of an existing object
+  kInvalidArgument, // caller error: bad name, bad offset, bad mode
+  kIoError,         // device-level failure
+  kCorruption,      // on-disk structure failed validation
+  kDeadlock,        // lock manager chose this transaction as victim
+  kTxnAborted,      // operation attempted on an aborted transaction
+  kReadOnly,        // write attempted on a historical (time-travel) open
+  kResourceExhausted, // out of buffers, fds, or device space
+  kPermissionDenied,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name for an ErrorCode, e.g. "NotFound".
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A cheap, copyable success-or-error value. OK status carries no allocation.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) { return {ErrorCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) {
+    return {ErrorCode::kAlreadyExists, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m) {
+    return {ErrorCode::kInvalidArgument, std::move(m)};
+  }
+  static Status IoError(std::string m) { return {ErrorCode::kIoError, std::move(m)}; }
+  static Status Corruption(std::string m) { return {ErrorCode::kCorruption, std::move(m)}; }
+  static Status Deadlock(std::string m) { return {ErrorCode::kDeadlock, std::move(m)}; }
+  static Status TxnAborted(std::string m) { return {ErrorCode::kTxnAborted, std::move(m)}; }
+  static Status ReadOnly(std::string m) { return {ErrorCode::kReadOnly, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) {
+    return {ErrorCode::kResourceExhausted, std::move(m)};
+  }
+  static Status PermissionDenied(std::string m) {
+    return {ErrorCode::kPermissionDenied, std::move(m)};
+  }
+  static Status Unimplemented(std::string m) {
+    return {ErrorCode::kUnimplemented, std::move(m)};
+  }
+  static Status Internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == ErrorCode::kNotFound; }
+  bool IsDeadlock() const { return code_ == ErrorCode::kDeadlock; }
+
+  // "Ok" or "NotFound: no such file".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT
+  Result(ErrorCode code, std::string message)
+      : v_(Status(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(v_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(v_);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "FATAL: Result::value() on error: %s\n",
+                   std::get<Status>(v_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> v_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define INV_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::invfs::Status inv_st_ = (expr);          \
+    if (!inv_st_.ok()) {                       \
+      return inv_st_;                          \
+    }                                          \
+  } while (0)
+
+#define INV_CONCAT_INNER(a, b) a##b
+#define INV_CONCAT(a, b) INV_CONCAT_INNER(a, b)
+
+// ASSIGN_OR_RETURN: lhs may be a declaration ("auto x") or an existing lvalue.
+#define INV_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto INV_CONCAT(inv_res_, __LINE__) = (rexpr);               \
+  if (!INV_CONCAT(inv_res_, __LINE__).ok()) {                  \
+    return INV_CONCAT(inv_res_, __LINE__).status();            \
+  }                                                            \
+  lhs = std::move(INV_CONCAT(inv_res_, __LINE__)).value()
+
+// Invariant check: aborts on violation. Used for programming errors only,
+// never for anticipated runtime failures.
+#define INV_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "INV_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+}  // namespace invfs

@@ -1,0 +1,52 @@
+// The vacuum cleaner: POSTGRES' record archiver.
+//
+// "Periodically, obsolete records must be garbage-collected from the
+// database, and either moved elsewhere or physically deleted. ... POSTGRES
+// includes a special-purpose process, called the vacuum cleaner, that
+// archives records. Obsolete records are physically removed from the table in
+// which they originally appeared, and are moved to an archive."
+//
+// A record version is obsolete once its deleter has committed: no present or
+// future current-time snapshot can see it. With archiving enabled the version
+// moves (with its original xmin/xmax!) to the table's archive relation
+// ("a,<name>"), so historical snapshots keep working; with archiving disabled
+// ("POSTGRES can be instructed not to save old versions") the history is
+// discarded. Versions written by aborted transactions are always discarded.
+//
+// After expunging, pages are compacted and every index is rebuilt.
+
+#pragma once
+
+#include "src/catalog/database.h"
+
+namespace invfs {
+
+struct VacuumStats {
+  uint64_t scanned = 0;
+  uint64_t archived = 0;   // dead versions moved to the archive
+  uint64_t discarded = 0;  // aborted-insert versions physically dropped
+  uint64_t live = 0;
+};
+
+class VacuumCleaner {
+ public:
+  explicit VacuumCleaner(Database* db) : db_(db) {}
+
+  // Vacuum one table inside the caller's transaction (takes an X lock).
+  // `keep_history` false discards obsolete versions instead of archiving.
+  Result<VacuumStats> VacuumTable(TxnId txn, TableInfo* table,
+                                  bool keep_history = true);
+
+  // Vacuum every user heap (not catalogs, not archives, not indices).
+  Result<VacuumStats> VacuumAll(TxnId txn, bool keep_history = true);
+
+  // Rebuild `index` from the current physical contents of `table` (every
+  // surviving version, visible or not — the index covers history still in
+  // the heap).
+  Status RebuildIndex(TableInfo* table, IndexInfo* index);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace invfs

@@ -1,0 +1,225 @@
+// Unit tests: the shared LRU buffer pool.
+
+#include <gtest/gtest.h>
+
+#include "src/buffer/buffer_pool.h"
+
+namespace invfs {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() {
+    sw_.Register(kDeviceMagneticDisk,
+                 std::make_unique<MagneticDiskDevice>(&store_, &clock_, DiskParams{}));
+  }
+
+  void CreateRel(Oid rel) {
+    ASSERT_TRUE(sw_.Get(kDeviceMagneticDisk)->CreateRelation(rel).ok());
+    sw_.BindRelation(rel, kDeviceMagneticDisk);
+  }
+
+  SimClock clock_;
+  MemBlockStore store_;
+  DeviceSwitch sw_;
+};
+
+TEST_F(BufferPoolTest, ExtendPinWriteRead) {
+  CreateRel(1);
+  BufferPool pool(&sw_, 8, &clock_);
+  uint32_t block = 0;
+  {
+    auto ref = pool.Extend(1, &block);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(block, 0u);
+    ref->data()[100] = std::byte{0x42};
+    ref->MarkDirty();
+  }
+  EXPECT_EQ(*pool.NumBlocks(1), 1u);
+  {
+    auto ref = pool.Pin(1, 0);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(ref->data()[100], std::byte{0x42});
+  }
+  EXPECT_GE(pool.hits(), 1u);
+}
+
+TEST_F(BufferPoolTest, DirtyPageSurvivesEviction) {
+  CreateRel(1);
+  BufferPool pool(&sw_, 2, &clock_);  // tiny pool forces eviction
+  for (int i = 0; i < 6; ++i) {
+    uint32_t block = 0;
+    auto ref = pool.Extend(1, &block);
+    ASSERT_TRUE(ref.ok());
+    ref->data()[0] = std::byte{static_cast<uint8_t>(i + 1)};
+    ref->MarkDirty();
+  }
+  for (uint32_t b = 0; b < 6; ++b) {
+    auto ref = pool.Pin(1, b);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(ref->data()[0], std::byte{static_cast<uint8_t>(b + 1)}) << b;
+  }
+}
+
+TEST_F(BufferPoolTest, PinnedPagesCannotBeEvicted) {
+  CreateRel(1);
+  BufferPool pool(&sw_, 2, &clock_);
+  uint32_t b0 = 0, b1 = 0;
+  auto r0 = pool.Extend(1, &b0);
+  auto r1 = pool.Extend(1, &b1);
+  ASSERT_TRUE(r0.ok() && r1.ok());
+  // Both frames pinned: a third allocation must fail, not evict.
+  uint32_t b2 = 0;
+  auto r2 = pool.Extend(1, &b2);
+  EXPECT_EQ(r2.status().code(), ErrorCode::kResourceExhausted);
+  r0->Release();
+  auto r3 = pool.Extend(1, &b2);
+  EXPECT_TRUE(r3.ok());
+}
+
+TEST_F(BufferPoolTest, FlushRelationWritesDirtyPagesInOrder) {
+  CreateRel(1);
+  BufferPool pool(&sw_, 16, &clock_);
+  for (int i = 0; i < 5; ++i) {
+    uint32_t block = 0;
+    auto ref = pool.Extend(1, &block);
+    ASSERT_TRUE(ref.ok());
+    ref->MarkDirty();
+  }
+  EXPECT_EQ(*store_.NumBlocks(1), 0u) << "nothing on device before flush";
+  ASSERT_TRUE(pool.FlushRelation(1).ok());
+  EXPECT_EQ(*store_.NumBlocks(1), 5u);
+}
+
+TEST_F(BufferPoolTest, OutOfOrderEvictionPreservesDeviceContiguity) {
+  // Extended blocks may be evicted out of order; the pool must write lower
+  // pending blocks first so the device never sees a hole.
+  CreateRel(1);
+  BufferPool pool(&sw_, 4, &clock_);
+  uint32_t blocks[3];
+  auto r0 = pool.Extend(1, &blocks[0]);
+  auto r1 = pool.Extend(1, &blocks[1]);
+  auto r2 = pool.Extend(1, &blocks[2]);
+  ASSERT_TRUE(r0.ok() && r1.ok() && r2.ok());
+  r2->MarkDirty();
+  r0->MarkDirty();
+  r1->MarkDirty();
+  // Touch 0 and 1 so block 2's frame is the LRU victim.
+  r0->Release();
+  r1->Release();
+  r2->Release();
+  {
+    auto again = pool.Pin(1, 0);
+    ASSERT_TRUE(again.ok());
+  }
+  {
+    auto again = pool.Pin(1, 1);
+    ASSERT_TRUE(again.ok());
+  }
+  // Force an eviction: fill the pool with another relation.
+  CreateRel(2);
+  for (int i = 0; i < 4; ++i) {
+    uint32_t nb = 0;
+    auto ref = pool.Extend(2, &nb);
+    ASSERT_TRUE(ref.ok());
+    ref->MarkDirty();
+  }
+  // Whatever the order, the store must now hold blocks without holes.
+  auto n = store_.NumBlocks(1);
+  ASSERT_TRUE(n.ok());
+  std::vector<std::byte> out(kPageSize);
+  for (uint32_t b = 0; b < *n; ++b) {
+    EXPECT_TRUE(store_.Read(1, b, out).ok()) << "hole at block " << b;
+  }
+}
+
+TEST_F(BufferPoolTest, NumBlocksIncludesPendingExtensions) {
+  CreateRel(1);
+  BufferPool pool(&sw_, 8, &clock_);
+  uint32_t block = 0;
+  auto ref = pool.Extend(1, &block);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(*pool.NumBlocks(1), 1u);
+  EXPECT_EQ(*store_.NumBlocks(1), 0u);  // not on the device yet
+}
+
+TEST_F(BufferPoolTest, FlushAndInvalidateDropsCleanState) {
+  CreateRel(1);
+  BufferPool pool(&sw_, 8, &clock_);
+  {
+    uint32_t block = 0;
+    auto ref = pool.Extend(1, &block);
+    ASSERT_TRUE(ref.ok());
+    ref->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAndInvalidate().ok());
+  const uint64_t misses_before = pool.misses();
+  {
+    auto ref = pool.Pin(1, 0);
+    ASSERT_TRUE(ref.ok());
+  }
+  EXPECT_EQ(pool.misses(), misses_before + 1) << "pin after invalidate must re-read";
+}
+
+TEST_F(BufferPoolTest, DiscardAllLosesDirtyData) {
+  // Crash semantics: unflushed data vanishes.
+  CreateRel(1);
+  BufferPool pool(&sw_, 8, &clock_);
+  {
+    uint32_t block = 0;
+    auto ref = pool.Extend(1, &block);
+    ASSERT_TRUE(ref.ok());
+    ref->MarkDirty();
+  }
+  pool.DiscardAll();
+  EXPECT_EQ(*store_.NumBlocks(1), 0u);
+  EXPECT_EQ(*pool.NumBlocks(1), 0u);
+}
+
+TEST_F(BufferPoolTest, DiscardRelationOnlyAffectsThatRelation) {
+  CreateRel(1);
+  CreateRel(2);
+  BufferPool pool(&sw_, 8, &clock_);
+  uint32_t b = 0;
+  {
+    auto r1 = pool.Extend(1, &b);
+    ASSERT_TRUE(r1.ok());
+    r1->data()[0] = std::byte{0xAA};
+    r1->MarkDirty();
+  }
+  {
+    auto r2 = pool.Extend(2, &b);
+    ASSERT_TRUE(r2.ok());
+    r2->MarkDirty();
+  }
+  pool.DiscardRelation(2);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(*store_.NumBlocks(1), 1u);
+  EXPECT_EQ(*store_.NumBlocks(2), 0u);
+}
+
+TEST_F(BufferPoolTest, LruEvictsColdestFrame) {
+  CreateRel(1);
+  BufferPool pool(&sw_, 3, &clock_);
+  for (int i = 0; i < 3; ++i) {
+    uint32_t block = 0;
+    auto ref = pool.Extend(1, &block);
+    ASSERT_TRUE(ref.ok());
+    ref->MarkDirty();
+  }
+  // Touch blocks 1 and 2; block 0 becomes LRU.
+  (void)*pool.Pin(1, 1);
+  (void)*pool.Pin(1, 2);
+  const uint64_t misses_before = pool.misses();
+  CreateRel(3);
+  uint32_t nb = 0;
+  ASSERT_TRUE(pool.Extend(3, &nb).ok());  // evicts block 0
+  (void)*pool.Pin(1, 1);                  // still cached
+  (void)*pool.Pin(1, 2);                  // still cached
+  EXPECT_EQ(pool.misses(), misses_before);
+  (void)*pool.Pin(1, 0);  // must re-read
+  EXPECT_EQ(pool.misses(), misses_before + 1);
+}
+
+}  // namespace
+}  // namespace invfs

@@ -1,0 +1,314 @@
+// Unit tests: block stores, device managers, the device switch, and the
+// simulated cost models behind them.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/device/block_store.h"
+#include "src/device/device.h"
+#include "src/sim/disk_model.h"
+
+namespace invfs {
+namespace {
+
+std::vector<std::byte> PageOf(uint8_t fill) {
+  return std::vector<std::byte>(kPageSize, std::byte{fill});
+}
+
+// ----------------------------------------------------------- MemBlockStore
+
+TEST(MemBlockStore, CreateWriteReadDrop) {
+  MemBlockStore store;
+  ASSERT_TRUE(store.Create(5).ok());
+  EXPECT_TRUE(store.Exists(5));
+  EXPECT_EQ(*store.NumBlocks(5), 0u);
+  ASSERT_TRUE(store.Write(5, 0, PageOf(0xAB)).ok());
+  EXPECT_EQ(*store.NumBlocks(5), 1u);
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(store.Read(5, 0, out).ok());
+  EXPECT_EQ(out[100], std::byte{0xAB});
+  ASSERT_TRUE(store.Drop(5).ok());
+  EXPECT_FALSE(store.Exists(5));
+}
+
+TEST(MemBlockStore, RejectsDoubleCreateAndMissing) {
+  MemBlockStore store;
+  ASSERT_TRUE(store.Create(1).ok());
+  EXPECT_EQ(store.Create(1).code(), ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(store.Drop(2).IsNotFound());
+  std::vector<std::byte> out(kPageSize);
+  EXPECT_TRUE(store.Read(2, 0, out).IsNotFound());
+}
+
+TEST(MemBlockStore, RejectsHolesAndShortWrites) {
+  MemBlockStore store;
+  ASSERT_TRUE(store.Create(1).ok());
+  EXPECT_FALSE(store.Write(1, 5, PageOf(1)).ok());  // hole
+  std::vector<std::byte> small(10);
+  EXPECT_FALSE(store.Write(1, 0, small).ok());
+}
+
+TEST(MemBlockStore, OverwriteInPlace) {
+  MemBlockStore store;
+  ASSERT_TRUE(store.Create(1).ok());
+  ASSERT_TRUE(store.Write(1, 0, PageOf(0x11)).ok());
+  ASSERT_TRUE(store.Write(1, 0, PageOf(0x22)).ok());
+  EXPECT_EQ(*store.NumBlocks(1), 1u);
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(store.Read(1, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte{0x22});
+}
+
+TEST(MemBlockStore, ListRelations) {
+  MemBlockStore store;
+  ASSERT_TRUE(store.Create(3).ok());
+  ASSERT_TRUE(store.Create(9).ok());
+  auto rels = store.ListRelations();
+  EXPECT_EQ(rels.size(), 2u);
+}
+
+// ---------------------------------------------------------- FileBlockStore
+
+TEST(FileBlockStore, PersistsAcrossReopen) {
+  char tmpl[] = "/tmp/invfs_test_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  {
+    auto store = FileBlockStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Create(7).ok());
+    ASSERT_TRUE((*store)->Write(7, 0, PageOf(0x7A)).ok());
+    ASSERT_TRUE((*store)->Write(7, 1, PageOf(0x7B)).ok());
+  }
+  {
+    auto store = FileBlockStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    EXPECT_TRUE((*store)->Exists(7));
+    EXPECT_EQ(*(*store)->NumBlocks(7), 2u);
+    std::vector<std::byte> out(kPageSize);
+    ASSERT_TRUE((*store)->Read(7, 1, out).ok());
+    EXPECT_EQ(out[0], std::byte{0x7B});
+    auto rels = (*store)->ListRelations();
+    ASSERT_EQ(rels.size(), 1u);
+    EXPECT_EQ(rels[0], 7u);
+    ASSERT_TRUE((*store)->Drop(7).ok());
+    EXPECT_FALSE((*store)->Exists(7));
+  }
+}
+
+// -------------------------------------------------------------- DiskModel
+
+TEST(DiskModel, SequentialCheaperThanRandom) {
+  SimClock clock;
+  DiskModel disk(&clock, DiskParams{});
+  disk.ChargePageIo(100);
+  const SimMicros t0 = clock.Peek();
+  for (uint64_t b = 101; b < 151; ++b) {
+    disk.ChargePageIo(b);
+  }
+  const SimMicros sequential = clock.Peek() - t0;
+  const SimMicros t1 = clock.Peek();
+  for (uint64_t b = 0; b < 50; ++b) {
+    disk.ChargePageIo(b * 997 % 100000);
+  }
+  const SimMicros random = clock.Peek() - t1;
+  EXPECT_GT(random, sequential * 3);
+  EXPECT_EQ(disk.total_ios(), 101u);
+}
+
+TEST(DiskModel, SyncWriteCostsAtLeastOneRevolution) {
+  SimClock clock;
+  DiskParams params;
+  DiskModel disk(&clock, params);
+  disk.ChargePageIo(10);
+  const SimMicros t0 = clock.Peek();
+  disk.ChargeSyncPageIo(11);  // sequential, but sync
+  EXPECT_GE(clock.Peek() - t0, params.page_transfer_us + 2 * params.rotational_us);
+}
+
+// -------------------------------------------------------- MagneticDiskDevice
+
+TEST(MagneticDiskDevice, StoresDataAndChargesTime) {
+  SimClock clock;
+  MemBlockStore store;
+  MagneticDiskDevice dev(&store, &clock, DiskParams{});
+  ASSERT_TRUE(dev.CreateRelation(1).ok());
+  const SimMicros t0 = clock.Peek();
+  ASSERT_TRUE(dev.WriteBlock(1, 0, PageOf(0x55)).ok());
+  EXPECT_GT(clock.Peek(), t0);
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(dev.ReadBlock(1, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte{0x55});
+}
+
+TEST(MagneticDiskDevice, SeparateRelationsOccupySeparateRegions) {
+  // Alternating writes to two relations must seek; a single relation streams.
+  SimClock clock;
+  MemBlockStore store;
+  MagneticDiskDevice dev(&store, &clock, DiskParams{}, /*extent_pages=*/4);
+  ASSERT_TRUE(dev.CreateRelation(1).ok());
+  ASSERT_TRUE(dev.CreateRelation(2).ok());
+  // Allocate both relations' space first.
+  for (uint32_t b = 0; b < 16; ++b) {
+    ASSERT_TRUE(dev.WriteBlock(1, b, PageOf(1)).ok());
+  }
+  for (uint32_t b = 0; b < 16; ++b) {
+    ASSERT_TRUE(dev.WriteBlock(2, b, PageOf(2)).ok());
+  }
+  std::vector<std::byte> out(kPageSize);
+  const SimMicros t0 = clock.Peek();
+  for (uint32_t b = 0; b < 16; ++b) {
+    ASSERT_TRUE(dev.ReadBlock(1, b, out).ok());
+  }
+  const SimMicros single = clock.Peek() - t0;
+  const SimMicros t1 = clock.Peek();
+  for (uint32_t b = 0; b < 8; ++b) {
+    ASSERT_TRUE(dev.ReadBlock(1, b, out).ok());
+    ASSERT_TRUE(dev.ReadBlock(2, b, out).ok());
+  }
+  const SimMicros interleaved = clock.Peek() - t1;
+  EXPECT_GT(interleaved, single);
+}
+
+// ------------------------------------------------------------ JukeboxDevice
+
+class JukeboxTest : public ::testing::Test {
+ protected:
+  JukeboxTest() : dev_(&store_, &clock_, JukeboxParams{}, DiskParams{}) {}
+  SimClock clock_;
+  MemBlockStore store_;
+  JukeboxDevice dev_;
+};
+
+TEST_F(JukeboxTest, WritesLandInStagingCache) {
+  ASSERT_TRUE(dev_.CreateRelation(1).ok());
+  ASSERT_TRUE(dev_.WriteBlock(1, 0, PageOf(0x31)).ok());
+  EXPECT_EQ(dev_.platter_loads(), 0u) << "write should be absorbed by the cache";
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(dev_.ReadBlock(1, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte{0x31});
+  EXPECT_GE(dev_.cache_hits(), 1u);
+}
+
+TEST_F(JukeboxTest, ColdReadLoadsPlatter) {
+  ASSERT_TRUE(dev_.CreateRelation(1).ok());
+  ASSERT_TRUE(dev_.WriteBlock(1, 0, PageOf(1)).ok());
+  ASSERT_TRUE(dev_.DropStagingCache().ok());  // destage may itself load once
+  const uint64_t base_loads = dev_.platter_loads();
+  const SimMicros t0 = clock_.Peek();
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(dev_.ReadBlock(1, 0, out).ok());
+  EXPECT_EQ(dev_.platter_loads(), base_loads + 1);
+  EXPECT_GE(clock_.Peek() - t0, JukeboxParams{}.platter_load_us);
+  // Second read: staged, no further platter traffic.
+  const SimMicros t1 = clock_.Peek();
+  ASSERT_TRUE(dev_.ReadBlock(1, 0, out).ok());
+  EXPECT_EQ(dev_.platter_loads(), base_loads + 1);
+  EXPECT_LT(clock_.Peek() - t1, JukeboxParams{}.platter_load_us / 10);
+}
+
+TEST_F(JukeboxTest, WormRewriteCountsRemap) {
+  ASSERT_TRUE(dev_.CreateRelation(1).ok());
+  ASSERT_TRUE(dev_.WriteBlock(1, 0, PageOf(1)).ok());
+  ASSERT_TRUE(dev_.Sync().ok());  // first destage: the block is burned
+  ASSERT_TRUE(dev_.WriteBlock(1, 0, PageOf(2)).ok());
+  ASSERT_TRUE(dev_.Sync().ok());  // rewrite of a burned block -> remap
+  EXPECT_EQ(dev_.worm_remaps(), 1u);
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(dev_.ReadBlock(1, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte{2});
+}
+
+TEST_F(JukeboxTest, CacheEvictionDestagesDirtyBlocks) {
+  SimClock clock;
+  MemBlockStore store;
+  JukeboxParams params;
+  params.cache_bytes = 4 * kPageSize;  // tiny cache
+  JukeboxDevice dev(&store, &clock, params, DiskParams{});
+  ASSERT_TRUE(dev.CreateRelation(1).ok());
+  for (uint32_t b = 0; b < 12; ++b) {
+    ASSERT_TRUE(dev.WriteBlock(1, b, PageOf(static_cast<uint8_t>(b))).ok());
+  }
+  EXPECT_GE(dev.platter_loads(), 1u) << "evictions must destage to the platter";
+  std::vector<std::byte> out(kPageSize);
+  for (uint32_t b = 0; b < 12; ++b) {
+    ASSERT_TRUE(dev.ReadBlock(1, b, out).ok());
+    EXPECT_EQ(out[0], std::byte{static_cast<uint8_t>(b)}) << "block " << b;
+  }
+}
+
+// -------------------------------------------------------------- DeviceSwitch
+
+TEST(DeviceSwitch, BindAndResolve) {
+  SimClock clock;
+  MemBlockStore disk_store, nvram_store;
+  DeviceSwitch sw;
+  sw.Register(kDeviceMagneticDisk,
+              std::make_unique<MagneticDiskDevice>(&disk_store, &clock, DiskParams{}));
+  sw.Register(kDeviceNvram, std::make_unique<NvramDevice>(&nvram_store));
+  EXPECT_TRUE(sw.Has(kDeviceMagneticDisk));
+  EXPECT_FALSE(sw.Has(kDeviceJukebox));
+
+  sw.BindRelation(100, kDeviceNvram);
+  auto mgr = sw.ManagerFor(100);
+  ASSERT_TRUE(mgr.ok());
+  EXPECT_EQ((*mgr)->name(), "nvram");
+  EXPECT_TRUE(sw.ManagerFor(999).status().IsNotFound());
+  sw.UnbindRelation(100);
+  EXPECT_FALSE(sw.ManagerFor(100).ok());
+}
+
+TEST(DeviceSwitch, LocationTransparencyAcrossDevices) {
+  // The same access sequence works regardless of which device backs the
+  // relation — the paper's uniform-namespace property at the device level.
+  SimClock clock;
+  MemBlockStore disk_store, nvram_store, juke_store;
+  DeviceSwitch sw;
+  sw.Register(kDeviceMagneticDisk,
+              std::make_unique<MagneticDiskDevice>(&disk_store, &clock, DiskParams{}));
+  sw.Register(kDeviceNvram, std::make_unique<NvramDevice>(&nvram_store));
+  sw.Register(kDeviceJukebox, std::make_unique<JukeboxDevice>(
+                                  &juke_store, &clock, JukeboxParams{}, DiskParams{}));
+  Oid rel = 50;
+  for (DeviceId id : {kDeviceMagneticDisk, kDeviceNvram, kDeviceJukebox}) {
+    sw.BindRelation(rel, id);
+    auto mgr = sw.ManagerFor(rel);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE((*mgr)->CreateRelation(rel).ok());
+    ASSERT_TRUE((*mgr)->WriteBlock(rel, 0, PageOf(static_cast<uint8_t>(id + 1))).ok());
+    std::vector<std::byte> out(kPageSize);
+    ASSERT_TRUE((*mgr)->ReadBlock(rel, 0, out).ok());
+    EXPECT_EQ(out[0], std::byte{static_cast<uint8_t>(id + 1)});
+    ++rel;
+  }
+}
+
+// ------------------------------------------ corruption via self-identification
+
+TEST(SelfIdent, CorruptedPageDetectedThroughBufferPool) {
+  SimClock clock;
+  MemBlockStore store;
+  DeviceSwitch sw;
+  sw.Register(kDeviceMagneticDisk,
+              std::make_unique<MagneticDiskDevice>(&store, &clock, DiskParams{}));
+  sw.BindRelation(1, kDeviceMagneticDisk);
+  ASSERT_TRUE(sw.Get(kDeviceMagneticDisk)->CreateRelation(1).ok());
+  BufferPool pool(&sw, 8, &clock);
+  {
+    uint32_t block = 0;
+    auto ref = pool.Extend(1, &block);
+    ASSERT_TRUE(ref.ok());
+    ref->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAndInvalidate().ok());
+  // Flip a byte inside the self-ident field region (offset 12..20).
+  ASSERT_TRUE(store.CorruptByte(1, 0, 13).ok());
+  auto pin = pool.Pin(1, 0);
+  ASSERT_FALSE(pin.ok());
+  EXPECT_EQ(pin.status().code(), ErrorCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace invfs

@@ -1,0 +1,175 @@
+// Integration tests: the benchmark harness — data integrity through every
+// FileApi, and the paper's shape invariants on a scaled-down workload.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/harness/paper_benchmark.h"
+#include "src/harness/worlds.h"
+#include "src/util/random.h"
+
+namespace invfs {
+namespace {
+
+// Write a pseudorandom pattern through an API, read it back, verify.
+void RoundtripThrough(FileApi& api) {
+  SCOPED_TRACE(std::string(api.name()));
+  ASSERT_TRUE(api.Begin().ok());
+  auto fd = api.Creat("/integrity.bin");
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  Rng rng(99);
+  std::vector<std::byte> data(100'000);
+  for (auto& b : data) {
+    b = static_cast<std::byte>(rng.Uniform(256));
+  }
+  ASSERT_TRUE(api.Write(*fd, data).ok());
+  ASSERT_TRUE(api.Seek(*fd, 0, Whence::kSet).ok());
+  std::vector<std::byte> back(data.size());
+  int64_t done = 0;
+  while (done < static_cast<int64_t>(back.size())) {
+    auto n = api.Read(*fd, std::span(back).subspan(static_cast<size_t>(done)));
+    ASSERT_TRUE(n.ok());
+    ASSERT_GT(*n, 0);
+    done += *n;
+  }
+  EXPECT_EQ(back, data);
+  ASSERT_TRUE(api.Close(*fd).ok());
+  ASSERT_TRUE(api.Commit().ok());
+}
+
+TEST(Harness, DataIntegrityThroughAllThreeConfigurations) {
+  auto inv = InversionWorld::Create();
+  ASSERT_TRUE(inv.ok());
+  RoundtripThrough((*inv)->local_api());
+  auto inv2 = InversionWorld::Create();
+  ASSERT_TRUE(inv2.ok());
+  RoundtripThrough((*inv2)->remote_api());
+  auto nfs = NfsWorld::Create();
+  ASSERT_TRUE(nfs.ok());
+  RoundtripThrough((*nfs)->api());
+}
+
+TEST(Harness, BenchmarkIsDeterministic) {
+  PaperBenchParams params;
+  params.file_bytes = 1 << 20;  // scaled down for test speed
+  params.transfer_bytes = 256 << 10;
+  double first = 0;
+  for (int run = 0; run < 2; ++run) {
+    auto world = InversionWorld::Create();
+    ASSERT_TRUE(world.ok());
+    auto r = RunPaperBenchmark((*world)->local_api(), (*world)->clock(), params);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (run == 0) {
+      first = r->create_file_s;
+    } else {
+      EXPECT_DOUBLE_EQ(r->create_file_s, first)
+          << "simulated time must be exactly reproducible";
+    }
+  }
+}
+
+// The paper's qualitative results, checked as invariants on a scaled run.
+class ShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PaperBenchParams params;
+    params.file_bytes = 4 << 20;
+    params.transfer_bytes = 1 << 20;
+    {
+      auto world = InversionWorld::Create();
+      ASSERT_TRUE(world.ok());
+      auto r = RunPaperBenchmark((*world)->remote_api(), (*world)->clock(), params);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      cs_ = *r;
+    }
+    {
+      auto world = InversionWorld::Create();
+      ASSERT_TRUE(world.ok());
+      auto r = RunPaperBenchmark((*world)->local_api(), (*world)->clock(), params);
+      ASSERT_TRUE(r.ok());
+      sp_ = *r;
+    }
+    {
+      auto world = NfsWorld::Create();
+      ASSERT_TRUE(world.ok());
+      PaperBenchParams nfs_params = params;
+      nfs_params.use_transactions = false;
+      auto r = RunPaperBenchmark((*world)->api(), (*world)->clock(), nfs_params);
+      ASSERT_TRUE(r.ok());
+      nfs_ = *r;
+    }
+  }
+
+  static PaperBenchResult cs_, sp_, nfs_;
+};
+
+PaperBenchResult ShapeTest::cs_;
+PaperBenchResult ShapeTest::sp_;
+PaperBenchResult ShapeTest::nfs_;
+
+TEST_F(ShapeTest, Figure3_InversionCreationSlowerThanNfs) {
+  EXPECT_GT(cs_.create_file_s, nfs_.create_file_s);
+  // Paper: 36% of NFS throughput; accept a generous band around it.
+  const double ratio = cs_.create_file_s / nfs_.create_file_s;
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST_F(ShapeTest, Figure5_ReadsWithinThirtyToEightyPercentBand) {
+  // "Inversion is between 30 and 80 percent as fast as ... NFS."
+  const std::pair<double, double> pairs[] = {
+      {cs_.read_1mb_single_s, nfs_.read_1mb_single_s},
+      {cs_.read_1mb_seq_pages_s, nfs_.read_1mb_seq_pages_s},
+      {cs_.read_1mb_rand_pages_s, nfs_.read_1mb_rand_pages_s},
+  };
+  for (const auto& [inv, nfs] : pairs) {
+    const double pct = nfs / inv;
+    EXPECT_GT(pct, 0.25);
+    EXPECT_LT(pct, 1.0);
+  }
+}
+
+TEST_F(ShapeTest, Figure6_PrestoMakesNfsWritesFlatAcrossPatterns) {
+  // "The NFS measurements show no degradation due to random accesses."
+  EXPECT_NEAR(nfs_.write_1mb_rand_pages_s, nfs_.write_1mb_seq_pages_s,
+              0.05 * nfs_.write_1mb_seq_pages_s);
+  // And NFS beats Inversion on every write pattern.
+  EXPECT_LT(nfs_.write_1mb_single_s, cs_.write_1mb_single_s);
+  EXPECT_LT(nfs_.write_1mb_seq_pages_s, cs_.write_1mb_seq_pages_s);
+  EXPECT_LT(nfs_.write_1mb_rand_pages_s, cs_.write_1mb_rand_pages_s);
+}
+
+TEST_F(ShapeTest, Table3_SingleProcessBeatsClientServerEverywhere) {
+  EXPECT_LT(sp_.create_file_s, cs_.create_file_s);
+  EXPECT_LT(sp_.read_1mb_single_s, cs_.read_1mb_single_s);
+  EXPECT_LT(sp_.read_1mb_seq_pages_s, cs_.read_1mb_seq_pages_s);
+  EXPECT_LT(sp_.read_1mb_rand_pages_s, cs_.read_1mb_rand_pages_s);
+  EXPECT_LT(sp_.write_1mb_single_s, cs_.write_1mb_single_s);
+  EXPECT_LT(sp_.write_1mb_seq_pages_s, cs_.write_1mb_seq_pages_s);
+  EXPECT_LT(sp_.write_1mb_rand_pages_s, cs_.write_1mb_rand_pages_s);
+}
+
+TEST_F(ShapeTest, Table3_SingleProcessReadsBeatEvenNfs) {
+  // "as much as seven times better" on reads.
+  EXPECT_LT(sp_.read_1mb_single_s, nfs_.read_1mb_single_s);
+  EXPECT_LT(sp_.read_1mb_seq_pages_s, nfs_.read_1mb_seq_pages_s);
+  EXPECT_GT(nfs_.read_1mb_seq_pages_s / sp_.read_1mb_seq_pages_s, 2.0);
+}
+
+TEST_F(ShapeTest, Table3_RandomWriteExceptionPrestoWins) {
+  // "The important exception is in random write time, for which ULTRIX NFS
+  // using PRESTOserve is fastest, since no disk seeks are required."
+  EXPECT_LT(nfs_.write_1mb_rand_pages_s, sp_.write_1mb_rand_pages_s);
+}
+
+TEST_F(ShapeTest, RemoteAccessAddsSecondsPerMegabyte) {
+  // "remote access adds between three and five seconds to the elapsed time"
+  // per 1 MB operation (we accept 1-8 simulated seconds on the scaled run).
+  const double delta = cs_.read_1mb_single_s - sp_.read_1mb_single_s;
+  EXPECT_GT(delta, 1.0);
+  EXPECT_LT(delta, 8.0);
+}
+
+}  // namespace
+}  // namespace invfs

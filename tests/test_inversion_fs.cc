@@ -1,0 +1,290 @@
+// Inversion file system: files, directories, transactions, time travel,
+// undelete, compression, queries.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/inversion/inv_fs.h"
+#include "src/util/random.h"
+
+namespace invfs {
+namespace {
+
+class InversionFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(&env_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+    fs_ = std::make_unique<InversionFs>(db_.get());
+    ASSERT_TRUE(fs_->Mount().ok());
+    auto session = fs_->NewSession();
+    ASSERT_TRUE(session.ok());
+    s_ = std::move(*session);
+  }
+
+  // Write `data` to a new file at `path` in one transaction.
+  void WriteFile(const std::string& path, const std::string& data,
+                 CreatOptions options = {}) {
+    ASSERT_TRUE(s_->p_begin().ok());
+    auto fd = s_->p_creat(path, options);
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    auto n = s_->p_write(*fd, std::as_bytes(std::span(data.data(), data.size())));
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    ASSERT_EQ(*n, static_cast<int64_t>(data.size()));
+    ASSERT_TRUE(s_->p_close(*fd).ok());
+    ASSERT_TRUE(s_->p_commit().ok());
+  }
+
+  std::string ReadFile(const std::string& path, Timestamp as_of = kTimestampNow) {
+    auto fd = s_->p_open(path, OpenMode::kRead, as_of);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    if (!fd.ok()) {
+      return {};
+    }
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      auto n = s_->p_read(*fd, std::as_writable_bytes(std::span(buf)));
+      EXPECT_TRUE(n.ok()) << n.status().ToString();
+      if (!n.ok() || *n == 0) {
+        break;
+      }
+      out.append(buf, static_cast<size_t>(*n));
+    }
+    EXPECT_TRUE(s_->p_close(*fd).ok());
+    return out;
+  }
+
+  StorageEnv env_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InversionFs> fs_;
+  std::unique_ptr<InvSession> s_;
+};
+
+TEST_F(InversionFsTest, WriteReadRoundtrip) {
+  WriteFile("/hello.txt", "hello, inversion\n");
+  EXPECT_EQ(ReadFile("/hello.txt"), "hello, inversion\n");
+}
+
+TEST_F(InversionFsTest, MultiChunkFile) {
+  std::string big(3 * kInvChunkSize + 517, 'x');
+  Rng rng(7);
+  for (auto& c : big) {
+    c = static_cast<char>('a' + rng.Uniform(26));
+  }
+  WriteFile("/big.bin", big);
+  EXPECT_EQ(ReadFile("/big.bin"), big);
+  auto st = s_->stat("/big.bin");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, static_cast<int64_t>(big.size()));
+}
+
+TEST_F(InversionFsTest, DirectoriesAndReaddir) {
+  ASSERT_TRUE(s_->mkdir("/etc").ok());
+  WriteFile("/etc/passwd", "root:0:0\n");
+  WriteFile("/etc/group", "wheel:0\n");
+  auto entries = s_->readdir("/etc");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].name, "group");
+  EXPECT_EQ((*entries)[1].name, "passwd");
+  // Table 1 of the paper: resolving /etc/passwd walks naming entries.
+  auto st = s_->stat("/etc/passwd");
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(st->is_directory);
+  EXPECT_EQ(st->size, 9);
+}
+
+TEST_F(InversionFsTest, AbortRollsBackFileCreation) {
+  ASSERT_TRUE(s_->p_begin().ok());
+  auto fd = s_->p_creat("/doomed.txt");
+  ASSERT_TRUE(fd.ok());
+  const std::string data = "this never happened";
+  ASSERT_TRUE(s_->p_write(*fd, std::as_bytes(std::span(data.data(), data.size()))).ok());
+  ASSERT_TRUE(s_->p_close(*fd).ok());
+  ASSERT_TRUE(s_->p_abort().ok());
+  EXPECT_TRUE(s_->stat("/doomed.txt").status().IsNotFound());
+}
+
+TEST_F(InversionFsTest, TransactionalMultiFileCheckin) {
+  // The paper's motivating example: several source files checked in together.
+  WriteFile("/a.c", "int a;\n");
+  WriteFile("/b.c", "int b;\n");
+  ASSERT_TRUE(s_->p_begin().ok());
+  for (const char* path : {"/a.c", "/b.c"}) {
+    auto fd = s_->p_open(path, OpenMode::kWrite);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(s_->p_lseek(*fd, 0, Whence::kEnd).ok());
+    const std::string patch = "/* patched */\n";
+    ASSERT_TRUE(
+        s_->p_write(*fd, std::as_bytes(std::span(patch.data(), patch.size()))).ok());
+    ASSERT_TRUE(s_->p_close(*fd).ok());
+  }
+  ASSERT_TRUE(s_->p_commit().ok());
+  EXPECT_EQ(ReadFile("/a.c"), "int a;\n/* patched */\n");
+  EXPECT_EQ(ReadFile("/b.c"), "int b;\n/* patched */\n");
+}
+
+TEST_F(InversionFsTest, TimeTravelReadsOldContents) {
+  WriteFile("/notes.txt", "version one");
+  const Timestamp t1 = db_->Now();
+
+  ASSERT_TRUE(s_->p_begin().ok());
+  auto fd = s_->p_open("/notes.txt", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  const std::string v2 = "version TWO";
+  ASSERT_TRUE(s_->p_write(*fd, std::as_bytes(std::span(v2.data(), v2.size()))).ok());
+  ASSERT_TRUE(s_->p_close(*fd).ok());
+  ASSERT_TRUE(s_->p_commit().ok());
+
+  EXPECT_EQ(ReadFile("/notes.txt"), "version TWO");
+  EXPECT_EQ(ReadFile("/notes.txt", t1), "version one");
+
+  // Historical opens refuse writes.
+  auto ro = s_->p_open("/notes.txt", OpenMode::kWrite, t1);
+  EXPECT_EQ(ro.status().code(), ErrorCode::kReadOnly);
+}
+
+TEST_F(InversionFsTest, UndeleteViaTimeTravel) {
+  WriteFile("/precious.dat", "do not lose me");
+  const Timestamp before_rm = db_->Now();
+  ASSERT_TRUE(s_->unlink("/precious.dat").ok());
+  EXPECT_TRUE(s_->stat("/precious.dat").status().IsNotFound());
+  // "it allows users to undelete files removed accidentally"
+  EXPECT_EQ(ReadFile("/precious.dat", before_rm), "do not lose me");
+  auto old_stat = s_->stat("/precious.dat", before_rm);
+  ASSERT_TRUE(old_stat.ok());
+  EXPECT_EQ(old_stat->size, 14);
+}
+
+TEST_F(InversionFsTest, CompressedFileRoundtripAndRandomAccess) {
+  CreatOptions options;
+  options.compressed = true;
+  std::string text;
+  for (int i = 0; i < 3000; ++i) {
+    text += "the quick brown fox jumps over the lazy dog ";
+  }
+  WriteFile("/compressed.txt", text, options);
+  EXPECT_EQ(ReadFile("/compressed.txt"), text);
+  // Random access into the middle decompresses only the covering chunk.
+  auto fd = s_->p_open("/compressed.txt", OpenMode::kRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(s_->p_lseek(*fd, 20000, Whence::kSet).ok());
+  char buf[45];
+  auto n = s_->p_read(*fd, std::as_writable_bytes(std::span(buf)));
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, 45);
+  EXPECT_EQ(std::string(buf, 45), text.substr(20000, 45));
+  ASSERT_TRUE(s_->p_close(*fd).ok());
+  // And it actually compressed: the chunk table stores less than the raw.
+  auto st = s_->stat("/compressed.txt");
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->compressed);
+}
+
+TEST_F(InversionFsTest, SparseFileReadsZeros) {
+  ASSERT_TRUE(s_->p_begin().ok());
+  auto fd = s_->p_creat("/sparse.bin");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(s_->p_lseek(*fd, 5 * kInvChunkSize, Whence::kSet).ok());
+  const std::string tail = "tail";
+  ASSERT_TRUE(s_->p_write(*fd, std::as_bytes(std::span(tail.data(), tail.size()))).ok());
+  ASSERT_TRUE(s_->p_close(*fd).ok());
+  ASSERT_TRUE(s_->p_commit().ok());
+  std::string contents = ReadFile("/sparse.bin");
+  ASSERT_EQ(contents.size(), 5 * kInvChunkSize + 4);
+  EXPECT_EQ(contents.substr(0, 10), std::string(10, '\0'));
+  EXPECT_EQ(contents.substr(5 * kInvChunkSize), "tail");
+}
+
+TEST_F(InversionFsTest, RenameMovesFile) {
+  WriteFile("/old_name.txt", "contents");
+  ASSERT_TRUE(s_->mkdir("/subdir").ok());
+  ASSERT_TRUE(s_->rename("/old_name.txt", "/subdir/new_name.txt").ok());
+  EXPECT_TRUE(s_->stat("/old_name.txt").status().IsNotFound());
+  EXPECT_EQ(ReadFile("/subdir/new_name.txt"), "contents");
+}
+
+TEST_F(InversionFsTest, PostquelQueryOverMetadata) {
+  WriteFile("/doc1.txt", "RISC processors are fast\nand simple\n");
+  WriteFile("/doc2.txt", "CISC machines differ\n");
+  // The paper's keyword query, verbatim shape.
+  auto rs = s_->Query(
+      "retrieve (n.filename) from n in naming where \"RISC\" in keywords(n.file)");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsText(), "doc1.txt");
+
+  // linecount function from Table 2.
+  auto lc = s_->Query(
+      "retrieve (n.filename, lines = linecount(n.file)) from n in naming "
+      "where n.filename = \"doc1.txt\"");
+  ASSERT_TRUE(lc.ok()) << lc.status().ToString();
+  ASSERT_EQ(lc->rows.size(), 1u);
+  EXPECT_EQ(lc->rows[0][1].AsInt4(), 2);
+}
+
+TEST_F(InversionFsTest, QueryTimeTravelBracket) {
+  WriteFile("/ephemeral.txt", "x");
+  const Timestamp before = db_->Now();
+  ASSERT_TRUE(s_->unlink("/ephemeral.txt").ok());
+  auto now_rs = s_->Query(
+      "retrieve (n.filename) from n in naming where n.filename = \"ephemeral.txt\"");
+  ASSERT_TRUE(now_rs.ok());
+  EXPECT_TRUE(now_rs->rows.empty());
+  auto then_rs = s_->Query("retrieve (n.filename) from n in naming[" +
+                           std::to_string(before) +
+                           "] where n.filename = \"ephemeral.txt\"");
+  ASSERT_TRUE(then_rs.ok()) << then_rs.status().ToString();
+  EXPECT_EQ(then_rs->rows.size(), 1u);
+}
+
+TEST_F(InversionFsTest, CrashRecoveryPreservesCommittedFiles) {
+  WriteFile("/durable.txt", "committed data");
+  // An in-flight transaction dies with the crash.
+  ASSERT_TRUE(s_->p_begin().ok());
+  auto fd = s_->p_creat("/inflight.txt");
+  ASSERT_TRUE(fd.ok());
+  const std::string data = "never committed";
+  ASSERT_TRUE(s_->p_write(*fd, std::as_bytes(std::span(data.data(), data.size()))).ok());
+  ASSERT_TRUE(db_->buffers().FlushAll().ok());
+
+  s_.reset();
+  fs_.reset();
+  db_->Crash();
+  db_.reset();
+
+  auto db = Database::Open(&env_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  db_ = std::move(*db);
+  fs_ = std::make_unique<InversionFs>(db_.get());
+  ASSERT_TRUE(fs_->Mount().ok());
+  auto session = fs_->NewSession();
+  ASSERT_TRUE(session.ok());
+  s_ = std::move(*session);
+
+  EXPECT_EQ(ReadFile("/durable.txt"), "committed data");
+  EXPECT_TRUE(s_->stat("/inflight.txt").status().IsNotFound());
+}
+
+TEST_F(InversionFsTest, FilesOnNvramAndJukeboxDevices) {
+  CreatOptions nvram;
+  nvram.device = kDeviceNvram;
+  WriteFile("/fast.dat", "nvram data", nvram);
+  EXPECT_EQ(ReadFile("/fast.dat"), "nvram data");
+
+  CreatOptions juke;
+  juke.device = kDeviceJukebox;
+  WriteFile("/archive.dat", "optical data", juke);
+  EXPECT_EQ(ReadFile("/archive.dat"), "optical data");
+
+  auto st = s_->stat("/archive.dat");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->device, kDeviceJukebox);
+}
+
+}  // namespace
+}  // namespace invfs

@@ -1,0 +1,235 @@
+// Unit tests: the FFS simulator and the ULTRIX NFS + PRESTOserve baseline.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/nfs/nfs.h"
+#include "src/util/random.h"
+
+namespace invfs {
+namespace {
+
+// ---------------------------------------------------------------- FfsSim
+
+class FfsTest : public ::testing::Test {
+ protected:
+  FfsTest() : ffs_(&clock_, DiskParams{}, /*cache_pages=*/32) {}
+  SimClock clock_;
+  FfsSim ffs_;
+};
+
+TEST_F(FfsTest, CreateWriteReadRoundtrip) {
+  ASSERT_TRUE(ffs_.Create("/f").ok());
+  const std::string data = "ffs bytes";
+  ASSERT_TRUE(ffs_.WriteAt("/f", 0, std::as_bytes(std::span(data.data(), data.size())),
+                           false)
+                  .ok());
+  EXPECT_EQ(*ffs_.Size("/f"), 9);
+  std::vector<std::byte> out(9);
+  auto n = ffs_.ReadAt("/f", 0, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 9);
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), 9), 0);
+}
+
+TEST_F(FfsTest, CrossBlockWritesAndSparseReads) {
+  ASSERT_TRUE(ffs_.Create("/f").ok());
+  std::vector<std::byte> data(3 * kPageSize, std::byte{0x44});
+  ASSERT_TRUE(ffs_.WriteAt("/f", kPageSize / 2, data, false).ok());
+  EXPECT_EQ(*ffs_.Size("/f"), static_cast<int64_t>(kPageSize / 2 + data.size()));
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(ffs_.ReadAt("/f", 0, out).ok());
+  EXPECT_EQ(out[0], std::byte{0});  // hole reads zero
+  EXPECT_EQ(out[kPageSize / 2], std::byte{0x44});
+}
+
+TEST_F(FfsTest, EofSemantics) {
+  ASSERT_TRUE(ffs_.Create("/f").ok());
+  std::vector<std::byte> out(10);
+  EXPECT_EQ(*ffs_.ReadAt("/f", 0, out), 0);
+  std::vector<std::byte> tiny{std::byte{1}};
+  ASSERT_TRUE(ffs_.WriteAt("/f", 0, tiny, false).ok());
+  EXPECT_EQ(*ffs_.ReadAt("/f", 0, out), 1);
+  EXPECT_EQ(*ffs_.ReadAt("/f", 5, out), 0);
+}
+
+TEST_F(FfsTest, RemoveAndMissing) {
+  ASSERT_TRUE(ffs_.Create("/f").ok());
+  EXPECT_EQ(ffs_.Create("/f").code(), ErrorCode::kAlreadyExists);
+  ASSERT_TRUE(ffs_.Remove("/f").ok());
+  EXPECT_FALSE(ffs_.Exists("/f"));
+  EXPECT_TRUE(ffs_.Size("/f").status().IsNotFound());
+  std::vector<std::byte> out(4);
+  EXPECT_TRUE(ffs_.ReadAt("/f", 0, out).status().IsNotFound());
+}
+
+TEST_F(FfsTest, CacheMakesRereadsFree) {
+  ASSERT_TRUE(ffs_.Create("/f").ok());
+  std::vector<std::byte> page(kPageSize, std::byte{1});
+  ASSERT_TRUE(ffs_.WriteAt("/f", 0, page, true).ok());
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(ffs_.ReadAt("/f", 0, out).ok());
+  const SimMicros t0 = clock_.Peek();
+  ASSERT_TRUE(ffs_.ReadAt("/f", 0, out).ok());
+  EXPECT_EQ(clock_.Peek(), t0) << "cached read should cost no disk time";
+}
+
+TEST_F(FfsTest, FlushCachesForcesColdReads) {
+  ASSERT_TRUE(ffs_.Create("/f").ok());
+  std::vector<std::byte> page(kPageSize, std::byte{1});
+  ASSERT_TRUE(ffs_.WriteAt("/f", 0, page, true).ok());
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(ffs_.ReadAt("/f", 0, out).ok());
+  ASSERT_TRUE(ffs_.FlushCaches().ok());
+  const SimMicros t0 = clock_.Peek();
+  ASSERT_TRUE(ffs_.ReadAt("/f", 0, out).ok());
+  EXPECT_GT(clock_.Peek(), t0);
+}
+
+TEST_F(FfsTest, SequentialReadAheadBeatsRandom) {
+  ASSERT_TRUE(ffs_.Create("/f").ok());
+  std::vector<std::byte> big(64 * kPageSize, std::byte{7});
+  ASSERT_TRUE(ffs_.WriteAt("/f", 0, big, false).ok());
+  ASSERT_TRUE(ffs_.FlushCaches().ok());
+  std::vector<std::byte> out(kPageSize);
+  const SimMicros t0 = clock_.Peek();
+  for (int b = 0; b < 64; ++b) {
+    ASSERT_TRUE(ffs_.ReadAt("/f", static_cast<int64_t>(b) * kPageSize, out).ok());
+  }
+  const SimMicros sequential = clock_.Peek() - t0;
+  ASSERT_TRUE(ffs_.FlushCaches().ok());
+  Rng rng(3);
+  const SimMicros t1 = clock_.Peek();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        ffs_.ReadAt("/f", static_cast<int64_t>(rng.Uniform(64)) * kPageSize, out).ok());
+  }
+  const SimMicros random = clock_.Peek() - t1;
+  EXPECT_GT(random, sequential);
+}
+
+TEST_F(FfsTest, StableWritesCostMoreThanAsync) {
+  ASSERT_TRUE(ffs_.Create("/a").ok());
+  ASSERT_TRUE(ffs_.Create("/b").ok());
+  std::vector<std::byte> page(kPageSize, std::byte{1});
+  const SimMicros t0 = clock_.Peek();
+  for (int b = 0; b < 16; ++b) {
+    ASSERT_TRUE(ffs_.WriteAt("/a", static_cast<int64_t>(b) * kPageSize, page, true).ok());
+  }
+  const SimMicros stable = clock_.Peek() - t0;
+  const SimMicros t1 = clock_.Peek();
+  for (int b = 0; b < 16; ++b) {
+    ASSERT_TRUE(
+        ffs_.WriteAt("/b", static_cast<int64_t>(b) * kPageSize, page, false).ok());
+  }
+  const SimMicros async = clock_.Peek() - t1;
+  EXPECT_GT(stable, 3 * async);
+}
+
+// ---------------------------------------------------------------- NFS
+
+class NfsTest : public ::testing::Test {
+ protected:
+  NfsTest()
+      : ffs_(&clock_, DiskParams{}, 300),
+        server_(&clock_, &ffs_, NfsServerOptions{}),
+        net_(&clock_, NfsNetParams()),
+        client_(&server_, &net_) {}
+  SimClock clock_;
+  FfsSim ffs_;
+  NfsServer server_;
+  NetModel net_;
+  NfsClient client_;
+};
+
+TEST_F(NfsTest, ClientRoundtripSplitsIntoPageRpcs) {
+  auto fd = client_.Creat("/f");
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> data(3 * kPageSize + 100, std::byte{0x66});
+  const uint64_t msgs_before = net_.total_messages();
+  auto n = client_.Write(*fd, data);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, static_cast<int64_t>(data.size()));
+  // 4 WRITE RPCs x 2 legs (NFS v2 8KB max transfer).
+  EXPECT_EQ(net_.total_messages() - msgs_before, 8u);
+  ASSERT_TRUE(client_.Seek(*fd, 0, Whence::kSet).ok());
+  std::vector<std::byte> out(data.size());
+  auto read = client_.Read(*fd, out);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, static_cast<int64_t>(data.size()));
+  EXPECT_EQ(out, data);
+  ASSERT_TRUE(client_.Close(*fd).ok());
+}
+
+TEST_F(NfsTest, SeekSemantics) {
+  auto fd = client_.Creat("/f");
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> data(100, std::byte{1});
+  ASSERT_TRUE(client_.Write(*fd, data).ok());
+  EXPECT_EQ(*client_.Seek(*fd, -10, Whence::kEnd), 90);
+  EXPECT_EQ(*client_.Seek(*fd, 5, Whence::kCur), 95);
+  EXPECT_EQ(*client_.Seek(*fd, 0, Whence::kSet), 0);
+  EXPECT_FALSE(client_.Seek(*fd, -1, Whence::kSet).ok());
+}
+
+TEST_F(NfsTest, PrestoAbsorbsWritesUntilFull) {
+  auto fd = client_.Creat("/f");
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> page(kPageSize, std::byte{2});
+  // 1 MB NVRAM absorbs 128 pages without disk traffic.
+  const uint64_t disk_ios_before = ffs_.disk().total_ios();
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_TRUE(client_.Write(*fd, page).ok());
+  }
+  EXPECT_EQ(ffs_.disk().total_ios(), disk_ios_before);
+  EXPECT_GT(server_.nvram_bytes_dirty(), 0u);
+  // The next write exceeds capacity: drain hits the disk.
+  ASSERT_TRUE(client_.Write(*fd, page).ok());
+  EXPECT_GT(ffs_.disk().total_ios(), disk_ios_before);
+}
+
+TEST_F(NfsTest, WithoutPrestoEveryWriteIsSynchronous) {
+  SimClock clock;
+  FfsSim ffs(&clock, DiskParams{}, 300);
+  NfsServerOptions options;
+  options.presto.enabled = false;
+  NfsServer server(&clock, &ffs, options);
+  NetModel net(&clock, NfsNetParams());
+  NfsClient client(&server, &net);
+  auto fd = client.Creat("/f");
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> page(kPageSize, std::byte{3});
+  const uint64_t ios_before = ffs.disk().total_ios();
+  ASSERT_TRUE(client.Write(*fd, page).ok());
+  EXPECT_GT(ffs.disk().total_ios(), ios_before)
+      << "stateless NFS must be on the platter before the reply";
+}
+
+TEST_F(NfsTest, ReadOnlyDescriptorRejectsWrites) {
+  auto fd = client_.Creat("/f");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(client_.Close(*fd).ok());
+  auto ro = client_.Open("/f", /*writable=*/false);
+  ASSERT_TRUE(ro.ok());
+  std::vector<std::byte> page(8, std::byte{1});
+  EXPECT_EQ(client_.Write(*ro, page).status().code(), ErrorCode::kReadOnly);
+}
+
+TEST_F(NfsTest, FlushCachesDrainsNvram) {
+  auto fd = client_.Creat("/f");
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> page(kPageSize, std::byte{4});
+  ASSERT_TRUE(client_.Write(*fd, page).ok());
+  EXPECT_GT(server_.nvram_bytes_dirty(), 0u);
+  ASSERT_TRUE(server_.FlushCaches().ok());
+  EXPECT_EQ(server_.nvram_bytes_dirty(), 0u);
+  // Data still correct afterwards.
+  ASSERT_TRUE(client_.Seek(*fd, 0, Whence::kSet).ok());
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(client_.Read(*fd, out).ok());
+  EXPECT_EQ(out[17], std::byte{4});
+}
+
+}  // namespace
+}  // namespace invfs

@@ -1,0 +1,166 @@
+// Unit tests: the RPC layer — marshalling, dispatch, error propagation, and
+// behavioural parity between remote and local sessions.
+
+#include <gtest/gtest.h>
+
+#include "src/harness/worlds.h"
+#include "src/net/rpc.h"
+
+namespace invfs {
+namespace {
+
+class RpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = InversionWorld::Create();
+    ASSERT_TRUE(world.ok());
+    world_ = std::move(*world);
+    server_ = std::make_unique<InversionServer>(&world_->fs());
+    net_ = std::make_unique<NetModel>(&world_->clock(), NetParams{});
+    transport_ = std::make_unique<LoopbackTransport>(server_.get(), net_.get());
+    client_ = std::make_unique<RemoteFileClient>(transport_.get());
+  }
+
+  std::unique_ptr<InversionWorld> world_;
+  std::unique_ptr<InversionServer> server_;
+  std::unique_ptr<NetModel> net_;
+  std::unique_ptr<LoopbackTransport> transport_;
+  std::unique_ptr<RemoteFileClient> client_;
+};
+
+TEST_F(RpcTest, FileRoundtripOverTheWire) {
+  ASSERT_TRUE(client_->p_begin().ok());
+  auto fd = client_->p_creat("/remote.txt");
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  const std::string data = "bytes over a marshalled protocol";
+  auto n = client_->p_write(*fd, std::as_bytes(std::span(data.data(), data.size())));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, static_cast<int64_t>(data.size()));
+  ASSERT_TRUE(client_->p_lseek(*fd, 0, Whence::kSet).ok());
+  std::vector<std::byte> buf(data.size());
+  auto read = client_->p_read(*fd, buf);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, static_cast<int64_t>(data.size()));
+  EXPECT_EQ(std::memcmp(buf.data(), data.data(), data.size()), 0);
+  ASSERT_TRUE(client_->p_close(*fd).ok());
+  ASSERT_TRUE(client_->p_commit().ok());
+}
+
+TEST_F(RpcTest, TransactionsWorkRemotely) {
+  ASSERT_TRUE(client_->p_begin().ok());
+  auto fd = client_->p_creat("/doomed.txt");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(client_->p_close(*fd).ok());
+  ASSERT_TRUE(client_->p_abort().ok());
+  EXPECT_TRUE(client_->stat("/doomed.txt").status().IsNotFound());
+  // Nested transaction rejected remotely, same as locally.
+  ASSERT_TRUE(client_->p_begin().ok());
+  EXPECT_FALSE(client_->p_begin().ok());
+  ASSERT_TRUE(client_->p_commit().ok());
+}
+
+TEST_F(RpcTest, NamespaceOpsAndStat) {
+  ASSERT_TRUE(client_->mkdir("/dir").ok());
+  auto fd = client_->p_creat("/dir/a.txt");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(client_->p_close(*fd).ok());
+  ASSERT_TRUE(client_->rename("/dir/a.txt", "/dir/b.txt").ok());
+  auto st = client_->stat("/dir/b.txt");
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(st->is_directory);
+  auto entries = client_->readdir("/dir");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "b.txt");
+  ASSERT_TRUE(client_->unlink("/dir/b.txt").ok());
+  EXPECT_TRUE(client_->readdir("/dir")->empty());
+}
+
+TEST_F(RpcTest, TimeTravelOpenOverTheWire) {
+  auto fd = client_->p_creat("/tt.txt");
+  ASSERT_TRUE(fd.ok());
+  const std::string v1 = "one";
+  ASSERT_TRUE(client_->p_write(*fd, std::as_bytes(std::span(v1.data(), 3))).ok());
+  ASSERT_TRUE(client_->p_close(*fd).ok());
+  const Timestamp t1 = world_->db().Now();
+  fd = client_->p_open("/tt.txt", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  const std::string v2 = "two";
+  ASSERT_TRUE(client_->p_write(*fd, std::as_bytes(std::span(v2.data(), 3))).ok());
+  ASSERT_TRUE(client_->p_close(*fd).ok());
+
+  auto old_fd = client_->p_open("/tt.txt", OpenMode::kRead, t1);
+  ASSERT_TRUE(old_fd.ok());
+  std::vector<std::byte> buf(3);
+  ASSERT_TRUE(client_->p_read(*old_fd, buf).ok());
+  EXPECT_EQ(std::memcmp(buf.data(), "one", 3), 0);
+  ASSERT_TRUE(client_->p_close(*old_fd).ok());
+  EXPECT_EQ(client_->p_open("/tt.txt", OpenMode::kWrite, t1).status().code(),
+            ErrorCode::kReadOnly);
+}
+
+TEST_F(RpcTest, QueryOverTheWire) {
+  auto fd = client_->p_creat("/q.txt");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(client_->p_close(*fd).ok());
+  auto rs = client_->Query(
+      "retrieve (n.filename) from n in naming where n.filename = \"q.txt\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsText(), "q.txt");
+}
+
+TEST_F(RpcTest, ErrorsCrossTheWireWithCodes) {
+  EXPECT_TRUE(client_->p_open("/absent", OpenMode::kRead).status().IsNotFound());
+  EXPECT_EQ(client_->p_read(999, std::span<std::byte>()).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(client_->Query("retrieve garbage (").ok());
+}
+
+TEST_F(RpcTest, MalformedRequestRejectedNotCrashed) {
+  std::vector<std::byte> garbage{std::byte{0xFF}, std::byte{0x00}, std::byte{0x13}};
+  auto response = server_->Handle(garbage);
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(static_cast<uint8_t>(response[0]), 0) << "error response expected";
+  // Truncated-but-valid-op request.
+  std::vector<std::byte> truncated{std::byte{static_cast<uint8_t>(RpcOp::kWrite)}};
+  response = server_->Handle(truncated);
+  EXPECT_EQ(static_cast<uint8_t>(response[0]), 0);
+}
+
+TEST_F(RpcTest, WireCostIsCharged) {
+  const uint64_t messages_before = net_->total_messages();
+  const SimMicros t0 = world_->clock().Peek();
+  auto fd = client_->p_creat("/cost.txt");
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> page(8192, std::byte{1});
+  ASSERT_TRUE(client_->p_write(*fd, page).ok());
+  ASSERT_TRUE(client_->p_close(*fd).ok());
+  EXPECT_GE(net_->total_messages(), messages_before + 6);  // 3 calls x 2 legs
+  EXPECT_GT(world_->clock().Peek(), t0);
+}
+
+TEST_F(RpcTest, RemoteAndLocalSessionsShareOneFileSystem) {
+  // The paper: "the same Inversion file can be used by a database application
+  // and by a file system client simultaneously."
+  auto& local = world_->session();
+  ASSERT_TRUE(local.p_begin().ok());
+  auto fd = local.p_creat("/shared.txt");
+  ASSERT_TRUE(fd.ok());
+  const std::string data = "written locally";
+  ASSERT_TRUE(
+      local.p_write(*fd, std::as_bytes(std::span(data.data(), data.size()))).ok());
+  ASSERT_TRUE(local.p_close(*fd).ok());
+  ASSERT_TRUE(local.p_commit().ok());
+
+  auto remote_fd = client_->p_open("/shared.txt", OpenMode::kRead);
+  ASSERT_TRUE(remote_fd.ok());
+  std::vector<std::byte> buf(data.size());
+  auto n = client_->p_read(*remote_fd, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::memcmp(buf.data(), data.data(), data.size()), 0);
+  ASSERT_TRUE(client_->p_close(*remote_fd).ok());
+}
+
+}  // namespace
+}  // namespace invfs

@@ -1,0 +1,161 @@
+// Unit tests: predicate rules engine and rule-driven file migration.
+
+#include <gtest/gtest.h>
+
+#include "src/inversion/inv_fs.h"
+
+namespace invfs {
+namespace {
+
+class RulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(&env_);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    fs_ = std::make_unique<InversionFs>(db_.get());
+    ASSERT_TRUE(fs_->Mount().ok());
+    auto session = fs_->NewSession();
+    ASSERT_TRUE(session.ok());
+    s_ = std::move(*session);
+  }
+
+  void MakeFile(const std::string& path, int64_t bytes) {
+    ASSERT_TRUE(s_->p_begin().ok());
+    auto fd = s_->p_creat(path);
+    ASSERT_TRUE(fd.ok());
+    std::vector<std::byte> chunk(kInvChunkSize, std::byte{0x2F});
+    int64_t written = 0;
+    while (written < bytes) {
+      const int64_t n = std::min<int64_t>(bytes - written,
+                                          static_cast<int64_t>(chunk.size()));
+      ASSERT_TRUE(s_->p_write(*fd, std::span(chunk.data(), static_cast<size_t>(n))).ok());
+      written += n;
+    }
+    ASSERT_TRUE(s_->p_close(*fd).ok());
+    ASSERT_TRUE(s_->p_commit().ok());
+  }
+
+  StorageEnv env_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InversionFs> fs_;
+  std::unique_ptr<InvSession> s_;
+};
+
+TEST_F(RulesTest, DefineViaPostquelAndList) {
+  auto rs = s_->Query(
+      "define rule big_files on fileatt where fileatt.size > 1000 do migrate 2");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(fs_->rules().rules().size(), 1u);
+  const Rule& rule = fs_->rules().rules()[0];
+  EXPECT_EQ(rule.name, "big_files");
+  EXPECT_EQ(rule.table, "fileatt");
+  EXPECT_EQ(rule.target_device, kDeviceJukebox);
+  EXPECT_NE(rule.predicate_src.find("1000"), std::string::npos);
+}
+
+TEST_F(RulesTest, DuplicateAndBadRulesRejected) {
+  ASSERT_TRUE(
+      s_->Query("define rule r on fileatt where fileatt.size > 1 do migrate 1").ok());
+  EXPECT_FALSE(
+      s_->Query("define rule r on fileatt where fileatt.size > 2 do migrate 1").ok());
+  EXPECT_FALSE(
+      s_->Query("define rule r2 on nonsense where x = 1 do migrate 1").ok());
+  EXPECT_FALSE(
+      s_->Query("define rule r3 on fileatt where fileatt.size > 1 do migrate 7").ok())
+      << "unknown device";
+}
+
+TEST_F(RulesTest, MigrationRuleMovesMatchingFiles) {
+  MakeFile("/big.dat", 100'000);
+  MakeFile("/small.dat", 100);
+  ASSERT_TRUE(s_->Query("define rule cold on fileatt where fileatt.size > 50000 "
+                        "do migrate 2")
+                  .ok());
+  auto txn = db_->Begin();
+  ASSERT_TRUE(txn.ok());
+  auto fired = fs_->ApplyMigrationRules(*txn);
+  ASSERT_TRUE(fired.ok()) << fired.status().ToString();
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+  EXPECT_EQ(*fired, 1);
+
+  auto big = s_->stat("/big.dat");
+  auto small = s_->stat("/small.dat");
+  ASSERT_TRUE(big.ok() && small.ok());
+  EXPECT_EQ(big->device, kDeviceJukebox);
+  EXPECT_EQ(small->device, kDeviceMagneticDisk);
+
+  // Contents intact after migration.
+  auto fd = s_->p_open("/big.dat", OpenMode::kRead);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> buf(64);
+  auto n = s_->p_read(*fd, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 64);
+  EXPECT_EQ(buf[0], std::byte{0x2F});
+  ASSERT_TRUE(s_->p_close(*fd).ok());
+}
+
+TEST_F(RulesTest, SecondPassIsIdempotent) {
+  MakeFile("/big.dat", 100'000);
+  ASSERT_TRUE(s_->Query("define rule cold on fileatt where fileatt.size > 50000 "
+                        "do migrate 2")
+                  .ok());
+  for (int pass = 0; pass < 2; ++pass) {
+    auto txn = db_->Begin();
+    auto fired = fs_->ApplyMigrationRules(*txn);
+    ASSERT_TRUE(fired.ok());
+    ASSERT_TRUE(db_->Commit(*txn).ok());
+    if (pass == 1) {
+      EXPECT_EQ(*fired, 0) << "already on the target device";
+    }
+  }
+}
+
+TEST_F(RulesTest, RulesPersistAcrossReopen) {
+  ASSERT_TRUE(s_->Query("define rule keeper on fileatt where fileatt.size > 9 "
+                        "do migrate 1")
+                  .ok());
+  s_.reset();
+  fs_.reset();
+  db_.reset();
+  auto db = Database::Open(&env_);
+  ASSERT_TRUE(db.ok());
+  db_ = std::move(*db);
+  fs_ = std::make_unique<InversionFs>(db_.get());
+  ASSERT_TRUE(fs_->Mount().ok());
+  ASSERT_EQ(fs_->rules().rules().size(), 1u);
+  EXPECT_EQ(fs_->rules().rules()[0].name, "keeper");
+}
+
+TEST_F(RulesTest, DropRule) {
+  ASSERT_TRUE(s_->Query("define rule gone on fileatt where fileatt.size > 9 "
+                        "do migrate 1")
+                  .ok());
+  auto txn = db_->Begin();
+  ASSERT_TRUE(fs_->rules().DropRule(*txn, "gone").ok());
+  EXPECT_TRUE(fs_->rules().DropRule(*txn, "gone").IsNotFound());
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+  EXPECT_TRUE(fs_->rules().rules().empty());
+}
+
+TEST_F(RulesTest, TimePredicateMigratesOnlyColdFiles) {
+  MakeFile("/old.dat", 60'000);
+  const Timestamp cold_line = db_->Now();
+  db_->clock().Advance(3'600'000'000ull);  // one hour passes
+  MakeFile("/fresh.dat", 60'000);
+  ASSERT_TRUE(s_->Query("define rule stale on fileatt where fileatt.size > 50000 "
+                        "and fileatt.mtime < " +
+                        std::to_string(cold_line) + " do migrate 2")
+                  .ok());
+  auto txn = db_->Begin();
+  auto fired = fs_->ApplyMigrationRules(*txn);
+  ASSERT_TRUE(fired.ok());
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+  EXPECT_EQ(*fired, 1);
+  EXPECT_EQ(s_->stat("/old.dat")->device, kDeviceJukebox);
+  EXPECT_EQ(s_->stat("/fresh.dat")->device, kDeviceMagneticDisk);
+}
+
+}  // namespace
+}  // namespace invfs

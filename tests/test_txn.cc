@@ -1,0 +1,300 @@
+// Unit tests: commit log, snapshot visibility, 2PL lock manager.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/catalog/database.h"
+#include "src/txn/commit_log.h"
+#include "src/txn/lock_manager.h"
+#include "src/txn/snapshot.h"
+
+namespace invfs {
+namespace {
+
+// ---------------------------------------------------------------- CommitLog
+
+class CommitLogTest : public ::testing::Test {
+ protected:
+  CommitLogTest() : dev_(&store_) {}
+  MemBlockStore store_;
+  NvramDevice dev_;  // zero-cost device keeps these tests about semantics
+};
+
+TEST_F(CommitLogTest, LifecycleOfOneTxn) {
+  auto log = CommitLog::Open(&dev_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->BeginTxn(5).ok());
+  EXPECT_EQ((*log)->StatusOf(5), TxnStatus::kInProgress);
+  ASSERT_TRUE((*log)->CommitTxn(5, 1234).ok());
+  EXPECT_EQ((*log)->StatusOf(5), TxnStatus::kCommitted);
+  EXPECT_EQ((*log)->CommitTimeOf(5), 1234u);
+  EXPECT_TRUE((*log)->CommittedBefore(5, 1234));
+  EXPECT_TRUE((*log)->CommittedBefore(5, 9999));
+  EXPECT_FALSE((*log)->CommittedBefore(5, 1233));
+}
+
+TEST_F(CommitLogTest, BootstrapAlwaysCommittedAtZero) {
+  auto log = CommitLog::Open(&dev_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->StatusOf(kBootstrapTxn), TxnStatus::kCommitted);
+  EXPECT_TRUE((*log)->CommittedBefore(kBootstrapTxn, 0));
+}
+
+TEST_F(CommitLogTest, AbortIsRemembered) {
+  auto log = CommitLog::Open(&dev_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->BeginTxn(3).ok());
+  ASSERT_TRUE((*log)->AbortTxn(3).ok());
+  EXPECT_EQ((*log)->StatusOf(3), TxnStatus::kAborted);
+  EXPECT_FALSE((*log)->CommittedBefore(3, ~0ull));
+}
+
+TEST_F(CommitLogTest, ReopenRecoversStateAndAbortsInFlight) {
+  {
+    auto log = CommitLog::Open(&dev_);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->BeginTxn(2).ok());
+    ASSERT_TRUE((*log)->CommitTxn(2, 50).ok());
+    ASSERT_TRUE((*log)->BeginTxn(3).ok());  // never commits: "crash"
+  }
+  auto log = CommitLog::Open(&dev_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->StatusOf(2), TxnStatus::kCommitted);
+  EXPECT_EQ((*log)->CommitTimeOf(2), 50u);
+  EXPECT_EQ((*log)->StatusOf(3), TxnStatus::kAborted)
+      << "in-progress at crash must read as aborted";
+  EXPECT_GE((*log)->MaxTxnId(), 3u) << "xids must not be reused after crash";
+}
+
+TEST_F(CommitLogTest, ManyTxnsSpanLogPages) {
+  {
+    auto log = CommitLog::Open(&dev_);
+    ASSERT_TRUE(log.ok());
+    for (TxnId x = 2; x < 1200; ++x) {
+      ASSERT_TRUE((*log)->BeginTxn(x).ok());
+      ASSERT_TRUE((*log)->CommitTxn(x, x * 10).ok());
+    }
+  }
+  auto log = CommitLog::Open(&dev_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->CommitTimeOf(600), 6000u);
+  EXPECT_EQ((*log)->CommitTimeOf(1199), 11990u);
+}
+
+TEST_F(CommitLogTest, RejectsProtocolViolations) {
+  auto log = CommitLog::Open(&dev_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_FALSE((*log)->CommitTxn(77, 1).ok());  // never began
+  ASSERT_TRUE((*log)->BeginTxn(8).ok());
+  EXPECT_FALSE((*log)->BeginTxn(8).ok());  // reuse
+  ASSERT_TRUE((*log)->CommitTxn(8, 1).ok());
+  EXPECT_FALSE((*log)->AbortTxn(8).ok());  // already committed
+}
+
+// ------------------------------------------------------ Snapshot visibility
+
+// Parametrized truth table: (xmin state, xmax state, snapshot kind) -> visible.
+struct VisCase {
+  const char* name;
+  bool xmin_committed;
+  Timestamp xmin_time;
+  bool has_xmax;
+  bool xmax_committed;
+  Timestamp xmax_time;
+  Timestamp as_of;
+  bool expect_visible;
+};
+
+class VisibilityTest : public ::testing::TestWithParam<VisCase> {};
+
+TEST_P(VisibilityTest, Matrix) {
+  const VisCase& c = GetParam();
+  MemBlockStore store;
+  NvramDevice dev(&store);
+  auto log = CommitLog::Open(&dev);
+  ASSERT_TRUE(log.ok());
+
+  constexpr TxnId kIns = 10, kDel = 11;
+  ASSERT_TRUE((*log)->BeginTxn(kIns).ok());
+  if (c.xmin_committed) {
+    ASSERT_TRUE((*log)->CommitTxn(kIns, c.xmin_time).ok());
+  }
+  ASSERT_TRUE((*log)->BeginTxn(kDel).ok());
+  if (c.has_xmax && c.xmax_committed) {
+    ASSERT_TRUE((*log)->CommitTxn(kDel, c.xmax_time).ok());
+  }
+
+  TupleMeta meta{0, kIns, c.has_xmax ? kDel : kInvalidTxn};
+  Snapshot snap{c.as_of, kInvalidTxn, log->get()};
+  EXPECT_EQ(snap.IsVisible(meta), c.expect_visible) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, VisibilityTest,
+    ::testing::Values(
+        VisCase{"live_committed_row", true, 100, false, false, 0, kTimestampNow, true},
+        VisCase{"uncommitted_insert", false, 0, false, false, 0, kTimestampNow, false},
+        VisCase{"deleted_by_committed", true, 100, true, true, 200, kTimestampNow,
+                false},
+        VisCase{"delete_in_progress_still_visible", true, 100, true, false, 0,
+                kTimestampNow, true},
+        VisCase{"historical_before_insert", true, 100, false, false, 0, 99, false},
+        VisCase{"historical_at_insert", true, 100, false, false, 0, 100, true},
+        VisCase{"historical_between_versions", true, 100, true, true, 200, 150, true},
+        VisCase{"historical_after_delete", true, 100, true, true, 200, 200, false},
+        VisCase{"historical_uncommitted_insert", false, 0, false, false, 0, 500,
+                false}),
+    [](const ::testing::TestParamInfo<VisCase>& info) { return info.param.name; });
+
+TEST(Snapshot, OwnWritesVisibleOnlyToSelfAndOnlyNow) {
+  MemBlockStore store;
+  NvramDevice dev(&store);
+  auto log = CommitLog::Open(&dev);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->BeginTxn(7).ok());
+  TupleMeta mine{0, 7, kInvalidTxn};
+
+  Snapshot self{kTimestampNow, 7, log->get()};
+  Snapshot other{kTimestampNow, 8, log->get()};
+  Snapshot historical{999999, 7, log->get()};
+  EXPECT_TRUE(self.IsVisible(mine));
+  EXPECT_FALSE(other.IsVisible(mine));
+  EXPECT_FALSE(historical.IsVisible(mine)) << "time travel never sees in-flight work";
+}
+
+TEST(Snapshot, OwnDeleteHidesRowFromSelf) {
+  MemBlockStore store;
+  NvramDevice dev(&store);
+  auto log = CommitLog::Open(&dev);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->BeginTxn(5).ok());
+  ASSERT_TRUE((*log)->CommitTxn(5, 10).ok());
+  ASSERT_TRUE((*log)->BeginTxn(6).ok());
+  TupleMeta meta{0, 5, 6};  // I (txn 6) deleted a committed row
+  Snapshot self{kTimestampNow, 6, log->get()};
+  Snapshot other{kTimestampNow, 7, log->get()};
+  EXPECT_FALSE(self.IsVisible(meta));
+  EXPECT_TRUE(other.IsVisible(meta)) << "uncommitted delete invisible to others";
+}
+
+TEST(Snapshot, DeadForeverMatchesVacuumCriterion) {
+  MemBlockStore store;
+  NvramDevice dev(&store);
+  auto log = CommitLog::Open(&dev);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->BeginTxn(5).ok());
+  ASSERT_TRUE((*log)->CommitTxn(5, 10).ok());
+  ASSERT_TRUE((*log)->BeginTxn(6).ok());
+  Snapshot snap{kTimestampNow, kInvalidTxn, log->get()};
+  EXPECT_FALSE(snap.IsDeadForever(TupleMeta{0, 5, kInvalidTxn}));
+  EXPECT_FALSE(snap.IsDeadForever(TupleMeta{0, 5, 6})) << "deleter still running";
+  ASSERT_TRUE((*log)->CommitTxn(6, 20).ok());
+  EXPECT_TRUE(snap.IsDeadForever(TupleMeta{0, 5, 6}));
+}
+
+// -------------------------------------------------------------- LockManager
+
+TEST(LockManager, SharedLocksAreCompatible) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(2, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, 100, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, 100, LockMode::kShared));
+}
+
+TEST(LockManager, ReentrantAndUpgrade) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());  // sole holder
+  EXPECT_TRUE(lm.Holds(1, 100, LockMode::kExclusive));
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kShared).ok());  // X covers S
+}
+
+TEST(LockManager, ExclusiveBlocksUntilRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    ASSERT_TRUE(lm.Acquire(2, 100, LockMode::kShared).ok());
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired);
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired);
+}
+
+TEST(LockManager, DeadlockDetected) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(2, 200, LockMode::kExclusive).ok());
+  std::thread t1([&] {
+    // Txn 1 waits for 200 (held by 2).
+    Status s = lm.Acquire(1, 200, LockMode::kExclusive);
+    // Once txn 2's attempt deadlocks and it releases, this can be granted.
+    EXPECT_TRUE(s.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Txn 2 requesting 100 closes the cycle: must be told, not blocked forever.
+  Status s = lm.Acquire(2, 100, LockMode::kExclusive);
+  EXPECT_TRUE(s.IsDeadlock());
+  lm.ReleaseAll(2);
+  t1.join();
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.NumLockedRelations(), 0u);
+}
+
+TEST(LockManager, ReleaseAllFreesEverything) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(1, 200, LockMode::kShared).ok());
+  EXPECT_EQ(lm.NumLockedRelations(), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.NumLockedRelations(), 0u);
+  ASSERT_TRUE(lm.Acquire(2, 100, LockMode::kExclusive).ok());
+}
+
+// -------------------------------------------------- concurrent transactions
+
+TEST(TxnConcurrency, TwoWritersSerializeOnTable) {
+  StorageEnv env;
+  auto db_or = Database::Open(&env);
+  ASSERT_TRUE(db_or.ok());
+  Database& db = **db_or;
+  auto setup = db.Begin();
+  auto table = db.catalog().CreateTable(*setup, "t", Schema{{"k", TypeId::kInt4}},
+                                        kDeviceMagneticDisk);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(db.Commit(*setup).ok());
+
+  constexpr int kPerWriter = 50;
+  auto writer = [&](int base) {
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(db.LockTable(*txn, *table, LockMode::kExclusive).ok());
+    for (int i = 0; i < kPerWriter; ++i) {
+      ASSERT_TRUE(db.InsertRow(*txn, *table, {Value::Int4(base + i)}).ok());
+    }
+    ASSERT_TRUE(db.Commit(*txn).ok());
+  };
+  std::thread a(writer, 0);
+  std::thread b(writer, 1000);
+  a.join();
+  b.join();
+
+  auto reader = db.Begin();
+  int count = 0;
+  auto it = (*table)->heap->Scan(db.SnapshotFor(*reader));
+  while (it.Next()) {
+    ++count;
+  }
+  ASSERT_TRUE(it.status().ok());
+  EXPECT_EQ(count, 2 * kPerWriter);
+  ASSERT_TRUE(db.Commit(*reader).ok());
+}
+
+}  // namespace
+}  // namespace invfs

@@ -1,0 +1,269 @@
+// Unit tests: Status/Result, PRNG, CRC32C, byte codecs, LZSS.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/crc32.h"
+#include "src/util/lzss.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace invfs {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: no such thing");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "Unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::IoError("disk on fire");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kIoError);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> Doubler(Result<int> in) {
+  INV_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(Status::Deadlock("x")).status().code(), ErrorCode::kDeadlock);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo && saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------- CRC32C
+
+TEST(Crc32c, KnownVector) {
+  // CRC-32C("123456789") = 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyIsZero) { EXPECT_EQ(Crc32c(nullptr, 0), 0u); }
+
+TEST(Crc32c, SensitiveToEveryByte) {
+  std::string data(256, 'a');
+  const uint32_t base = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); i += 37) {
+    std::string mutated = data;
+    mutated[i] = 'b';
+    EXPECT_NE(Crc32c(mutated.data(), mutated.size()), base) << "byte " << i;
+  }
+}
+
+// ---------------------------------------------------------------- bytes
+
+TEST(Bytes, FixedWidthRoundtrip) {
+  std::byte buf[8];
+  PutU16(buf, 0xBEEF);
+  EXPECT_EQ(GetU16(buf), 0xBEEF);
+  PutU32(buf, 0xDEADBEEF);
+  EXPECT_EQ(GetU32(buf), 0xDEADBEEFu);
+  PutU64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(GetU64(buf), 0x0123456789ABCDEFull);
+}
+
+TEST(Bytes, WriterReaderRoundtrip) {
+  ByteWriter w;
+  w.U8(7);
+  w.U16(300);
+  w.U32(70000);
+  w.U64(1ull << 40);
+  w.I64(-12345);
+  w.F64(3.25);
+  w.Str("hello");
+  w.Blob(std::vector<std::byte>{std::byte{1}, std::byte{2}});
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.U8(), 7);
+  EXPECT_EQ(r.U16(), 300);
+  EXPECT_EQ(r.U32(), 70000u);
+  EXPECT_EQ(r.U64(), 1ull << 40);
+  EXPECT_EQ(r.I64(), -12345);
+  EXPECT_EQ(r.F64(), 3.25);
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_EQ(r.Blob().size(), 2u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, ReaderDetectsTruncation) {
+  ByteWriter w;
+  w.U32(5);  // claims a 5-byte string follows, but nothing does
+  ByteReader r(w.data());
+  (void)r.Str();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, ReaderPastEndIsSticky) {
+  ByteReader r(std::span<const std::byte>{});
+  EXPECT_EQ(r.U32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------- LZSS
+
+TEST(Lzss, EmptyInput) {
+  auto packed = LzssCompress({});
+  auto raw = LzssDecompress(packed, 0);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_TRUE(raw->empty());
+}
+
+TEST(Lzss, CompressesRepetitiveData) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "abcabcabc ";
+  }
+  auto input = std::as_bytes(std::span(text.data(), text.size()));
+  auto packed = LzssCompress(input);
+  EXPECT_LT(packed.size(), text.size() / 3);
+  auto raw = LzssDecompress(packed, text.size());
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_TRUE(std::equal(raw->begin(), raw->end(), input.begin()));
+}
+
+TEST(Lzss, IncompressibleDataSurvives) {
+  Rng rng(17);
+  std::vector<std::byte> input(4096);
+  for (auto& b : input) {
+    b = static_cast<std::byte>(rng.Uniform(256));
+  }
+  auto packed = LzssCompress(input);
+  // Worst case bound: 9/8 of input + 1.
+  EXPECT_LE(packed.size(), input.size() * 9 / 8 + 1);
+  auto raw = LzssDecompress(packed, input.size());
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, input);
+}
+
+TEST(Lzss, DetectsTruncatedStream) {
+  std::string text(1000, 'x');
+  auto packed = LzssCompress(std::as_bytes(std::span(text.data(), text.size())));
+  packed.resize(packed.size() / 2);
+  EXPECT_FALSE(LzssDecompress(packed, text.size()).ok());
+}
+
+TEST(Lzss, DetectsWrongExpectedSize) {
+  std::string text(100, 'x');
+  auto packed = LzssCompress(std::as_bytes(std::span(text.data(), text.size())));
+  EXPECT_FALSE(LzssDecompress(packed, 101).ok());
+}
+
+// Property sweep: roundtrip across sizes and content classes.
+class LzssRoundtrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LzssRoundtrip, Roundtrips) {
+  const auto [size, kind] = GetParam();
+  Rng rng(static_cast<uint64_t>(size * 31 + kind));
+  std::vector<std::byte> input(static_cast<size_t>(size));
+  for (size_t i = 0; i < input.size(); ++i) {
+    switch (kind) {
+      case 0:  // constant
+        input[i] = std::byte{0x41};
+        break;
+      case 1:  // short period
+        input[i] = static_cast<std::byte>('a' + i % 7);
+        break;
+      case 2:  // random
+        input[i] = static_cast<std::byte>(rng.Uniform(256));
+        break;
+      case 3:  // long-range repeats
+        input[i] = static_cast<std::byte>((i / 1000) % 3 == 0 ? 'z' : i % 251);
+        break;
+    }
+  }
+  auto packed = LzssCompress(input);
+  auto raw = LzssDecompress(packed, input.size());
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_EQ(*raw, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndKinds, LzssRoundtrip,
+    ::testing::Combine(::testing::Values(1, 2, 17, 255, 4096, 8133, 20000),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace invfs

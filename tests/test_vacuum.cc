@@ -1,0 +1,195 @@
+// Unit tests: the vacuum cleaner / record archiver.
+
+#include <gtest/gtest.h>
+
+#include "src/vacuum/vacuum.h"
+
+namespace invfs {
+namespace {
+
+class VacuumTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(&env_);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    vacuum_ = std::make_unique<VacuumCleaner>(db_.get());
+    auto txn = db_->Begin();
+    auto table = db_->catalog().CreateTable(
+        *txn, "t", Schema{{"k", TypeId::kInt4}, {"v", TypeId::kText}},
+        kDeviceMagneticDisk);
+    ASSERT_TRUE(table.ok());
+    table_ = *table;
+    auto index = db_->catalog().CreateIndex(*txn, table_, {0});
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(db_->Commit(*txn).ok());
+  }
+
+  // Insert k=0..n-1, then delete the even ones in a second txn.
+  void Populate(int n) {
+    auto t1 = db_->Begin();
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          db_->InsertRow(*t1, table_, {Value::Int4(i), Value::Text("v")}).ok());
+    }
+    ASSERT_TRUE(db_->Commit(*t1).ok());
+    auto t2 = db_->Begin();
+    std::vector<Tid> victims;
+    auto it = table_->heap->Scan(db_->SnapshotFor(*t2));
+    while (it.Next()) {
+      if (it.row()[0].AsInt4() % 2 == 0) {
+        victims.push_back(it.tid());
+      }
+    }
+    for (Tid tid : victims) {
+      ASSERT_TRUE(db_->DeleteRow(*t2, table_, tid).ok());
+    }
+    ASSERT_TRUE(db_->Commit(*t2).ok());
+  }
+
+  int CountVisible(const Snapshot& snap, Heap* heap) {
+    int count = 0;
+    auto it = heap->Scan(snap);
+    while (it.Next()) {
+      ++count;
+    }
+    return count;
+  }
+
+  StorageEnv env_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<VacuumCleaner> vacuum_;
+  TableInfo* table_ = nullptr;
+};
+
+TEST_F(VacuumTest, ArchivesDeadVersions) {
+  Populate(20);
+  auto txn = db_->Begin();
+  auto stats = vacuum_->VacuumTable(*txn, table_, /*keep_history=*/true);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+  EXPECT_EQ(stats->scanned, 20u);
+  EXPECT_EQ(stats->archived, 10u);
+  EXPECT_EQ(stats->live, 10u);
+  EXPECT_NE(table_->archive_oid, kInvalidOid);
+  // Heap now physically holds only survivors.
+  int physical = 0;
+  auto it = table_->heap->ScanAll();
+  while (it.Next()) {
+    ++physical;
+  }
+  EXPECT_EQ(physical, 10);
+}
+
+TEST_F(VacuumTest, HistoricalReadsSurviveVacuumViaArchive) {
+  auto t1 = db_->Begin();
+  auto tid = table_->heap->Insert(*t1, {Value::Int4(1), Value::Text("old")});
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(db_->Commit(*t1).ok());
+  const Timestamp before = db_->Now();
+  auto t2 = db_->Begin();
+  ASSERT_TRUE(
+      db_->ReplaceRow(*t2, table_, *tid, {Value::Int4(1), Value::Text("new")}).ok());
+  ASSERT_TRUE(db_->Commit(*t2).ok());
+
+  auto vt = db_->Begin();
+  ASSERT_TRUE(vacuum_->VacuumTable(*vt, table_, true).ok());
+  ASSERT_TRUE(db_->Commit(*vt).ok());
+
+  // The old version is no longer in the heap...
+  EXPECT_EQ(CountVisible(db_->SnapshotAt(before), table_->heap.get()), 0);
+  // ...but the archive union still shows it (as the executor would).
+  auto archive = db_->catalog().GetTableByOid(table_->archive_oid);
+  ASSERT_TRUE(archive.ok());
+  int found = 0;
+  auto it = (*archive)->heap->Scan(db_->SnapshotAt(before));
+  while (it.Next()) {
+    ++found;
+    EXPECT_EQ(it.row()[1].AsText(), "old");
+  }
+  EXPECT_EQ(found, 1);
+}
+
+TEST_F(VacuumTest, NoHistoryModeDiscards) {
+  Populate(10);
+  auto txn = db_->Begin();
+  auto stats = vacuum_->VacuumTable(*txn, table_, /*keep_history=*/false);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+  EXPECT_EQ(stats->archived, 0u);
+  EXPECT_EQ(stats->discarded, 5u);
+  EXPECT_EQ(table_->archive_oid, kInvalidOid);
+}
+
+TEST_F(VacuumTest, AbortedInsertsAlwaysDiscarded) {
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->InsertRow(*txn, table_, {Value::Int4(9), Value::Text("x")}).ok());
+  ASSERT_TRUE(db_->Abort(*txn).ok());
+  auto vt = db_->Begin();
+  auto stats = vacuum_->VacuumTable(*vt, table_, true);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(db_->Commit(*vt).ok());
+  EXPECT_EQ(stats->discarded, 1u);
+  EXPECT_EQ(stats->archived, 0u) << "aborted versions are garbage, not history";
+}
+
+TEST_F(VacuumTest, IndexRebuiltConsistently) {
+  Populate(200);
+  auto txn = db_->Begin();
+  ASSERT_TRUE(vacuum_->VacuumTable(*txn, table_, true).ok());
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+  IndexInfo* index = table_->indexes[0];
+  ASSERT_TRUE(index->btree->CheckInvariants().ok());
+  EXPECT_EQ(*index->btree->CountEntries(), 100u);
+  // Index points at live tuples.
+  auto tids = index->btree->Lookup(EncodeInt4Key(101));
+  ASSERT_TRUE(tids.ok());
+  ASSERT_EQ(tids->size(), 1u);
+  auto reader = db_->Begin();
+  auto row = table_->heap->Fetch(db_->SnapshotFor(*reader), (*tids)[0]);
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(row->has_value());
+  EXPECT_EQ((**row)[0].AsInt4(), 101);
+  ASSERT_TRUE(db_->Commit(*reader).ok());
+  // Dead keys are gone from the index.
+  EXPECT_TRUE(index->btree->Lookup(EncodeInt4Key(100))->empty());
+}
+
+TEST_F(VacuumTest, InProgressVersionsLeftAlone) {
+  auto writer = db_->Begin();
+  ASSERT_TRUE(db_->InsertRow(*writer, table_, {Value::Int4(1), Value::Text("wip")}).ok());
+  // Vacuum runs while the writer is still active (it will skip the X lock by
+  // running in the same thread? no — use a different table lock path: vacuum
+  // takes X and would block; so vacuum the table in the writer's transaction).
+  auto stats = vacuum_->VacuumTable(*writer, table_, true);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->live, 1u);
+  EXPECT_EQ(stats->discarded + stats->archived, 0u);
+  ASSERT_TRUE(db_->Commit(*writer).ok());
+}
+
+TEST_F(VacuumTest, VacuumAllCoversUserTablesOnly) {
+  Populate(10);
+  auto txn = db_->Begin();
+  auto stats = vacuum_->VacuumAll(*txn, true);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+  EXPECT_EQ(stats->scanned, 10u) << "catalogs and indexes are not vacuumed";
+}
+
+TEST_F(VacuumTest, IdempotentSecondPass) {
+  Populate(20);
+  auto t1 = db_->Begin();
+  ASSERT_TRUE(vacuum_->VacuumTable(*t1, table_, true).ok());
+  ASSERT_TRUE(db_->Commit(*t1).ok());
+  auto t2 = db_->Begin();
+  auto stats = vacuum_->VacuumTable(*t2, table_, true);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(db_->Commit(*t2).ok());
+  EXPECT_EQ(stats->archived, 0u);
+  EXPECT_EQ(stats->discarded, 0u);
+  EXPECT_EQ(stats->live, 10u);
+}
+
+}  // namespace
+}  // namespace invfs
