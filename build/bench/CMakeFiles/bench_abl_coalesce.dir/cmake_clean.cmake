@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_coalesce.dir/bench_abl_coalesce.cc.o"
+  "CMakeFiles/bench_abl_coalesce.dir/bench_abl_coalesce.cc.o.d"
+  "bench_abl_coalesce"
+  "bench_abl_coalesce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

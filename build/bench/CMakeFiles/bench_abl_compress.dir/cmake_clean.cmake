@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_compress.dir/bench_abl_compress.cc.o"
+  "CMakeFiles/bench_abl_compress.dir/bench_abl_compress.cc.o.d"
+  "bench_abl_compress"
+  "bench_abl_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

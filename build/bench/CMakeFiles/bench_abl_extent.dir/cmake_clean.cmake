@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_extent.dir/bench_abl_extent.cc.o"
+  "CMakeFiles/bench_abl_extent.dir/bench_abl_extent.cc.o.d"
+  "bench_abl_extent"
+  "bench_abl_extent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_extent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_index.dir/bench_abl_index.cc.o"
+  "CMakeFiles/bench_abl_index.dir/bench_abl_index.cc.o.d"
+  "bench_abl_index"
+  "bench_abl_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

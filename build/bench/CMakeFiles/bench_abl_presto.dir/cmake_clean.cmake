@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_presto.dir/bench_abl_presto.cc.o"
+  "CMakeFiles/bench_abl_presto.dir/bench_abl_presto.cc.o.d"
+  "bench_abl_presto"
+  "bench_abl_presto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_presto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_protocol.dir/bench_abl_protocol.cc.o"
+  "CMakeFiles/bench_abl_protocol.dir/bench_abl_protocol.cc.o.d"
+  "bench_abl_protocol"
+  "bench_abl_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

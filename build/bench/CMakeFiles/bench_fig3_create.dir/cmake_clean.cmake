@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_create.dir/bench_fig3_create.cc.o"
+  "CMakeFiles/bench_fig3_create.dir/bench_fig3_create.cc.o.d"
+  "bench_fig3_create"
+  "bench_fig3_create.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_create.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

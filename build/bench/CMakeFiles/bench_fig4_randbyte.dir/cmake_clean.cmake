@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_randbyte.dir/bench_fig4_randbyte.cc.o"
+  "CMakeFiles/bench_fig4_randbyte.dir/bench_fig4_randbyte.cc.o.d"
+  "bench_fig4_randbyte"
+  "bench_fig4_randbyte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_randbyte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_local_ston93.cc" "bench/CMakeFiles/bench_local_ston93.dir/bench_local_ston93.cc.o" "gcc" "bench/CMakeFiles/bench_local_ston93.dir/bench_local_ston93.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/inv_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/inv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/inversion/CMakeFiles/inv_inversion.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/inv_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/inv_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/vacuum/CMakeFiles/inv_vacuum.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/inv_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/inv_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/inv_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/inv_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/inv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/inv_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/inv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

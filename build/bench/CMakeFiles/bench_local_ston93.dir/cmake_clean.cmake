@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_ston93.dir/bench_local_ston93.cc.o"
+  "CMakeFiles/bench_local_ston93.dir/bench_local_ston93.cc.o.d"
+  "bench_local_ston93"
+  "bench_local_ston93.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_ston93.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_jukebox.dir/migration_jukebox.cpp.o"
+  "CMakeFiles/migration_jukebox.dir/migration_jukebox.cpp.o.d"
+  "migration_jukebox"
+  "migration_jukebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_jukebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for migration_jukebox.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_queries.dir/satellite_queries.cpp.o"
+  "CMakeFiles/satellite_queries.dir/satellite_queries.cpp.o.d"
+  "satellite_queries"
+  "satellite_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timetravel_recovery.dir/timetravel_recovery.cpp.o"
+  "CMakeFiles/timetravel_recovery.dir/timetravel_recovery.cpp.o.d"
+  "timetravel_recovery"
+  "timetravel_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timetravel_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

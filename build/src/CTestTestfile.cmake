@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("storage")
+subdirs("device")
+subdirs("buffer")
+subdirs("txn")
+subdirs("access")
+subdirs("catalog")
+subdirs("query")
+subdirs("vacuum")
+subdirs("rules")
+subdirs("inversion")
+subdirs("net")
+subdirs("nfs")
+subdirs("harness")

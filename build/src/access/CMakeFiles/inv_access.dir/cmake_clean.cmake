@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_access.dir/btree.cc.o"
+  "CMakeFiles/inv_access.dir/btree.cc.o.d"
+  "CMakeFiles/inv_access.dir/heap.cc.o"
+  "CMakeFiles/inv_access.dir/heap.cc.o.d"
+  "CMakeFiles/inv_access.dir/key_codec.cc.o"
+  "CMakeFiles/inv_access.dir/key_codec.cc.o.d"
+  "libinv_access.a"
+  "libinv_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_buffer.dir/buffer_pool.cc.o"
+  "CMakeFiles/inv_buffer.dir/buffer_pool.cc.o.d"
+  "libinv_buffer.a"
+  "libinv_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_catalog.dir/catalog.cc.o"
+  "CMakeFiles/inv_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/inv_catalog.dir/database.cc.o"
+  "CMakeFiles/inv_catalog.dir/database.cc.o.d"
+  "libinv_catalog.a"
+  "libinv_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

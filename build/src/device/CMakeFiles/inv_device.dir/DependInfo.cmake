@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/block_store.cc" "src/device/CMakeFiles/inv_device.dir/block_store.cc.o" "gcc" "src/device/CMakeFiles/inv_device.dir/block_store.cc.o.d"
+  "/root/repo/src/device/device.cc" "src/device/CMakeFiles/inv_device.dir/device.cc.o" "gcc" "src/device/CMakeFiles/inv_device.dir/device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/inv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

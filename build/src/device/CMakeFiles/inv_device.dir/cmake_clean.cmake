@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_device.dir/block_store.cc.o"
+  "CMakeFiles/inv_device.dir/block_store.cc.o.d"
+  "CMakeFiles/inv_device.dir/device.cc.o"
+  "CMakeFiles/inv_device.dir/device.cc.o.d"
+  "libinv_device.a"
+  "libinv_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_harness.dir/paper_benchmark.cc.o"
+  "CMakeFiles/inv_harness.dir/paper_benchmark.cc.o.d"
+  "CMakeFiles/inv_harness.dir/worlds.cc.o"
+  "CMakeFiles/inv_harness.dir/worlds.cc.o.d"
+  "libinv_harness.a"
+  "libinv_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

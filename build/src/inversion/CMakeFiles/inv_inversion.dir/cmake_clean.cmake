@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_inversion.dir/inv_fs.cc.o"
+  "CMakeFiles/inv_inversion.dir/inv_fs.cc.o.d"
+  "CMakeFiles/inv_inversion.dir/inv_functions.cc.o"
+  "CMakeFiles/inv_inversion.dir/inv_functions.cc.o.d"
+  "CMakeFiles/inv_inversion.dir/inv_session.cc.o"
+  "CMakeFiles/inv_inversion.dir/inv_session.cc.o.d"
+  "libinv_inversion.a"
+  "libinv_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_net.dir/nfs_gateway.cc.o"
+  "CMakeFiles/inv_net.dir/nfs_gateway.cc.o.d"
+  "CMakeFiles/inv_net.dir/rpc.cc.o"
+  "CMakeFiles/inv_net.dir/rpc.cc.o.d"
+  "libinv_net.a"
+  "libinv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

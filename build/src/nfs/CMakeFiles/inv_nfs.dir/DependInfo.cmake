@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs/ffs_sim.cc" "src/nfs/CMakeFiles/inv_nfs.dir/ffs_sim.cc.o" "gcc" "src/nfs/CMakeFiles/inv_nfs.dir/ffs_sim.cc.o.d"
+  "/root/repo/src/nfs/nfs.cc" "src/nfs/CMakeFiles/inv_nfs.dir/nfs.cc.o" "gcc" "src/nfs/CMakeFiles/inv_nfs.dir/nfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/inv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

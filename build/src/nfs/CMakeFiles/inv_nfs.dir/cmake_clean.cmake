@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_nfs.dir/ffs_sim.cc.o"
+  "CMakeFiles/inv_nfs.dir/ffs_sim.cc.o.d"
+  "CMakeFiles/inv_nfs.dir/nfs.cc.o"
+  "CMakeFiles/inv_nfs.dir/nfs.cc.o.d"
+  "libinv_nfs.a"
+  "libinv_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_query.dir/ast_print.cc.o"
+  "CMakeFiles/inv_query.dir/ast_print.cc.o.d"
+  "CMakeFiles/inv_query.dir/eval.cc.o"
+  "CMakeFiles/inv_query.dir/eval.cc.o.d"
+  "CMakeFiles/inv_query.dir/executor.cc.o"
+  "CMakeFiles/inv_query.dir/executor.cc.o.d"
+  "CMakeFiles/inv_query.dir/lexer.cc.o"
+  "CMakeFiles/inv_query.dir/lexer.cc.o.d"
+  "CMakeFiles/inv_query.dir/parser.cc.o"
+  "CMakeFiles/inv_query.dir/parser.cc.o.d"
+  "libinv_query.a"
+  "libinv_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_rules.dir/rules.cc.o"
+  "CMakeFiles/inv_rules.dir/rules.cc.o.d"
+  "libinv_rules.a"
+  "libinv_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

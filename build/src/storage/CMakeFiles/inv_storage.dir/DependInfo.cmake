@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/inv_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/inv_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/storage/CMakeFiles/inv_storage.dir/tuple.cc.o" "gcc" "src/storage/CMakeFiles/inv_storage.dir/tuple.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/inv_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/inv_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/inv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

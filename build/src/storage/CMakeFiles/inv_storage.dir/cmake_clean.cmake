@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_storage.dir/page.cc.o"
+  "CMakeFiles/inv_storage.dir/page.cc.o.d"
+  "CMakeFiles/inv_storage.dir/tuple.cc.o"
+  "CMakeFiles/inv_storage.dir/tuple.cc.o.d"
+  "CMakeFiles/inv_storage.dir/value.cc.o"
+  "CMakeFiles/inv_storage.dir/value.cc.o.d"
+  "libinv_storage.a"
+  "libinv_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_txn.dir/commit_log.cc.o"
+  "CMakeFiles/inv_txn.dir/commit_log.cc.o.d"
+  "CMakeFiles/inv_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/inv_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/inv_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/inv_txn.dir/txn_manager.cc.o.d"
+  "libinv_txn.a"
+  "libinv_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

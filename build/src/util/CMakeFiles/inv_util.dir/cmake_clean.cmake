@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_util.dir/crc32.cc.o"
+  "CMakeFiles/inv_util.dir/crc32.cc.o.d"
+  "CMakeFiles/inv_util.dir/logging.cc.o"
+  "CMakeFiles/inv_util.dir/logging.cc.o.d"
+  "CMakeFiles/inv_util.dir/lzss.cc.o"
+  "CMakeFiles/inv_util.dir/lzss.cc.o.d"
+  "CMakeFiles/inv_util.dir/status.cc.o"
+  "CMakeFiles/inv_util.dir/status.cc.o.d"
+  "libinv_util.a"
+  "libinv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inv_vacuum.dir/vacuum.cc.o"
+  "CMakeFiles/inv_vacuum.dir/vacuum.cc.o.d"
+  "libinv_vacuum.a"
+  "libinv_vacuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inv_vacuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_database_smoke.dir/test_database_smoke.cc.o"
+  "CMakeFiles/test_database_smoke.dir/test_database_smoke.cc.o.d"
+  "test_database_smoke"
+  "test_database_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_database_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inversion_fs.dir/test_inversion_fs.cc.o"
+  "CMakeFiles/test_inversion_fs.dir/test_inversion_fs.cc.o.d"
+  "test_inversion_fs"
+  "test_inversion_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inversion_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inversion_property.dir/test_inversion_property.cc.o"
+  "CMakeFiles/test_inversion_property.dir/test_inversion_property.cc.o.d"
+  "test_inversion_property"
+  "test_inversion_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inversion_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nfs_gateway.dir/test_nfs_gateway.cc.o"
+  "CMakeFiles/test_nfs_gateway.dir/test_nfs_gateway.cc.o.d"
+  "test_nfs_gateway"
+  "test_nfs_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nfs_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

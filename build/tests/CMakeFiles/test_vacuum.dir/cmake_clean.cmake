@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vacuum.dir/test_vacuum.cc.o"
+  "CMakeFiles/test_vacuum.dir/test_vacuum.cc.o.d"
+  "test_vacuum"
+  "test_vacuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vacuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
