@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Tier-2 correctness gate for the Inversion reproduction.
+#
+# Runs the full ctest suite under ASan+UBSan and under TSan (both with the
+# 2PL/latch discipline instrumentation enabled), then clang-tidy over src/.
+# Any sanitizer report, test failure, discipline violation, or clang-tidy
+# diagnostic fails the gate.
+#
+# Usage:
+#   scripts/check.sh            # everything
+#   scripts/check.sh asan       # just the ASan+UBSan leg
+#   scripts/check.sh tsan       # just the TSan leg
+#   scripts/check.sh tidy       # just clang-tidy
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+JOBS=${JOBS:-$(nproc)}
+LEG=${1:-all}
+
+run_sanitized() {
+  local name=$1 preset=$2
+  local dir="$ROOT/build-$name"
+  echo "==> [$name] configure (INVFS_SANITIZE=$preset, INVFS_DEBUG_INVARIANTS=ON)"
+  cmake -B "$dir" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DINVFS_SANITIZE="$preset" \
+        -DINVFS_DEBUG_INVARIANTS=ON >/dev/null
+  echo "==> [$name] build"
+  cmake --build "$dir" -j "$JOBS" -- --no-print-directory
+  echo "==> [$name] ctest"
+  # halt_on_error makes any sanitizer report a test failure; TSan's
+  # second_deadlock_stack improves lock-order reports.
+  env ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
+      UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+      TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+      ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  echo "==> [$name] clean"
+}
+
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> [tidy] clang-tidy not installed; skipping (install clang-tidy to run this leg)"
+    return 0
+  fi
+  local dir="$ROOT/build-tidy"
+  echo "==> [tidy] configure (compile database)"
+  cmake -B "$dir" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  echo "==> [tidy] clang-tidy over src/ (any diagnostic fails)"
+  # WarningsAsErrors: '*' in .clang-tidy turns every diagnostic into an error,
+  # so a non-zero exit here is the gate failing.
+  find src -name '*.cc' -print0 |
+    xargs -0 -n 4 -P "$JOBS" clang-tidy -p "$dir" --quiet
+  echo "==> [tidy] clean"
+}
+
+case "$LEG" in
+  asan) run_sanitized asan address ;;
+  tsan) run_sanitized tsan thread ;;
+  tidy) run_tidy ;;
+  all)
+    run_sanitized asan address
+    run_sanitized tsan thread
+    run_tidy
+    ;;
+  *)
+    echo "unknown leg '$LEG' (want asan, tsan, tidy, or all)" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> check.sh: all requested legs passed"

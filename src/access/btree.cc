@@ -3,28 +3,16 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/access/btree_layout.h"
 #include "src/storage/page.h"
 #include "src/util/bytes.h"
 
 namespace invfs {
 namespace {
 
-// Node byte layout (after the 24-byte standard page header):
-constexpr uint32_t kOffType = 24;        // u8: 1 leaf, 2 internal
-constexpr uint32_t kOffRightSib = 25;    // u32
-constexpr uint32_t kOffNKeys = 29;       // u16
-constexpr uint32_t kOffLeftChild = 31;   // u32 (internal)
-constexpr uint32_t kOffUsed = 35;        // u16: entry-area bytes in use
-constexpr uint32_t kOffEntries = 37;
-constexpr uint32_t kEntryArea = kPageSize - kOffEntries;
-
-constexpr uint8_t kNodeLeaf = 1;
-constexpr uint8_t kNodeInternal = 2;
-
-// Meta page (block 0) layout:
-constexpr uint32_t kOffMetaMagic = 24;  // u32
-constexpr uint32_t kOffMetaRoot = 28;   // u32
-constexpr uint32_t kBtreeMetaMagic = 0xB7EEB7EE;
+// Node and meta-page byte layout lives in btree_layout.h, shared with the
+// offline verifier.
+using namespace btree_layout;  // NOLINT(google-build-using-namespace)
 
 int CompareKeys(std::span<const std::byte> a, std::span<const std::byte> b) {
   const size_t n = std::min(a.size(), b.size());
@@ -40,8 +28,6 @@ int CompareKeys(std::span<const std::byte> a, std::span<const std::byte> b) {
 // duplicate user keys contiguous across leaf splits — without it, a split in
 // the middle of an equal-key run would strand entries left of the separator
 // where descent can no longer find them.
-constexpr size_t kTidSuffix = 6;
-
 BtreeKey CombineKey(const BtreeKey& key, Tid tid) {
   BtreeKey out = key;
   out.push_back(std::byte{static_cast<uint8_t>(tid.block >> 24)});

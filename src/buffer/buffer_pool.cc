@@ -4,6 +4,16 @@
 
 namespace invfs {
 
+namespace {
+// Pins held by the current thread, across all pools. Maintained so the lock
+// manager can assert (under debug invariants) that no thread blocks on a
+// table lock while holding page latches — the latch-vs-lock inversion that
+// starves eviction.
+thread_local int t_thread_pins = 0;
+}  // namespace
+
+int BufferPool::ThreadPinCount() { return t_thread_pins; }
+
 // -------------------------------------------------------------------- PageRef
 
 PageRef::PageRef(BufferPool* pool, size_t frame, std::byte* data)
@@ -61,6 +71,7 @@ void BufferPool::Unpin(size_t frame) {
   std::lock_guard lock(mu_);
   INV_CHECK(frames_[frame].pins > 0);
   --frames_[frame].pins;
+  --t_thread_pins;
 }
 
 void BufferPool::Touch(size_t frame) { frames_[frame].last_used = ++clock_tick_; }
@@ -123,10 +134,18 @@ Status BufferPool::WriteFrame(size_t frame) {
     }
     Frame& g = frames_[it->second];
     if (g.dirty) {
+      Page gpage(g.data.get());
+      if (gpage.IsInitialized()) {
+        gpage.UpdateChecksum();
+      }
       INV_RETURN_IF_ERROR(
           mgr->WriteBlock(g.tag.rel, g.tag.block, {g.data.get(), kPageSize}));
       g.dirty = false;
     }
+  }
+  Page fpage(f.data.get());
+  if (fpage.IsInitialized()) {
+    fpage.UpdateChecksum();
   }
   INV_RETURN_IF_ERROR(mgr->WriteBlock(f.tag.rel, f.tag.block, {f.data.get(), kPageSize}));
   f.dirty = false;
@@ -153,6 +172,7 @@ Result<PageRef> BufferPool::Pin(Oid rel, uint32_t block) {
     ++hits_;
     Frame& f = frames_[it->second];
     ++f.pins;
+    ++t_thread_pins;
     Touch(it->second);
     return PageRef(this, it->second, f.data.get());
   }
@@ -161,16 +181,19 @@ Result<PageRef> BufferPool::Pin(Oid rel, uint32_t block) {
   Frame& f = frames_[frame];
   INV_ASSIGN_OR_RETURN(DeviceManager * mgr, devices_->ManagerFor(rel));
   INV_RETURN_IF_ERROR(mgr->ReadBlock(rel, block, {f.data.get(), kPageSize}));
-  // Self-identification check on every read from backing store: detects
-  // media corruption and misdirected writes (paper's reserved-space design).
+  // Self-identification + checksum check on every read from backing store:
+  // detects media corruption and misdirected writes (paper's reserved-space
+  // design, extended with a whole-frame CRC32C).
   Page page(f.data.get());
   if (page.IsInitialized()) {
+    INV_RETURN_IF_ERROR(page.VerifyChecksum());
     INV_RETURN_IF_ERROR(page.VerifySelfIdent(rel, block));
   }
   f.tag = Tag{rel, block};
   f.valid = true;
   f.dirty = false;
   f.pins = 1;
+  ++t_thread_pins;
   table_[f.tag] = frame;
   Touch(frame);
   return PageRef(this, frame, f.data.get());
@@ -189,6 +212,7 @@ Result<PageRef> BufferPool::Extend(Oid rel, uint32_t* new_block) {
   f.valid = true;
   f.dirty = true;
   f.pins = 1;
+  ++t_thread_pins;
   Page page(f.data.get());
   page.Init(rel, block);
   table_[f.tag] = frame;

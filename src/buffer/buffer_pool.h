@@ -93,6 +93,12 @@ class BufferPool {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
+  // Number of pins the calling thread currently holds (across all pools).
+  // Used by the lock manager's debug-invariants mode to flag threads that
+  // block on a table lock while holding page latches. Pins must be released
+  // on the thread that acquired them for this count to stay meaningful.
+  static int ThreadPinCount();
+
  private:
   friend class PageRef;
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 namespace invfs {
-namespace {
 
 Schema PgClassSchema() {
   return Schema{{"relname", TypeId::kText},
@@ -34,6 +33,8 @@ Schema PgIndexSchema() {
                 {"indrelid", TypeId::kOid},
                 {"indkeys", TypeId::kText}};
 }
+
+namespace {
 
 std::string EncodeKeyColumns(const std::vector<size_t>& cols) {
   std::string out;

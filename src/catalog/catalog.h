@@ -43,6 +43,14 @@ enum class RelKind : int32_t {
   kArchive = 2,  // vacuum's record archive for a heap
 };
 
+// Canonical schemas of the catalog relations. Exposed so offline tools
+// (invfs_check) can decode catalog tuples without a live Catalog instance.
+Schema PgClassSchema();
+Schema PgAttributeSchema();
+Schema PgTypeSchema();
+Schema PgProcSchema();
+Schema PgIndexSchema();
+
 // Function language, per pg_proc.
 enum class ProcLang : int32_t {
   kNative = 0,    // C++ callable registered in the FunctionRegistry

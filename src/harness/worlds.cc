@@ -128,6 +128,11 @@ Result<std::unique_ptr<InversionWorld>> InversionWorld::Create(WorldOptions opti
   return world;
 }
 
+Result<CheckReport> InversionWorld::VerifyImage() {
+  INV_RETURN_IF_ERROR(db_->FlushCaches());
+  return CheckImage(env_);
+}
+
 Result<std::unique_ptr<NfsWorld>> NfsWorld::Create(WorldOptions options) {
   auto world = std::unique_ptr<NfsWorld>(new NfsWorld());
   world->ffs_ = std::make_unique<FfsSim>(&world->clock_, options.db.disk,

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "src/check/checker.h"
 #include "src/harness/file_api.h"
 #include "src/inversion/inv_fs.h"
 #include "src/net/rpc.h"
@@ -42,6 +43,12 @@ class InversionWorld {
   InversionFs& fs() { return *fs_; }
   Database& db() { return *db_; }
   InvSession& session() { return *session_; }
+  StorageEnv& env() { return env_; }
+
+  // Flush every dirty page, then run the offline structural verifier over the
+  // stable image. Benchmarks and tests use this as a post-condition: the
+  // workload may do anything, but the image it leaves must be sound.
+  Result<CheckReport> VerifyImage();
 
  private:
   InversionWorld() = default;

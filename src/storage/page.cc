@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/util/bytes.h"
+#include "src/util/crc32.h"
 
 namespace invfs {
 
@@ -13,8 +14,17 @@ constexpr uint32_t kOffMagic = 0;
 constexpr uint32_t kOffNslots = 2;
 constexpr uint32_t kOffLower = 4;
 constexpr uint32_t kOffUpper = 6;
+constexpr uint32_t kOffChecksum = 8;
 constexpr uint32_t kOffSelfRel = 12;
 constexpr uint32_t kOffSelfBlock = 16;
+
+// CRC32C of a frame with the checksum field counted as zero.
+uint32_t FrameCrc(const std::byte* p) {
+  uint32_t crc = Crc32c(p, kOffChecksum);
+  const std::byte zeros[4] = {};
+  crc = Crc32c(zeros, sizeof zeros, crc);
+  return Crc32c(p + kOffChecksum + 4, kPageSize - kOffChecksum - 4, crc);
+}
 }  // namespace
 
 void Page::Init(Oid rel, uint32_t block) {
@@ -40,6 +50,24 @@ Status Page::VerifySelfIdent(Oid rel, uint32_t block) const {
                               std::to_string(self_rel) + " block " +
                               std::to_string(self_block) + ", expected rel " +
                               std::to_string(rel) + " block " + std::to_string(block));
+  }
+  return Status::Ok();
+}
+
+void Page::UpdateChecksum() { PutU32(p_ + kOffChecksum, FrameCrc(p_)); }
+
+uint32_t Page::StoredChecksum() const { return GetU32(p_ + kOffChecksum); }
+
+Status Page::VerifyChecksum() const {
+  const uint32_t stored = StoredChecksum();
+  if (stored == 0) {
+    return Status::Ok();  // never stamped
+  }
+  const uint32_t actual = FrameCrc(p_);
+  if (actual != stored) {
+    return Status::Corruption("page checksum mismatch: stored " +
+                              std::to_string(stored) + ", computed " +
+                              std::to_string(actual));
   }
   return Status::Ok();
 }

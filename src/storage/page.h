@@ -9,6 +9,13 @@
 // the paper's proposal that "every block could be tagged with its file
 // identifier and block number" to detect media corruption; VerifySelfIdent
 // checks them on every buffered read.
+//
+// The checksum field is a CRC32C over the whole frame (with the field itself
+// zeroed). The buffer pool stamps it immediately before a frame reaches a
+// device and verifies it on every read back, so any content corruption on
+// stable storage — not just mistagged blocks — is detected. A stored value of
+// zero means "never stamped" (the page has only ever lived in memory) and is
+// not verified.
 
 #pragma once
 
@@ -37,6 +44,13 @@ class Page {
 
   bool IsInitialized() const;
   Status VerifySelfIdent(Oid rel, uint32_t block) const;
+
+  // Stamp the CRC32C of the frame into the header (device write path).
+  void UpdateChecksum();
+  // Recompute and compare against the stored CRC. A stored CRC of zero means
+  // the page was never checksummed and passes vacuously.
+  Status VerifyChecksum() const;
+  uint32_t StoredChecksum() const;
 
   uint16_t num_slots() const;
   // Free bytes available for one more tuple (including its line pointer).

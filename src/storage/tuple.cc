@@ -164,19 +164,23 @@ Status WalkColumns(const Schema& schema, std::span<const std::byte> tuple,
       sink(i, nullptr, 0);
     } else {
       const TypeId t = schema.column(i).type;
-      uint32_t len;
+      // 64-bit length: a corrupted varlena header of ~4 billion must not wrap
+      // to a small value and sneak past the bounds check. Compare against the
+      // remaining bytes instead of forming d + len, which could itself
+      // overflow past the buffer end (UB).
+      uint64_t len;
       if (IsVarlen(t)) {
-        if (d + 4 > end) {
+        if (static_cast<size_t>(end - d) < 4) {
           return Status::Corruption("tuple varlena header past end");
         }
-        len = 4 + GetU32(d);
+        len = 4ULL + GetU32(d);
       } else {
         len = FixedWidth(t);
       }
-      if (d + len > end) {
+      if (static_cast<uint64_t>(end - d) < len) {
         return Status::Corruption("tuple data past end");
       }
-      sink(i, d, len);
+      sink(i, d, static_cast<uint32_t>(len));
       d += len;
     }
     if (i == stop_after) {

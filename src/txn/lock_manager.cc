@@ -1,6 +1,80 @@
 #include "src/txn/lock_manager.h"
 
+#include "src/buffer/buffer_pool.h"
+
 namespace invfs {
+
+LockManager::LockManager() {
+#ifdef INVFS_DEBUG_INVARIANTS
+  debug_invariants_ = true;
+#endif
+}
+
+void LockManager::set_debug_invariants(bool on) {
+  std::lock_guard lock(mu_);
+  debug_invariants_ = on;
+  if (!on) {
+    history_.clear();
+    released_.clear();
+    violations_.clear();
+  }
+}
+
+bool LockManager::debug_invariants() const {
+  std::lock_guard lock(mu_);
+  return debug_invariants_;
+}
+
+std::vector<LockManager::Acquisition> LockManager::AcquisitionHistory(
+    TxnId txn) const {
+  std::lock_guard lock(mu_);
+  auto it = history_.find(txn);
+  return it == history_.end() ? std::vector<Acquisition>{} : it->second;
+}
+
+std::vector<std::string> LockManager::violations() const {
+  std::lock_guard lock(mu_);
+  return violations_;
+}
+
+void LockManager::ClearViolations() {
+  std::lock_guard lock(mu_);
+  violations_.clear();
+}
+
+void LockManager::RecordViolation(std::string what) {
+  violations_.push_back(std::move(what));
+}
+
+std::string LockManager::DumpWaitsForLocked() const {
+  std::string out;
+  for (const auto& [txn, rel] : waiting_on_) {
+    out += "txn " + std::to_string(txn) + " waits on rel " + std::to_string(rel) +
+           " held by {";
+    auto it = locks_.find(rel);
+    bool first = true;
+    if (it != locks_.end()) {
+      for (const auto& [holder, mode] : it->second.holders) {
+        if (holder == txn) {
+          continue;
+        }
+        if (!first) {
+          out += ", ";
+        }
+        first = false;
+        out += std::to_string(holder) +
+               (mode == LockMode::kExclusive ? ":X" : ":S");
+      }
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string LockManager::DumpWaitsFor() const {
+  std::lock_guard lock(mu_);
+  return DumpWaitsForLocked();
+}
 
 bool LockManager::Compatible(const RelLock& state, TxnId txn, LockMode mode) {
   for (const auto& [holder, held_mode] : state.holders) {
@@ -56,30 +130,62 @@ bool LockManager::WouldDeadlock(TxnId txn, Oid rel) const {
 
 Status LockManager::Acquire(TxnId txn, Oid rel, LockMode mode) {
   std::unique_lock lock(mu_);
-  RelLock& state = locks_[rel];
-  // Already hold a sufficient lock?
-  auto hit = state.holders.find(txn);
-  if (hit != state.holders.end() &&
-      (hit->second == LockMode::kExclusive || mode == LockMode::kShared)) {
-    return Status::Ok();
+  if (debug_invariants_ && released_.count(txn) != 0) {
+    RecordViolation("2PL violation: txn " + std::to_string(txn) +
+                    " acquires rel " + std::to_string(rel) +
+                    " after entering its shrinking phase");
   }
-  while (!Compatible(state, txn, mode)) {
+  bool upgrade = false;
+  {
+    RelLock& state = locks_[rel];
+    // Already hold a sufficient lock?
+    auto hit = state.holders.find(txn);
+    if (hit != state.holders.end() &&
+        (hit->second == LockMode::kExclusive || mode == LockMode::kShared)) {
+      return Status::Ok();
+    }
+    upgrade = hit != state.holders.end();
+  }
+  bool inversion_reported = false;
+  // Note: the RelLock node must be re-fetched after every wait. A pure waiter
+  // (no hold of its own on `rel`) sleeps while ReleaseAll may erase the node
+  // once its last holder leaves; a reference held across the wait would
+  // dangle and the grant below would write into a dead node — the lock would
+  // appear granted but vanish from the table.
+  while (!Compatible(locks_[rel], txn, mode)) {
     if (WouldDeadlock(txn, rel)) {
       return Status::Deadlock("txn " + std::to_string(txn) + " would deadlock on rel " +
                               std::to_string(rel));
+    }
+    if (debug_invariants_ && !inversion_reported &&
+        BufferPool::ThreadPinCount() > 0) {
+      // Blocking on a table lock while holding page pins can starve eviction
+      // (pinned frames are unevictable) — a latch-before-lock inversion. The
+      // granted/fast path is exempt: holding pins while *taking* a free lock
+      // is harmless.
+      RecordViolation("latch-lock inversion: txn " + std::to_string(txn) +
+                      " blocks on rel " + std::to_string(rel) + " holding " +
+                      std::to_string(BufferPool::ThreadPinCount()) +
+                      " page pin(s)\nwaits-for at block time:\n" +
+                      DumpWaitsForLocked());
+      inversion_reported = true;
     }
     waiting_on_[txn] = rel;
     cv_.wait(lock);
     waiting_on_.erase(txn);
   }
-  state.holders[txn] = mode;  // grants and upgrades
+  locks_[rel].holders[txn] = mode;  // grants and upgrades
+  if (debug_invariants_) {
+    history_[txn].push_back(Acquisition{next_seq_++, txn, rel, mode, upgrade});
+  }
   return Status::Ok();
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
   std::lock_guard lock(mu_);
+  bool held_any = false;
   for (auto it = locks_.begin(); it != locks_.end();) {
-    it->second.holders.erase(txn);
+    held_any |= it->second.holders.erase(txn) != 0;
     if (it->second.holders.empty()) {
       it = locks_.erase(it);
     } else {
@@ -87,6 +193,10 @@ void LockManager::ReleaseAll(TxnId txn) {
     }
   }
   waiting_on_.erase(txn);
+  if (debug_invariants_ && held_any) {
+    released_.insert(txn);
+    history_.erase(txn);
+  }
   cv_.notify_all();
 }
 

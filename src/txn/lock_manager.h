@@ -8,6 +8,16 @@
 // Deadlocks are detected eagerly: before a transaction blocks, a waits-for
 // graph reachability check runs; if waiting would close a cycle the requester
 // gets ErrorCode::kDeadlock and is expected to abort.
+//
+// Debug-invariants mode (on by default when built with
+// -DINVFS_DEBUG_INVARIANTS, togglable at runtime) records every acquisition
+// in order and checks the locking discipline:
+//   - strict 2PL: a transaction that has released (ReleaseAll) must not
+//     acquire again under the same TxnId;
+//   - latch/lock ordering: a thread must not *block* on a table lock while
+//     holding buffer-pool page pins (the inversion that starves eviction).
+// Violations are recorded, not fatal, so tests can assert on them; see
+// violations() / DumpWaitsFor().
 
 #pragma once
 
@@ -15,6 +25,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/storage/common.h"
@@ -26,6 +37,17 @@ enum class LockMode { kShared, kExclusive };
 
 class LockManager {
  public:
+  LockManager();
+
+  // One recorded lock grant (or upgrade), in acquisition order.
+  struct Acquisition {
+    uint64_t seq = 0;
+    TxnId txn = 0;
+    Oid rel = kInvalidOid;
+    LockMode mode = LockMode::kShared;
+    bool upgrade = false;
+  };
+
   // Blocks until granted. Re-entrant: a holder may re-acquire, and a shared
   // holder may upgrade to exclusive (waits for other holders to drain).
   Status Acquire(TxnId txn, Oid rel, LockMode mode);
@@ -37,6 +59,24 @@ class LockManager {
   bool Holds(TxnId txn, Oid rel, LockMode mode) const;
   size_t NumLockedRelations() const;
 
+  // --- Debug-invariants instrumentation ---------------------------------
+  // Defaults to true when compiled with INVFS_DEBUG_INVARIANTS, else false.
+  void set_debug_invariants(bool on);
+  bool debug_invariants() const;
+
+  // Grant history of `txn` since its first acquisition (empty when the mode
+  // is off or the txn never locked anything).
+  std::vector<Acquisition> AcquisitionHistory(TxnId txn) const;
+
+  // Discipline violations recorded so far (strict-2PL breaches, latch-lock
+  // inversions). Human-readable, one entry per incident.
+  std::vector<std::string> violations() const;
+  void ClearViolations();
+
+  // Render the current waits-for graph: one "txn T waits on rel R held by
+  // {...}" line per blocked transaction. Empty string when nothing waits.
+  std::string DumpWaitsFor() const;
+
  private:
   struct RelLock {
     std::map<TxnId, LockMode> holders;
@@ -46,12 +86,24 @@ class LockManager {
   static bool Compatible(const RelLock& state, TxnId txn, LockMode mode);
   // True if a wait by `txn` on the current holders of `rel` would deadlock.
   bool WouldDeadlock(TxnId txn, Oid rel) const;
+  // Requires mu_ held.
+  void RecordViolation(std::string what);
+  std::string DumpWaitsForLocked() const;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<Oid, RelLock> locks_;
   // txn -> relation it is currently waiting on (at most one).
   std::map<TxnId, Oid> waiting_on_;
+
+  // Debug-invariants state (all under mu_).
+  bool debug_invariants_ = false;
+  uint64_t next_seq_ = 0;
+  std::map<TxnId, std::vector<Acquisition>> history_;
+  // Txns that have entered the shrinking phase (ReleaseAll ran). A later
+  // Acquire under the same id is a strict-2PL violation.
+  std::set<TxnId> released_;
+  std::vector<std::string> violations_;
 };
 
 }  // namespace invfs

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/check/checker.h"
 #include "src/inversion/inv_fs.h"
 
 namespace invfs {
@@ -32,6 +33,15 @@ class FailureTest : public ::testing::Test {
         s_->p_write(*fd, std::as_bytes(std::span(data.data(), data.size()))).ok());
     ASSERT_TRUE(s_->p_close(*fd).ok());
     ASSERT_TRUE(s_->p_commit().ok());
+  }
+
+  // Post-condition for tests that did not deliberately corrupt the image:
+  // whatever the failure scenario did, the stable image must verify clean.
+  void ExpectImageClean() {
+    ASSERT_TRUE(db_->FlushCaches().ok());
+    auto report = CheckImage(env_);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok()) << report->ToString();
   }
 
   StorageEnv env_;
@@ -139,6 +149,7 @@ TEST_F(FailureTest, TwoSessionsWriteSameFileSerializeUnderLocks) {
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(std::string(buf, 4), "BBAA");
   ASSERT_TRUE(s_->p_close(*fd).ok());
+  ExpectImageClean();
 }
 
 TEST_F(FailureTest, DeadlockVictimCanRetry) {
@@ -173,6 +184,10 @@ TEST_F(FailureTest, DeadlockVictimCanRetry) {
   ASSERT_TRUE(s_->p_commit().ok());
   auto retry = s2.p_open("/a.dat", OpenMode::kWrite);
   EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+  // After the deadlock abort the session fell back to per-op transactions, so
+  // the close commits on its own.
+  ASSERT_TRUE(s2.p_close(*retry).ok());
+  ExpectImageClean();
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "src/inversion/inv_fs.h"
 #include "src/storage/page.h"
 #include "src/storage/tuple.h"
+#include "src/util/bytes.h"
 #include "src/storage/value.h"
 
 namespace invfs {
@@ -85,7 +86,7 @@ TEST(Schema, ColumnIndex) {
 class PageTest : public ::testing::Test {
  protected:
   PageTest() : page_(frame_) { page_.Init(/*rel=*/42, /*block=*/7); }
-  std::byte frame_[kPageSize];
+  std::byte frame_[kPageSize] = {};
   Page page_;
 };
 
@@ -255,6 +256,36 @@ TEST(Tuple, CorruptTupleDetected) {
   auto encoded = EncodeTuple(schema, WideRow(), TupleMeta{});
   ASSERT_TRUE(encoded.ok());
   encoded->resize(encoded->size() / 2);  // truncate
+  EXPECT_FALSE(DecodeTuple(schema, *encoded).ok());
+}
+
+TEST(Tuple, HugeVarlenaLengthRejected) {
+  // Regression: a corrupted varlena header near UINT32_MAX must not wrap the
+  // "4 + len" bounds arithmetic and decode bytes past the buffer.
+  const Schema schema{{"t", TypeId::kText}};
+  auto encoded = EncodeTuple(schema, {Value::Text("hello")}, TupleMeta{});
+  ASSERT_TRUE(encoded.ok());
+  // Layout: 14-byte header, 1 bitmap byte, then the u32 text length.
+  PutU32(encoded->data() + kTupleFixedHeader + 1, 0xFFFFFFFFu);
+  EXPECT_FALSE(DecodeTuple(schema, *encoded).ok());
+  PutU32(encoded->data() + kTupleFixedHeader + 1, 0xFFFFFFFBu);  // 4 + len == 2^32 - 1
+  EXPECT_FALSE(DecodeTuple(schema, *encoded).ok());
+}
+
+TEST(Tuple, VarlenaHeaderPastEndRejected) {
+  const Schema schema{{"t", TypeId::kText}};
+  auto encoded = EncodeTuple(schema, {Value::Text("hello")}, TupleMeta{});
+  ASSERT_TRUE(encoded.ok());
+  // Cut inside the u32 length header itself.
+  encoded->resize(kTupleFixedHeader + 1 + 2);
+  EXPECT_FALSE(DecodeTuple(schema, *encoded).ok());
+}
+
+TEST(Tuple, TruncatedFixedColumnRejected) {
+  const Schema schema{{"n", TypeId::kInt8}};
+  auto encoded = EncodeTuple(schema, {Value::Int8(7)}, TupleMeta{});
+  ASSERT_TRUE(encoded.ok());
+  encoded->resize(encoded->size() - 3);  // cut into the int8 payload
   EXPECT_FALSE(DecodeTuple(schema, *encoded).ok());
 }
 

@@ -231,6 +231,40 @@ TEST(Lzss, DetectsWrongExpectedSize) {
   EXPECT_FALSE(LzssDecompress(packed, 101).ok());
 }
 
+TEST(Lzss, RejectsTokenReachingBeforeOutputStart) {
+  // Flag byte 0x00 announces eight tokens; the first token points 4096 bytes
+  // back when nothing has been emitted yet. Must error, not read out of
+  // bounds.
+  const std::vector<std::byte> stream = {std::byte{0x00}, std::byte{0xFF},
+                                         std::byte{0xFF}};
+  EXPECT_FALSE(LzssDecompress(stream, 18).ok());
+}
+
+TEST(Lzss, RejectsTruncatedToken) {
+  // A token is two bytes; the stream ends after the first.
+  const std::vector<std::byte> stream = {std::byte{0x00}, std::byte{0x12}};
+  EXPECT_FALSE(LzssDecompress(stream, 18).ok());
+}
+
+TEST(Lzss, GarbageStreamsNeverCrash) {
+  // ASan/UBSan regression net: decompressing adversarial bytes may fail, but
+  // must never touch memory out of bounds (a corrupted compressed chunk on
+  // disk reaches this code path via the chunk reader).
+  Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::byte> stream(1 + rng.Uniform(64));
+    for (auto& b : stream) {
+      b = static_cast<std::byte>(rng.Uniform(256));
+    }
+    for (size_t expected : {size_t{0}, size_t{1}, stream.size(), size_t{8192}}) {
+      auto out = LzssDecompress(stream, expected);
+      if (out.ok()) {
+        EXPECT_EQ(out->size(), expected);
+      }
+    }
+  }
+}
+
 // Property sweep: roundtrip across sizes and content classes.
 class LzssRoundtrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
