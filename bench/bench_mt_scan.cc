@@ -1,0 +1,55 @@
+// Multi-threaded buffer-pool scan benchmark (PR 3 tentpole).
+//
+// Drives 1–16 client threads doing cached random page pins against (a) a
+// single-lock pool (partitions=1, the POSTGRES 4.0.1 / seed configuration)
+// and (b) the sharded pool, then runs a commit-heavy workload to show group
+// commit coalescing log-page device writes.
+
+#include "bench/bench_mt_common.h"
+
+namespace invfs {
+namespace {
+
+int Main() {
+  constexpr uint64_t kPinsPerThread = 200000;
+  constexpr int kThreadCounts[] = {1, 2, 4, 8, 16};
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("== bench_mt_scan: cached pins, wall-clock throughput ==\n");
+  std::printf("   host cores: %u%s\n\n", cores,
+              cores <= 1 ? "  (single core: threads time-slice, so lock"
+                           " contention cannot reduce wall-clock throughput;"
+                           " run on a multi-core host to see the speedup)"
+                         : "");
+  std::printf("%8s %18s %18s %9s\n", "threads", "global-lock Mpin/s",
+              "sharded Mpin/s", "speedup");
+  for (int n : kThreadCounts) {
+    const MtScanResult base = RunMtScan(n, /*partitions=*/1, kPinsPerThread);
+    const MtScanResult shard = RunMtScan(n, /*partitions=*/0, kPinsPerThread);
+    std::printf("%8d %18.2f %18.2f %8.2fx\n", n, base.mpins_per_s,
+                shard.mpins_per_s,
+                base.mpins_per_s > 0 ? shard.mpins_per_s / base.mpins_per_s : 0);
+  }
+
+  std::printf("\n== group commit: begin/commit storm, one shared log ==\n\n");
+  std::printf("%8s %10s %12s %10s %12s %12s %10s\n", "threads", "txns",
+              "transitions", "requests", "page-writes", "writes/trans", "ktxn/s");
+  for (int n : kThreadCounts) {
+    const MtCommitResult r = RunMtCommit(n, /*txns_per_thread=*/2000);
+    std::printf("%8d %10llu %12llu %10llu %12llu %12.3f %10.1f\n", n,
+                static_cast<unsigned long long>(r.txns),
+                static_cast<unsigned long long>(r.transitions),
+                static_cast<unsigned long long>(r.persist_requests),
+                static_cast<unsigned long long>(r.device_page_writes),
+                r.writes_per_transition, r.ktxns_per_s);
+  }
+  std::printf("\nPOSTGRES 4.0.1 wrote one log page per transition (writes/trans = 1.0).\n"
+              "Begin batching under the xid horizon alone halves that; overlapping\n"
+              "commits coalesce further via the leader/follower flush.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace invfs
+
+int main() { return invfs::Main(); }

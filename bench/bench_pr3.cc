@@ -1,0 +1,114 @@
+// Emits BENCH_PR3.json: the paper-figure numbers (fig3–fig6 workloads via the
+// deterministic simulated-time harness) plus the PR 3 multi-threaded results
+// (sharded pool vs single-lock pool at 1/4/8/16 threads, and group-commit
+// batching counters). Usage: bench_pr3 [output.json]
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "bench/bench_mt_common.h"
+
+namespace invfs {
+namespace {
+
+void AppendPaperConfig(std::string& out, const char* name,
+                       const PaperBenchResult& r, bool last) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "    \"%s\": {\n"
+                "      \"fig3_create_25mb_s\": %.4f,\n"
+                "      \"fig4_read_byte_s\": %.6f,\n"
+                "      \"fig4_write_byte_s\": %.6f,\n"
+                "      \"fig5_read_1mb_single_s\": %.4f,\n"
+                "      \"fig5_read_1mb_seq_pages_s\": %.4f,\n"
+                "      \"fig5_read_1mb_rand_pages_s\": %.4f,\n"
+                "      \"fig6_write_1mb_single_s\": %.4f,\n"
+                "      \"fig6_write_1mb_seq_pages_s\": %.4f,\n"
+                "      \"fig6_write_1mb_rand_pages_s\": %.4f\n"
+                "    }%s\n",
+                name, r.create_file_s, r.read_single_byte_s, r.write_single_byte_s,
+                r.read_1mb_single_s, r.read_1mb_seq_pages_s, r.read_1mb_rand_pages_s,
+                r.write_1mb_single_s, r.write_1mb_seq_pages_s, r.write_1mb_rand_pages_s,
+                last ? "" : ",");
+  out += buf;
+}
+
+int Main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_PR3.json";
+
+  std::fprintf(stderr, "running paper suite (fig3-fig6)...\n");
+  auto paper = RunAllConfigs();
+  if (!paper.ok()) {
+    std::fprintf(stderr, "%s\n", paper.status().ToString().c_str());
+    return 1;
+  }
+
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "{\n  \"host_cores\": %u,\n"
+                "  \"note\": \"wall-clock mt_scan speedups require a multi-core"
+                " host; on one core threads time-slice and lock contention is"
+                " invisible to wall time\",\n"
+                "  \"paper_figures\": {\n",
+                std::thread::hardware_concurrency());
+  std::string out = header;
+  AppendPaperConfig(out, "inversion_client_server", paper->inv_cs, false);
+  AppendPaperConfig(out, "ultrix_nfs_presto", paper->nfs, false);
+  AppendPaperConfig(out, "inversion_single_process", paper->inv_sp, true);
+  out += "  },\n  \"mt_scan\": [\n";
+
+  constexpr uint64_t kPinsPerThread = 200000;
+  const int kThreads[] = {1, 4, 8, 16};
+  for (size_t i = 0; i < std::size(kThreads); ++i) {
+    const int n = kThreads[i];
+    std::fprintf(stderr, "mt_scan: %d threads...\n", n);
+    const MtScanResult base = RunMtScan(n, /*partitions=*/1, kPinsPerThread);
+    const MtScanResult shard = RunMtScan(n, /*partitions=*/0, kPinsPerThread);
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %d, \"global_lock_mpins_per_s\": %.3f, "
+                  "\"sharded_mpins_per_s\": %.3f, \"speedup\": %.3f}%s\n",
+                  n, base.mpins_per_s, shard.mpins_per_s,
+                  base.mpins_per_s > 0 ? shard.mpins_per_s / base.mpins_per_s : 0.0,
+                  i + 1 < std::size(kThreads) ? "," : "");
+    out += buf;
+  }
+
+  out += "  ],\n  \"group_commit\": [\n";
+  for (size_t i = 0; i < std::size(kThreads); ++i) {
+    const int n = kThreads[i];
+    std::fprintf(stderr, "group_commit: %d threads...\n", n);
+    const MtCommitResult r = RunMtCommit(n, /*txns_per_thread=*/2000);
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %d, \"txns\": %llu, \"transitions\": %llu, "
+                  "\"persist_requests\": %llu, \"persist_batches\": %llu, "
+                  "\"device_page_writes\": %llu, \"writes_per_transition\": %.3f, "
+                  "\"ktxns_per_s\": %.1f}%s\n",
+                  n, static_cast<unsigned long long>(r.txns),
+                  static_cast<unsigned long long>(r.transitions),
+                  static_cast<unsigned long long>(r.persist_requests),
+                  static_cast<unsigned long long>(r.persist_batches),
+                  static_cast<unsigned long long>(r.device_page_writes),
+                  r.writes_per_transition, r.ktxns_per_s,
+                  i + 1 < std::size(kThreads) ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace invfs
+
+int main(int argc, char** argv) { return invfs::Main(argc, argv); }

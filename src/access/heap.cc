@@ -20,7 +20,8 @@ Result<Tid> Heap::InsertRaw(TxnId txn, const Row& row, const TupleMeta& meta) {
   INV_ASSIGN_OR_RETURN(uint32_t nblocks, pool_->NumBlocks(rel_));
   // Try the hint block (normally the last block), then extend.
   if (nblocks > 0) {
-    uint32_t target = hint_block_ < nblocks ? hint_block_ : nblocks - 1;
+    const uint32_t hint = hint_block_.load(std::memory_order_relaxed);
+    uint32_t target = hint < nblocks ? hint : nblocks - 1;
     // Also try the true last block if the hint is stale.
     for (uint32_t candidate : {target, nblocks - 1}) {
       INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, candidate));
@@ -28,7 +29,7 @@ Result<Tid> Heap::InsertRaw(TxnId txn, const Row& row, const TupleMeta& meta) {
       auto slot = page.AddTuple(encoded);
       if (slot.ok()) {
         ref.MarkDirty();
-        hint_block_ = candidate;
+        hint_block_.store(candidate, std::memory_order_relaxed);
         return Tid{candidate, *slot};
       }
       if (candidate == nblocks - 1) {
@@ -41,7 +42,7 @@ Result<Tid> Heap::InsertRaw(TxnId txn, const Row& row, const TupleMeta& meta) {
   Page page = ref.page();
   INV_ASSIGN_OR_RETURN(uint16_t slot, page.AddTuple(encoded));
   ref.MarkDirty();
-  hint_block_ = new_block;
+  hint_block_.store(new_block, std::memory_order_relaxed);
   return Tid{new_block, slot};
 }
 

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <optional>
 
 #include "src/buffer/buffer_pool.h"
@@ -105,8 +106,10 @@ class Heap {
   const Schema* schema_;
   BufferPool* pool_;
   TxnManager* txns_;
-  // Insertion target: last block known to have had space.
-  mutable uint32_t hint_block_ = 0;
+  // Insertion target: last block known to have had space. Atomic because
+  // concurrent inserters (distinct transactions under table locks, or the
+  // MT stress harness) may race on the hint; it is advisory only.
+  mutable std::atomic<uint32_t> hint_block_{0};
 };
 
 }  // namespace invfs

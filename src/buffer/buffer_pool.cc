@@ -5,24 +5,47 @@
 namespace invfs {
 
 namespace {
+
 // Pins held by the current thread, across all pools. Maintained so the lock
 // manager can assert (under debug invariants) that no thread blocks on a
 // table lock while holding page latches — the latch-vs-lock inversion that
-// starves eviction.
-thread_local int t_thread_pins = 0;
+// starves eviction. The counter is heap-allocated and shared into every
+// PageRef the thread creates: a pin released on another thread debits the
+// *pinning* thread's counter (it no longer holds the pin), and the counter
+// outlives the thread if refs migrate past its exit.
+std::shared_ptr<std::atomic<int>>& LocalPinCounter() {
+  thread_local std::shared_ptr<std::atomic<int>> counter =
+      std::make_shared<std::atomic<int>>(0);
+  return counter;
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
 }  // namespace
 
-int BufferPool::ThreadPinCount() { return t_thread_pins; }
+int BufferPool::ThreadPinCount() {
+  return LocalPinCounter()->load(std::memory_order_relaxed);
+}
 
 // -------------------------------------------------------------------- PageRef
 
-PageRef::PageRef(BufferPool* pool, size_t frame, std::byte* data)
-    : pool_(pool), frame_(frame), data_(data) {}
+PageRef::PageRef(BufferPool* pool, size_t frame, std::byte* data,
+                 std::shared_ptr<std::atomic<int>> pinner)
+    : pool_(pool), frame_(frame), data_(data), pinner_(std::move(pinner)) {}
 
 PageRef::~PageRef() { Release(); }
 
 PageRef::PageRef(PageRef&& other) noexcept
-    : pool_(other.pool_), frame_(other.frame_), data_(other.data_) {
+    : pool_(other.pool_),
+      frame_(other.frame_),
+      data_(other.data_),
+      pinner_(std::move(other.pinner_)) {
   other.pool_ = nullptr;
   other.data_ = nullptr;
 }
@@ -33,6 +56,7 @@ PageRef& PageRef::operator=(PageRef&& other) noexcept {
     pool_ = other.pool_;
     frame_ = other.frame_;
     data_ = other.data_;
+    pinner_ = std::move(other.pinner_);
     other.pool_ = nullptr;
     other.data_ = nullptr;
   }
@@ -42,6 +66,10 @@ PageRef& PageRef::operator=(PageRef&& other) noexcept {
 void PageRef::Release() {
   if (pool_ != nullptr) {
     pool_->Unpin(frame_);
+    if (pinner_) {
+      pinner_->fetch_sub(1, std::memory_order_relaxed);
+      pinner_.reset();
+    }
     pool_ = nullptr;
     data_ = nullptr;
   }
@@ -49,32 +77,34 @@ void PageRef::Release() {
 
 void PageRef::MarkDirty() {
   INV_CHECK(pool_ != nullptr);
-  std::lock_guard lock(pool_->mu_);
-  pool_->frames_[frame_].dirty = true;
+  pool_->frames_[frame_].dirty.store(true, std::memory_order_release);
 }
 
 // ----------------------------------------------------------------- BufferPool
 
 BufferPool::BufferPool(DeviceSwitch* devices, size_t num_buffers, SimClock* clock,
-                       CpuParams cpu)
+                       CpuParams cpu, size_t partitions)
     : devices_(devices), clock_(clock), cpu_(cpu) {
   INV_CHECK(num_buffers > 0);
-  frames_.resize(num_buffers);
-  for (auto& f : frames_) {
-    f.data = std::make_unique<std::byte[]>(kPageSize);
+  num_frames_ = num_buffers;
+  frames_ = std::make_unique<Frame[]>(num_frames_);
+  for (size_t i = 0; i < num_frames_; ++i) {
+    frames_[i].data = std::make_unique<std::byte[]>(kPageSize);
   }
+  const size_t n = RoundUpPow2(partitions == 0 ? kDefaultPoolPartitions : partitions);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = n - 1;
 }
 
 BufferPool::~BufferPool() = default;
 
 void BufferPool::Unpin(size_t frame) {
-  std::lock_guard lock(mu_);
-  INV_CHECK(frames_[frame].pins > 0);
-  --frames_[frame].pins;
-  --t_thread_pins;
+  const int prev = frames_[frame].pins.fetch_sub(1, std::memory_order_acq_rel);
+  INV_CHECK(prev > 0);
 }
-
-void BufferPool::Touch(size_t frame) { frames_[frame].last_used = ++clock_tick_; }
 
 Result<uint32_t> BufferPool::DeviceBlocks(Oid rel) {
   INV_ASSIGN_OR_RETURN(DeviceManager * mgr, devices_->ManagerFor(rel));
@@ -82,7 +112,7 @@ Result<uint32_t> BufferPool::DeviceBlocks(Oid rel) {
 }
 
 Result<uint32_t> BufferPool::NumBlocks(Oid rel) {
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(io_mu_);
   auto it = pending_extensions_.find(rel);
   const uint32_t pending = it == pending_extensions_.end() ? 0 : it->second;
   INV_ASSIGN_OR_RETURN(uint32_t dev, DeviceBlocks(rel));
@@ -90,32 +120,41 @@ Result<uint32_t> BufferPool::NumBlocks(Oid rel) {
 }
 
 Result<size_t> BufferPool::EvictOne() {
-  size_t victim = frames_.size();
-  uint64_t oldest = ~0ULL;
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    const Frame& f = frames_[i];
-    if (f.pins > 0) {
+  // Clock sweep with second chance. Two full revolutions clear every
+  // reference bit; the third catches frames unpinned mid-sweep. Pin counts
+  // are rechecked under the victim's shard mutex, because that mutex is what
+  // pin-hits hold while incrementing.
+  for (size_t step = 0; step < 3 * num_frames_; ++step) {
+    const size_t i = hand_;
+    hand_ = (hand_ + 1) % num_frames_;
+    Frame& f = frames_[i];
+    if (!f.valid) {
+      return i;  // free frame (never mapped, or discarded)
+    }
+    if (f.pins.load(std::memory_order_acquire) > 0) {
       continue;
     }
-    if (!f.valid) {
-      return i;  // free frame
+    if (f.ref.exchange(false, std::memory_order_acq_rel)) {
+      continue;  // second chance
     }
-    if (f.last_used < oldest) {
-      oldest = f.last_used;
-      victim = i;
+    {
+      Shard& s = ShardFor(f.tag);
+      std::lock_guard shard_lock(s.mu);
+      if (f.pins.load(std::memory_order_acquire) > 0) {
+        continue;  // pinned between our check and the shard lock
+      }
+      s.table.erase(f.tag);
+      f.valid = false;
     }
+    // Unmapped and unpinned: no other thread can reach this frame while we
+    // hold io_mu_, so the write-back below is single-owner.
+    if (f.dirty.load(std::memory_order_acquire)) {
+      INV_RETURN_IF_ERROR(WriteFrame(i));
+    }
+    f.dirty.store(false, std::memory_order_release);
+    return i;
   }
-  if (victim == frames_.size()) {
-    return Status::ResourceExhausted("all buffers pinned");
-  }
-  Frame& f = frames_[victim];
-  if (f.dirty) {
-    INV_RETURN_IF_ERROR(WriteFrame(victim));
-  }
-  table_.erase(f.tag);
-  f.valid = false;
-  f.dirty = false;
-  return victim;
+  return Status::ResourceExhausted("all buffers pinned");
 }
 
 Status BufferPool::WriteFrame(size_t frame) {
@@ -126,21 +165,32 @@ Status BufferPool::WriteFrame(size_t frame) {
   // current size, force the intervening pending blocks (which must still be
   // buffered — they were never written) out first, in order.
   for (uint32_t b = dev_size; b < f.tag.block; ++b) {
-    auto it = table_.find(Tag{f.tag.rel, b});
-    if (it == table_.end()) {
+    const Tag tag{f.tag.rel, b};
+    size_t gi = num_frames_;
+    {
+      Shard& s = ShardFor(tag);
+      std::lock_guard shard_lock(s.mu);
+      auto it = s.table.find(tag);
+      if (it != s.table.end()) {
+        gi = it->second;
+      }
+    }
+    if (gi == num_frames_) {
       return Status::Internal("pending extension block " + std::to_string(b) +
                               " of rel " + std::to_string(f.tag.rel) +
                               " missing from buffer pool");
     }
-    Frame& g = frames_[it->second];
-    if (g.dirty) {
+    // Holding io_mu_ pins the mapping: the frame cannot be evicted or
+    // remapped underneath us, so its data may be read without its shard lock.
+    Frame& g = frames_[gi];
+    if (g.dirty.load(std::memory_order_acquire)) {
       Page gpage(g.data.get());
       if (gpage.IsInitialized()) {
         gpage.UpdateChecksum();
       }
       INV_RETURN_IF_ERROR(
           mgr->WriteBlock(g.tag.rel, g.tag.block, {g.data.get(), kPageSize}));
-      g.dirty = false;
+      g.dirty.store(false, std::memory_order_release);
     }
   }
   Page fpage(f.data.get());
@@ -148,14 +198,12 @@ Status BufferPool::WriteFrame(size_t frame) {
     fpage.UpdateChecksum();
   }
   INV_RETURN_IF_ERROR(mgr->WriteBlock(f.tag.rel, f.tag.block, {f.data.get(), kPageSize}));
-  f.dirty = false;
+  f.dirty.store(false, std::memory_order_release);
   // Recompute pending extensions for this relation.
   INV_ASSIGN_OR_RETURN(uint32_t new_dev_size, mgr->NumBlocks(f.tag.rel));
   auto pit = pending_extensions_.find(f.tag.rel);
   if (pit != pending_extensions_.end()) {
-    INV_ASSIGN_OR_RETURN(uint32_t logical, [&]() -> Result<uint32_t> {
-      return static_cast<uint32_t>(pit->second + dev_size);
-    }());
+    const uint32_t logical = pit->second + dev_size;
     pit->second = logical > new_dev_size ? logical - new_dev_size : 0;
     if (pit->second == 0) {
       pending_extensions_.erase(pit);
@@ -165,18 +213,35 @@ Status BufferPool::WriteFrame(size_t frame) {
 }
 
 Result<PageRef> BufferPool::Pin(Oid rel, uint32_t block) {
-  std::lock_guard lock(mu_);
   clock_->Advance(cpu_.page_cpu_us);
-  auto it = table_.find(Tag{rel, block});
-  if (it != table_.end()) {
-    ++hits_;
-    Frame& f = frames_[it->second];
-    ++f.pins;
-    ++t_thread_pins;
-    Touch(it->second);
-    return PageRef(this, it->second, f.data.get());
+  const Tag tag{rel, block};
+  Shard& s = ShardFor(tag);
+  {
+    std::lock_guard shard_lock(s.mu);
+    auto it = s.table.find(tag);
+    if (it != s.table.end()) {
+      Frame& f = frames_[it->second];
+      f.pins.fetch_add(1, std::memory_order_acq_rel);
+      f.ref.store(true, std::memory_order_release);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      LocalPinCounter()->fetch_add(1, std::memory_order_relaxed);
+      return PageRef(this, it->second, f.data.get(), LocalPinCounter());
+    }
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(io_mu_);
+  {
+    // Another thread may have completed the same miss while we waited.
+    std::lock_guard shard_lock(s.mu);
+    auto it = s.table.find(tag);
+    if (it != s.table.end()) {
+      Frame& f = frames_[it->second];
+      f.pins.fetch_add(1, std::memory_order_acq_rel);
+      f.ref.store(true, std::memory_order_release);
+      LocalPinCounter()->fetch_add(1, std::memory_order_relaxed);
+      return PageRef(this, it->second, f.data.get(), LocalPinCounter());
+    }
+  }
   INV_ASSIGN_OR_RETURN(size_t frame, EvictOne());
   Frame& f = frames_[frame];
   INV_ASSIGN_OR_RETURN(DeviceManager * mgr, devices_->ManagerFor(rel));
@@ -189,99 +254,141 @@ Result<PageRef> BufferPool::Pin(Oid rel, uint32_t block) {
     INV_RETURN_IF_ERROR(page.VerifyChecksum());
     INV_RETURN_IF_ERROR(page.VerifySelfIdent(rel, block));
   }
-  f.tag = Tag{rel, block};
-  f.valid = true;
-  f.dirty = false;
-  f.pins = 1;
-  ++t_thread_pins;
-  table_[f.tag] = frame;
-  Touch(frame);
-  return PageRef(this, frame, f.data.get());
+  {
+    std::lock_guard shard_lock(s.mu);
+    f.tag = tag;
+    f.valid = true;
+    f.dirty.store(false, std::memory_order_release);
+    f.pins.store(1, std::memory_order_release);
+    f.ref.store(true, std::memory_order_release);
+    s.table[tag] = frame;
+  }
+  LocalPinCounter()->fetch_add(1, std::memory_order_relaxed);
+  return PageRef(this, frame, f.data.get(), LocalPinCounter());
 }
 
 Result<PageRef> BufferPool::Extend(Oid rel, uint32_t* new_block) {
-  std::lock_guard lock(mu_);
   clock_->Advance(cpu_.page_cpu_us);
+  std::lock_guard lock(io_mu_);
   INV_ASSIGN_OR_RETURN(uint32_t dev, DeviceBlocks(rel));
   uint32_t& pending = pending_extensions_[rel];
   const uint32_t block = dev + pending;
   ++pending;
   INV_ASSIGN_OR_RETURN(size_t frame, EvictOne());
   Frame& f = frames_[frame];
-  f.tag = Tag{rel, block};
-  f.valid = true;
-  f.dirty = true;
-  f.pins = 1;
-  ++t_thread_pins;
+  const Tag tag{rel, block};
   Page page(f.data.get());
   page.Init(rel, block);
-  table_[f.tag] = frame;
-  Touch(frame);
+  {
+    Shard& s = ShardFor(tag);
+    std::lock_guard shard_lock(s.mu);
+    f.tag = tag;
+    f.valid = true;
+    f.dirty.store(true, std::memory_order_release);
+    f.pins.store(1, std::memory_order_release);
+    f.ref.store(true, std::memory_order_release);
+    s.table[tag] = frame;
+  }
+  LocalPinCounter()->fetch_add(1, std::memory_order_relaxed);
   if (new_block != nullptr) {
     *new_block = block;
   }
-  return PageRef(this, frame, f.data.get());
+  return PageRef(this, frame, f.data.get(), LocalPinCounter());
+}
+
+Status BufferPool::FlushFrames(std::vector<size_t> frames) {
+  std::sort(frames.begin(), frames.end(), [this](size_t a, size_t b) {
+    return frames_[a].tag < frames_[b].tag;
+  });
+  for (size_t i : frames) {
+    if (frames_[i].dirty.load(std::memory_order_acquire)) {
+      INV_RETURN_IF_ERROR(WriteFrame(i));
+    }
+  }
+  return Status::Ok();
 }
 
 Status BufferPool::FlushRelation(Oid rel) {
-  std::lock_guard lock(mu_);
-  // std::map iteration is ordered by (rel, block): extension ordering holds.
-  for (auto it = table_.lower_bound(Tag{rel, 0});
-       it != table_.end() && it->first.rel == rel; ++it) {
-    Frame& f = frames_[it->second];
-    if (f.dirty) {
-      INV_RETURN_IF_ERROR(WriteFrame(it->second));
+  std::lock_guard lock(io_mu_);
+  // valid/tag are stable under io_mu_: mapping changes all hold it.
+  std::vector<size_t> dirty;
+  for (size_t i = 0; i < num_frames_; ++i) {
+    const Frame& f = frames_[i];
+    if (f.valid && f.tag.rel == rel && f.dirty.load(std::memory_order_acquire)) {
+      dirty.push_back(i);
     }
   }
-  return Status::Ok();
+  return FlushFrames(std::move(dirty));
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard lock(mu_);
-  for (auto& [tag, frame] : table_) {
-    if (frames_[frame].dirty) {
-      INV_RETURN_IF_ERROR(WriteFrame(frame));
+  std::lock_guard lock(io_mu_);
+  std::vector<size_t> dirty;
+  for (size_t i = 0; i < num_frames_; ++i) {
+    const Frame& f = frames_[i];
+    if (f.valid && f.dirty.load(std::memory_order_acquire)) {
+      dirty.push_back(i);
     }
   }
-  return Status::Ok();
+  return FlushFrames(std::move(dirty));
 }
 
 Status BufferPool::FlushAndInvalidate() {
-  INV_RETURN_IF_ERROR(FlushAll());
-  std::lock_guard lock(mu_);
-  for (auto& f : frames_) {
-    if (f.pins > 0) {
+  std::lock_guard lock(io_mu_);
+  std::vector<size_t> dirty;
+  for (size_t i = 0; i < num_frames_; ++i) {
+    Frame& f = frames_[i];
+    if (f.pins.load(std::memory_order_acquire) > 0) {
       return Status::Internal("cannot invalidate pinned buffer");
     }
-    f.valid = false;
-    f.dirty = false;
+    if (f.valid && f.dirty.load(std::memory_order_acquire)) {
+      dirty.push_back(i);
+    }
   }
-  table_.clear();
+  INV_RETURN_IF_ERROR(FlushFrames(std::move(dirty)));
+  for (auto& shard : shards_) {
+    std::lock_guard shard_lock(shard->mu);
+    shard->table.clear();
+  }
+  for (size_t i = 0; i < num_frames_; ++i) {
+    frames_[i].valid = false;
+    frames_[i].dirty.store(false, std::memory_order_release);
+    frames_[i].ref.store(false, std::memory_order_release);
+  }
   pending_extensions_.clear();
   return Status::Ok();
 }
 
 void BufferPool::DiscardRelation(Oid rel) {
-  std::lock_guard lock(mu_);
-  for (auto it = table_.lower_bound(Tag{rel, 0});
-       it != table_.end() && it->first.rel == rel;) {
-    Frame& f = frames_[it->second];
-    INV_CHECK(f.pins == 0);
+  std::lock_guard lock(io_mu_);
+  for (size_t i = 0; i < num_frames_; ++i) {
+    Frame& f = frames_[i];
+    if (!f.valid || f.tag.rel != rel) {
+      continue;
+    }
+    INV_CHECK(f.pins.load(std::memory_order_acquire) == 0);
+    Shard& s = ShardFor(f.tag);
+    std::lock_guard shard_lock(s.mu);
+    s.table.erase(f.tag);
     f.valid = false;
-    f.dirty = false;
-    it = table_.erase(it);
+    f.dirty.store(false, std::memory_order_release);
   }
   pending_extensions_.erase(rel);
 }
 
 void BufferPool::DiscardAll() {
-  std::lock_guard lock(mu_);
-  for (auto& f : frames_) {
-    f.valid = false;
-    f.dirty = false;
-    f.pins = 0;
+  std::lock_guard lock(io_mu_);
+  for (auto& shard : shards_) {
+    std::lock_guard shard_lock(shard->mu);
+    shard->table.clear();
   }
-  table_.clear();
+  for (size_t i = 0; i < num_frames_; ++i) {
+    Frame& f = frames_[i];
+    f.valid = false;
+    f.dirty.store(false, std::memory_order_release);
+    f.ref.store(false, std::memory_order_release);
+    f.pins.store(0, std::memory_order_release);
+  }
   pending_extensions_.clear();
 }
 

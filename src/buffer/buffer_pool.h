@@ -1,11 +1,25 @@
-// Shared buffer pool of 8 KB pages, LRU replacement.
+// Shared buffer pool of 8 KB pages, sharded for concurrency.
 //
-// Mirrors POSTGRES 4.0.1: "an in-memory shared cache of recently used 8 KByte
-// data pages. The size of this cache is tunable ...; as shipped, the system
-// uses 64 buffers, but the version in use locally uses 300. Data pages are
-// kicked out of this cache in LRU order, regardless of the device from which
+// Mirrors POSTGRES 4.0.1's semantics: "an in-memory shared cache of recently
+// used 8 KByte data pages. The size of this cache is tunable ...; as shipped,
+// the system uses 64 buffers, but the version in use locally uses 300. Data
+// pages are kicked out of this cache ... regardless of the device from which
 // they came. Dirty pages are written to backing store before being deleted
 // from the cache."
+//
+// POSTGRES 4.0.1 serialized the whole pool behind one spinlock and scanned
+// all buffers for an LRU victim. We keep the semantics but not the
+// bottleneck:
+//   * The (rel, block) -> frame mapping is split across N independently
+//     locked shards; a buffer *hit* — the hot path of every scan — touches
+//     only its shard's mutex.
+//   * Per-frame pin counts, dirty bits and clock-sweep reference bits are
+//     atomics, so MarkDirty and Unpin take no lock at all, and a pin taken on
+//     one thread may be released on another (frames, not threads, own pins).
+//   * Victim selection is a clock sweep (second-chance) over the frame array
+//     instead of an O(n) LRU scan; misses, evictions, extensions and flushes
+//     serialize on one eviction/IO mutex, which also gives the pending-
+//     extension bookkeeping a stable world to reason about.
 //
 // Because POSTGRES has no write-ahead log, commit durability comes from
 // forcing the dirty pages of every relation the transaction touched
@@ -14,11 +28,12 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "src/device/device.h"
@@ -31,13 +46,19 @@ namespace invfs {
 inline constexpr size_t kDefaultBuffers = 64;   // as shipped
 inline constexpr size_t kBerkeleyBuffers = 300; // Berkeley's local config
 
+// Mapping shards used when the constructor is told to pick (partitions = 0).
+inline constexpr size_t kDefaultPoolPartitions = 16;
+
 class BufferPool;
 
 // RAII pin on a buffered page. The frame cannot be evicted while pinned.
+// Pins are frame-owned: a PageRef may be moved to and released on a different
+// thread than the one that pinned it without corrupting any accounting.
 class PageRef {
  public:
   PageRef() = default;
-  PageRef(BufferPool* pool, size_t frame, std::byte* data);
+  PageRef(BufferPool* pool, size_t frame, std::byte* data,
+          std::shared_ptr<std::atomic<int>> pinner);
   ~PageRef();
   PageRef(PageRef&& other) noexcept;
   PageRef& operator=(PageRef&& other) noexcept;
@@ -47,7 +68,8 @@ class PageRef {
   Page page() { return Page(data_); }
   const std::byte* data() const { return data_; }
   std::byte* data() { return data_; }
-  // Must be called after modifying page contents.
+  // Must be called after modifying page contents. Lock-free: sets the
+  // frame's atomic dirty bit without touching any pool mutex.
   void MarkDirty();
   bool valid() const { return pool_ != nullptr; }
   void Release();
@@ -56,12 +78,19 @@ class PageRef {
   BufferPool* pool_ = nullptr;
   size_t frame_ = 0;
   std::byte* data_ = nullptr;
+  // Per-thread pin counter of the thread that took the pin (for the lock
+  // manager's latch-vs-lock inversion check). Shared ownership keeps the
+  // counter alive even if the pinning thread exits before the release.
+  std::shared_ptr<std::atomic<int>> pinner_;
 };
 
 class BufferPool {
  public:
+  // `partitions` is the number of mapping shards; 0 picks the default
+  // (kDefaultPoolPartitions). 1 degenerates to the old single-lock pool —
+  // benchmarks use that as the contention baseline.
   BufferPool(DeviceSwitch* devices, size_t num_buffers, SimClock* clock,
-             CpuParams cpu = {});
+             CpuParams cpu = {}, size_t partitions = 0);
   ~BufferPool();
 
   // Pin block `block` of `rel`, reading it from its device if not cached.
@@ -80,7 +109,7 @@ class BufferPool {
 
   // Flush everything and invalidate every frame; the next access reads from
   // the device. Used by benchmarks ("all caches were flushed before each
-  // test") and by DropRelation.
+  // test") and by DropRelation. Requires a quiesced pool (no pins held).
   Status FlushAndInvalidate();
 
   // Drop all frames of `rel` without writing them (relation being deleted).
@@ -89,14 +118,16 @@ class BufferPool {
   // Crash simulation: throw away all volatile state, including dirty pages.
   void DiscardAll();
 
-  size_t num_buffers() const { return frames_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t num_buffers() const { return num_frames_; }
+  size_t num_partitions() const { return shards_.size(); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
   // Number of pins the calling thread currently holds (across all pools).
   // Used by the lock manager's debug-invariants mode to flag threads that
-  // block on a table lock while holding page latches. Pins must be released
-  // on the thread that acquired them for this count to stay meaningful.
+  // block on a table lock while holding page latches. A pin released on a
+  // different thread is debited from the thread that took it, so the count
+  // stays balanced even when PageRefs migrate across threads.
   static int ThreadPinCount();
 
  private:
@@ -107,37 +138,74 @@ class BufferPool {
     uint32_t block = 0;
     auto operator<=>(const Tag&) const = default;
   };
+  struct TagHash {
+    size_t operator()(const Tag& t) const {
+      uint64_t v = (static_cast<uint64_t>(t.rel) << 32) | t.block;
+      // 64-bit mix (splitmix64 finalizer) so consecutive blocks spread
+      // across shards instead of clustering.
+      v ^= v >> 30;
+      v *= 0xbf58476d1ce4e5b9ULL;
+      v ^= v >> 27;
+      v *= 0x94d049bb133111ebULL;
+      v ^= v >> 31;
+      return static_cast<size_t>(v);
+    }
+  };
 
+  // Frame metadata. `tag`/`valid` change only under io_mu_ *and* the tag's
+  // shard mutex; `pins` is incremented only under the shard mutex (so a
+  // sweep holding that mutex can trust pins == 0) but decremented anywhere;
+  // `dirty` and `ref` are free-running atomics.
   struct Frame {
     Tag tag;
     std::unique_ptr<std::byte[]> data;
     bool valid = false;
-    bool dirty = false;
-    int pins = 0;
-    uint64_t last_used = 0;
+    std::atomic<bool> dirty{false};
+    std::atomic<bool> ref{false};
+    std::atomic<int> pins{0};
   };
 
+  // One mapping shard: tag -> frame index for tags that hash here.
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Tag, size_t, TagHash> table;
+  };
+
+  Shard& ShardFor(const Tag& tag) {
+    return *shards_[TagHash{}(tag) & shard_mask_];
+  }
+
   void Unpin(size_t frame);
-  void Touch(size_t frame);
-  // Pick a victim frame (unpinned, least recently used) and write it back if
-  // dirty. Requires mu_ held.
+  // Clock sweep: pick a victim frame (unpinned, reference bit clear), write
+  // it back if dirty, and return it invalid and unmapped. Requires io_mu_.
   Result<size_t> EvictOne();
   // Write frame's page to its device, honoring extension ordering (a block
   // beyond the device's current size forces lower pending blocks out first).
+  // Requires io_mu_; must not be called with any shard mutex held.
   Status WriteFrame(size_t frame);
+  // Flush the dirty frames among `frames` in ascending (rel, block) order.
+  // Requires io_mu_.
+  Status FlushFrames(std::vector<size_t> frames);
   Result<uint32_t> DeviceBlocks(Oid rel);
 
   DeviceSwitch* devices_;
   SimClock* clock_;
   CpuParams cpu_;
 
-  std::mutex mu_;
-  std::vector<Frame> frames_;
-  std::map<Tag, size_t> table_;  // ordered: enables per-relation range scans
+  size_t num_frames_ = 0;
+  std::unique_ptr<Frame[]> frames_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // power-of-two count
+  size_t shard_mask_ = 0;
+
+  // Serializes everything that changes the mapping or performs device I/O:
+  // miss handling, eviction, extension, flushes and discards. Also guards
+  // pending_extensions_ and the clock hand. Hits never take it.
+  std::mutex io_mu_;
   std::map<Oid, uint32_t> pending_extensions_;  // rel -> blocks past device size
-  uint64_t clock_tick_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  size_t hand_ = 0;  // clock-sweep position
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace invfs

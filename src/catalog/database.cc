@@ -18,7 +18,7 @@ Database::Database(StorageEnv* env, DatabaseOptions options)
                                                       options.jukebox, options.disk));
   }
   buffers_ = std::make_unique<BufferPool>(&devices_, options.buffers, clock_,
-                                          options.cpu);
+                                          options.cpu, options.buffer_partitions);
 }
 
 Result<std::unique_ptr<Database>> Database::Open(StorageEnv* env,

@@ -91,6 +91,9 @@ bool Checker::LogView::Known(TxnId x) const {
   if (x == kBootstrapTxn) {
     return true;
   }
+  if (x != kInvalidTxn && x <= horizon) {
+    return true;  // allocated under the persisted horizon; unused = burned
+  }
   return x < entries.size() &&
          entries[x].status != static_cast<uint32_t>(TxnStatus::kUnused);
 }
@@ -162,7 +165,11 @@ void Checker::LoadCommitLog() {
       Add("commit-log-unreadable", kCommitLogRelOid, b, s.message());
       continue;
     }
-    for (uint32_t i = 0; i < kEntriesPerPage; ++i) {
+    if (b == 0) {
+      // Entry 0 (xid 0 is invalid) carries the xid horizon, not a status.
+      log_.horizon = GetU64(buf.data() + 8);
+    }
+    for (uint32_t i = b == 0 ? 1 : 0; i < kEntriesPerPage; ++i) {
       const std::byte* p = buf.data() + i * kEntrySize;
       const TxnId xid = b * kEntriesPerPage + i;
       LogView::Entry e;

@@ -88,6 +88,10 @@ class Checker {
       Timestamp commit_ts = 0;
     };
     std::vector<Entry> entries;  // indexed by xid
+    // Durable xid high-water mark (entry 0's timestamp field): xids at or
+    // below it are valid allocations even without a persisted begin record —
+    // if unused on disk they were burned by a crash and count as aborted.
+    TxnId horizon = 0;
 
     bool Committed(TxnId x) const;
     bool Known(TxnId x) const;

@@ -1,5 +1,6 @@
 #include "src/txn/commit_log.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/util/bytes.h"
@@ -23,9 +24,17 @@ Result<std::unique_ptr<CommitLog>> CommitLog::Open(DeviceManager* device) {
 Status CommitLog::LoadFromDevice() {
   INV_ASSIGN_OR_RETURN(uint32_t nblocks, device_->NumBlocks(kCommitLogRelOid));
   std::vector<std::byte> buf(kPageSize);
+  // Log pages whose entries recovery rewrites; persisted below so the
+  // converted aborts reach the raw image, not just memory.
+  std::set<uint32_t> converted_blocks;
   for (uint32_t b = 0; b < nblocks; ++b) {
     INV_RETURN_IF_ERROR(device_->ReadBlock(kCommitLogRelOid, b, buf));
-    for (uint32_t i = 0; i < kEntriesPerPage; ++i) {
+    if (b == 0) {
+      // Entry 0 (xid 0 is invalid) holds the persisted xid horizon in its
+      // timestamp field.
+      xid_horizon_ = GetU64(buf.data() + 8);
+    }
+    for (uint32_t i = b == 0 ? 1 : 0; i < kEntriesPerPage; ++i) {
       const std::byte* p = buf.data() + i * kEntrySize;
       Entry e;
       e.status = static_cast<TxnStatus>(GetU32(p));
@@ -39,16 +48,112 @@ Status CommitLog::LoadFromDevice() {
         // commit. It never happened.
         if (e.status == TxnStatus::kInProgress) {
           e.status = TxnStatus::kAborted;
+          converted_blocks.insert(b);
         }
         entries_[xid] = e;
       }
     }
   }
+  // Every xid at or below the horizon may have been handed out without a
+  // persisted begin record (begin only waits on the device when it advances
+  // the horizon). Whatever is still unused after a crash is burned: record it
+  // aborted so the xid can never be reused and offline readers agree.
+  if (xid_horizon_ > 0) {
+    if (entries_.size() <= xid_horizon_) {
+      entries_.resize(xid_horizon_ + 1);
+    }
+    for (TxnId x = kBootstrapTxn + 1; x <= xid_horizon_; ++x) {
+      if (entries_[x].status == TxnStatus::kUnused) {
+        entries_[x].status = TxnStatus::kAborted;
+        converted_blocks.insert(static_cast<uint32_t>(x / kEntriesPerPage));
+      }
+    }
+  }
+  // Persist the conversions: without this, a second crash before the next
+  // group flush would leave the entries in-progress (or unused) on disk
+  // forever, and any offline reader of the raw image would disagree with us
+  // about their fate.
+  for (uint32_t b : converted_blocks) {
+    INV_RETURN_IF_ERROR(WriteLogBlock(b, BuildPageImage(b)));
+  }
   return Status::Ok();
 }
 
+std::vector<std::byte> CommitLog::BuildPageImage(uint32_t block) const {
+  std::vector<std::byte> buf(kPageSize, std::byte{0});
+  const TxnId first = block * kEntriesPerPage;
+  for (uint32_t i = 0; i < kEntriesPerPage; ++i) {
+    const TxnId x = first + i;
+    std::byte* p = buf.data() + i * kEntrySize;
+    if (x == 0) {
+      // xid 0 is invalid; its entry carries the xid horizon instead.
+      PutU64(p + 8, xid_horizon_);
+    } else if (x < entries_.size()) {
+      PutU32(p, static_cast<uint32_t>(entries_[x].status));
+      PutU32(p + 4, 0);
+      PutU64(p + 8, entries_[x].commit_ts);
+    }
+  }
+  return buf;
+}
+
+Status CommitLog::WriteLogBlock(uint32_t block, const std::vector<std::byte>& image) {
+  INV_ASSIGN_OR_RETURN(uint32_t nblocks, device_->NumBlocks(kCommitLogRelOid));
+  if (block > nblocks) {
+    // Zero-fill intermediate pages. They can hold no registered xid: every
+    // xid's begin record is persisted before the xid becomes visible, which
+    // extends the device past its page first.
+    std::vector<std::byte> zero(kPageSize, std::byte{0});
+    for (uint32_t b = nblocks; b < block; ++b) {
+      INV_RETURN_IF_ERROR(device_->WriteBlock(kCommitLogRelOid, b, zero));
+      device_page_writes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  INV_RETURN_IF_ERROR(device_->WriteBlock(kCommitLogRelOid, block, image));
+  device_page_writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status CommitLog::PersistGroup(std::unique_lock<std::mutex>& lock, TxnId xid) {
+  ++persist_requests_;
+  dirty_blocks_.insert(xid / kEntriesPerPage);
+  const uint64_t my_seq = ++enqueue_seq_;
+  while (persisted_seq_ < my_seq) {
+    if (flush_in_progress_) {
+      flush_cv_.wait(lock);
+      continue;
+    }
+    // Leader: snapshot page images for every queued page under mu_, then
+    // write them with mu_ released so new transitions can keep enqueueing
+    // (they form the next group).
+    flush_in_progress_ = true;
+    const uint64_t covers = enqueue_seq_;
+    std::vector<uint32_t> blocks(dirty_blocks_.begin(), dirty_blocks_.end());
+    dirty_blocks_.clear();
+    std::vector<std::vector<std::byte>> images;
+    images.reserve(blocks.size());
+    for (uint32_t b : blocks) {
+      images.push_back(BuildPageImage(b));
+    }
+    lock.unlock();
+    Status s = Status::Ok();
+    for (size_t i = 0; i < blocks.size() && s.ok(); ++i) {
+      s = WriteLogBlock(blocks[i], images[i]);
+    }
+    lock.lock();
+    ++persist_batches_;
+    if (!s.ok() && sticky_error_.ok()) {
+      sticky_error_ = s;
+    }
+    persisted_seq_ = std::max(persisted_seq_, covers);
+    flush_in_progress_ = false;
+    flush_cv_.notify_all();
+  }
+  return sticky_error_;
+}
+
 Status CommitLog::BeginTxn(TxnId xid) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
   if (entries_.size() <= xid) {
     entries_.resize(xid + 1);
   }
@@ -56,43 +161,29 @@ Status CommitLog::BeginTxn(TxnId xid) {
     return Status::Internal("xid " + std::to_string(xid) + " reused");
   }
   entries_[xid].status = TxnStatus::kInProgress;
-  // Persist the start record. This is what prevents xid reuse after a crash:
-  // recovery turns surviving in-progress entries into aborts and the next
-  // incarnation allocates past them.
-  return PersistEntry(xid);
-}
-
-Status CommitLog::PersistEntry(TxnId xid) {
-  // Read-modify-write the containing page directly on the device (the log is
-  // not routed through the buffer pool: its durability is the commit point).
-  const uint32_t block = xid / kEntriesPerPage;
-  INV_ASSIGN_OR_RETURN(uint32_t nblocks, device_->NumBlocks(kCommitLogRelOid));
-  std::vector<std::byte> buf(kPageSize, std::byte{0});
-  // Extend with zero pages up to `block`.
-  for (uint32_t b = nblocks; b <= block; ++b) {
-    INV_RETURN_IF_ERROR(device_->WriteBlock(kCommitLogRelOid, b, buf));
+  dirty_blocks_.insert(static_cast<uint32_t>(xid / kEntriesPerPage));
+  // The begin record exists to prevent xid reuse after a crash. Persisting
+  // one per begin would cost a device write per transaction, so begins are
+  // covered in batches by the xid horizon: while xid <= horizon, recovery
+  // already knows to burn the xid (unused-below-horizon reads as aborted) and
+  // the in-progress entry can ride out with the next group flush. Only a
+  // begin that crosses the horizon advances it — one device wait per
+  // kXidHorizonBatch transactions.
+  if (xid <= xid_horizon_) {
+    return sticky_error_;
   }
-  INV_RETURN_IF_ERROR(device_->ReadBlock(kCommitLogRelOid, block, buf));
-  const TxnId first = block * kEntriesPerPage;
-  for (uint32_t i = 0; i < kEntriesPerPage; ++i) {
-    const TxnId x = first + i;
-    std::byte* p = buf.data() + i * kEntrySize;
-    if (x < entries_.size()) {
-      PutU32(p, static_cast<uint32_t>(entries_[x].status));
-      PutU32(p + 4, 0);
-      PutU64(p + 8, entries_[x].commit_ts);
-    }
-  }
-  return device_->WriteBlock(kCommitLogRelOid, block, buf);
+  xid_horizon_ = xid + kXidHorizonBatch;
+  dirty_blocks_.insert(0);  // the horizon record lives in log page 0
+  return PersistGroup(lock, xid);
 }
 
 Status CommitLog::CommitTxn(TxnId xid, Timestamp commit_ts) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
   if (xid >= entries_.size() || entries_[xid].status != TxnStatus::kInProgress) {
     return Status::Internal("commit of unknown xid " + std::to_string(xid));
   }
   entries_[xid] = Entry{TxnStatus::kCommitted, commit_ts};
-  return PersistEntry(xid);
+  return PersistGroup(lock, xid);
 }
 
 Status CommitLog::AbortTxn(TxnId xid) {
@@ -101,6 +192,9 @@ Status CommitLog::AbortTxn(TxnId xid) {
     return Status::Internal("abort of unknown xid " + std::to_string(xid));
   }
   entries_[xid].status = TxnStatus::kAborted;
+  // No waiting: the abort rides out with the next group flush, and an
+  // unpersisted abort reads back as in-progress, which recovery aborts.
+  dirty_blocks_.insert(xid / kEntriesPerPage);
   return Status::Ok();
 }
 
@@ -132,6 +226,16 @@ bool CommitLog::CommittedBefore(TxnId xid, Timestamp as_of) const {
 TxnId CommitLog::MaxTxnId() const {
   std::lock_guard lock(mu_);
   return entries_.empty() ? 0 : static_cast<TxnId>(entries_.size() - 1);
+}
+
+uint64_t CommitLog::persist_requests() const {
+  std::lock_guard lock(mu_);
+  return persist_requests_;
+}
+
+uint64_t CommitLog::persist_batches() const {
+  std::lock_guard lock(mu_);
+  return persist_batches_;
 }
 
 }  // namespace invfs

@@ -12,10 +12,20 @@ TxnManager::TxnManager(CommitLog* log, BufferPool* buffers, LockManager* locks,
 }
 
 Result<TxnId> TxnManager::Begin() {
-  std::lock_guard lock(mu_);
-  const TxnId xid = next_xid_++;
+  TxnId xid;
+  {
+    std::lock_guard lock(mu_);
+    xid = next_xid_++;
+  }
+  // Persist the start record outside mu_: concurrent Begin calls must reach
+  // the commit log together so its group-commit protocol can coalesce their
+  // page writes into one flush. (A failed begin burns the xid; ids are not
+  // reused by design.)
   INV_RETURN_IF_ERROR(log_->BeginTxn(xid));
-  active_[xid] = {};
+  {
+    std::lock_guard lock(mu_);
+    active_[xid] = {};
+  }
   return xid;
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "src/buffer/buffer_pool.h"
 
 namespace invfs {
@@ -219,6 +221,66 @@ TEST_F(BufferPoolTest, LruEvictsColdestFrame) {
   EXPECT_EQ(pool.misses(), misses_before);
   (void)*pool.Pin(1, 0);  // must re-read
   EXPECT_EQ(pool.misses(), misses_before + 1);
+}
+
+// Regression: releasing a PageRef on a thread other than the one that pinned
+// it used to decrement the *releasing* thread's pin counter, driving it
+// negative and leaving the pinning thread's counter stuck positive (which the
+// lock manager reads to police latch-then-lock ordering).
+TEST_F(BufferPoolTest, CrossThreadReleaseBalancesPinAccounting) {
+  CreateRel(1);
+  BufferPool pool(&sw_, 2, &clock_);
+  {
+    auto ref = pool.Extend(1, nullptr);
+    ASSERT_TRUE(ref.ok());
+    ref->MarkDirty();
+  }
+  EXPECT_EQ(BufferPool::ThreadPinCount(), 0);
+  auto ref = pool.Pin(1, 0);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(BufferPool::ThreadPinCount(), 1);
+
+  std::thread other([&] {
+    EXPECT_EQ(BufferPool::ThreadPinCount(), 0)
+        << "a fresh thread holds no pins";
+    ref->Release();
+    EXPECT_EQ(BufferPool::ThreadPinCount(), 0)
+        << "releasing a foreign pin must not charge the releasing thread";
+  });
+  other.join();
+
+  EXPECT_EQ(BufferPool::ThreadPinCount(), 0)
+      << "the pinning thread must be debited by the remote release";
+  // And the frame is genuinely unpinned: invalidation refuses pinned frames.
+  EXPECT_TRUE(pool.FlushAndInvalidate().ok());
+}
+
+TEST_F(BufferPoolTest, PartitionCountRoundsUpToPowerOfTwo) {
+  CreateRel(1);
+  BufferPool defaulted(&sw_, 4, &clock_);
+  EXPECT_EQ(defaulted.num_partitions(), kDefaultPoolPartitions);
+  BufferPool single(&sw_, 4, &clock_, CpuParams{}, 1);
+  EXPECT_EQ(single.num_partitions(), 1u);
+  BufferPool odd(&sw_, 4, &clock_, CpuParams{}, 3);
+  EXPECT_EQ(odd.num_partitions(), 4u);
+}
+
+// The mapping is sharded but the frames are shared: a relation hashed to one
+// shard must still be able to use every frame in the pool.
+TEST_F(BufferPoolTest, ShardedPoolSharesFramesAcrossPartitions) {
+  CreateRel(1);
+  BufferPool pool(&sw_, 8, &clock_, CpuParams{}, 8);
+  std::vector<PageRef> refs;
+  for (int i = 0; i < 8; ++i) {
+    auto ref = pool.Extend(1, nullptr);
+    ASSERT_TRUE(ref.ok()) << "frame " << i << " must be allocatable";
+    ref->MarkDirty();
+    refs.push_back(std::move(*ref));
+  }
+  // All 8 frames pinned; a 9th page must fail with every buffer pinned.
+  EXPECT_FALSE(pool.Extend(1, nullptr).ok());
+  refs.clear();
+  EXPECT_TRUE(pool.Extend(1, nullptr).ok());
 }
 
 }  // namespace

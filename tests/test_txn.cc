@@ -6,6 +6,7 @@
 
 #include "src/catalog/database.h"
 #include "src/txn/commit_log.h"
+#include "src/util/bytes.h"
 #include "src/txn/lock_manager.h"
 #include "src/txn/snapshot.h"
 
@@ -65,6 +66,59 @@ TEST_F(CommitLogTest, ReopenRecoversStateAndAbortsInFlight) {
   EXPECT_EQ((*log)->StatusOf(3), TxnStatus::kAborted)
       << "in-progress at crash must read as aborted";
   EXPECT_GE((*log)->MaxTxnId(), 3u) << "xids must not be reused after crash";
+}
+
+// Regression: recovery used to convert in-progress entries to aborted only in
+// memory. A second crash before the next flush resurrected them as
+// in-progress on disk, and offline readers of the raw image (invfs_check)
+// disagreed with the running system about their fate. Recovery must persist
+// the conversion.
+TEST_F(CommitLogTest, DoubleCrashKeepsConvertedAbortsOnDisk) {
+  {
+    auto log = CommitLog::Open(&dev_);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->BeginTxn(2).ok());  // crash #1 with txn 2 in flight
+  }
+  {
+    auto log = CommitLog::Open(&dev_);  // recovery converts 2 to aborted...
+    ASSERT_TRUE(log.ok());
+    ASSERT_EQ((*log)->StatusOf(2), TxnStatus::kAborted);
+    // ...and crash #2 happens before any further transition could flush.
+  }
+  // The raw device image must already record the abort (16-byte entries, u32
+  // status first — the documented on-disk layout).
+  std::vector<std::byte> raw(kPageSize);
+  ASSERT_TRUE(dev_.ReadBlock(kCommitLogRelOid, 0, raw).ok());
+  EXPECT_EQ(GetU32(raw.data() + 2 * 16),
+            static_cast<uint32_t>(TxnStatus::kAborted))
+      << "recovery left the converted abort unpersisted";
+
+  auto log = CommitLog::Open(&dev_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->StatusOf(2), TxnStatus::kAborted);
+  EXPECT_GE((*log)->MaxTxnId(), 2u) << "xid 2 must never be reallocated";
+}
+
+TEST_F(CommitLogTest, GroupCommitCountersAreExactWithoutConcurrency) {
+  auto log = CommitLog::Open(&dev_);
+  ASSERT_TRUE(log.ok());
+  for (TxnId x = 2; x < 12; ++x) {
+    ASSERT_TRUE((*log)->BeginTxn(x).ok());
+    ASSERT_TRUE((*log)->CommitTxn(x, x).ok());
+  }
+  // 20 transitions, but only 11 durable waits: the first begin advances the
+  // xid horizon (1 request) and covers the other 9 begins; each commit is a
+  // request of its own. Single-threaded there is nobody to coalesce with, so
+  // every request leads its own batch of one page write — already half the
+  // one-write-per-transition cost, deterministically.
+  EXPECT_EQ((*log)->persist_requests(), 11u);
+  EXPECT_EQ((*log)->persist_batches(), 11u);
+  EXPECT_EQ((*log)->device_page_writes(), 11u);
+  // Aborts piggyback: no new batch, no new write.
+  ASSERT_TRUE((*log)->BeginTxn(12).ok());
+  const uint64_t batches = (*log)->persist_batches();
+  ASSERT_TRUE((*log)->AbortTxn(12).ok());
+  EXPECT_EQ((*log)->persist_batches(), batches);
 }
 
 TEST_F(CommitLogTest, ManyTxnsSpanLogPages) {
