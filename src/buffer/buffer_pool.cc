@@ -137,21 +137,24 @@ Result<size_t> BufferPool::EvictOne() {
     if (f.ref.exchange(false, std::memory_order_acq_rel)) {
       continue;  // second chance
     }
+    // Write back while the frame is still mapped: a WriteBlock failure must
+    // leave the dirty page reachable and retryable, so the mapping is erased
+    // only after the data is safely on the device.
+    if (f.dirty.load(std::memory_order_acquire)) {
+      INV_RETURN_IF_ERROR(WriteFrame(i));
+    }
     {
       Shard& s = ShardFor(f.tag);
       std::lock_guard shard_lock(s.mu);
       if (f.pins.load(std::memory_order_acquire) > 0) {
-        continue;  // pinned between our check and the shard lock
+        continue;  // pinned during the sweep or the write-back
+      }
+      if (f.dirty.load(std::memory_order_acquire)) {
+        continue;  // re-dirtied during the write-back; stays cached
       }
       s.table.erase(f.tag);
       f.valid = false;
     }
-    // Unmapped and unpinned: no other thread can reach this frame while we
-    // hold io_mu_, so the write-back below is single-owner.
-    if (f.dirty.load(std::memory_order_acquire)) {
-      INV_RETURN_IF_ERROR(WriteFrame(i));
-    }
-    f.dirty.store(false, std::memory_order_release);
     return i;
   }
   return Status::ResourceExhausted("all buffers pinned");
@@ -182,23 +185,35 @@ Status BufferPool::WriteFrame(size_t frame) {
     }
     // Holding io_mu_ pins the mapping: the frame cannot be evicted or
     // remapped underneath us, so its data may be read without its shard lock.
+    // The dirty bit is *claimed* (cleared) before the data is read: a
+    // concurrent pinner's MarkDirty during or after our snapshot re-dirties
+    // the frame, so an image taken mid-mutation is never the last one written
+    // — the frame stays dirty and a later flush writes the settled page.
     Frame& g = frames_[gi];
-    if (g.dirty.load(std::memory_order_acquire)) {
+    if (g.dirty.exchange(false, std::memory_order_acq_rel)) {
       Page gpage(g.data.get());
       if (gpage.IsInitialized()) {
         gpage.UpdateChecksum();
       }
-      INV_RETURN_IF_ERROR(
-          mgr->WriteBlock(g.tag.rel, g.tag.block, {g.data.get(), kPageSize}));
-      g.dirty.store(false, std::memory_order_release);
+      Status ws = mgr->WriteBlock(g.tag.rel, g.tag.block, {g.data.get(), kPageSize});
+      if (!ws.ok()) {
+        g.dirty.store(true, std::memory_order_release);  // still unwritten
+        return ws;
+      }
     }
   }
-  Page fpage(f.data.get());
-  if (fpage.IsInitialized()) {
-    fpage.UpdateChecksum();
+  // Same claim-before-read protocol for the frame itself.
+  if (f.dirty.exchange(false, std::memory_order_acq_rel)) {
+    Page fpage(f.data.get());
+    if (fpage.IsInitialized()) {
+      fpage.UpdateChecksum();
+    }
+    Status ws = mgr->WriteBlock(f.tag.rel, f.tag.block, {f.data.get(), kPageSize});
+    if (!ws.ok()) {
+      f.dirty.store(true, std::memory_order_release);  // still unwritten
+      return ws;
+    }
   }
-  INV_RETURN_IF_ERROR(mgr->WriteBlock(f.tag.rel, f.tag.block, {f.data.get(), kPageSize}));
-  f.dirty.store(false, std::memory_order_release);
   // Recompute pending extensions for this relation.
   INV_ASSIGN_OR_RETURN(uint32_t new_dev_size, mgr->NumBlocks(f.tag.rel));
   auto pit = pending_extensions_.find(f.tag.rel);
@@ -346,8 +361,29 @@ Status BufferPool::FlushAndInvalidate() {
     }
   }
   INV_RETURN_IF_ERROR(FlushFrames(std::move(dirty)));
+  // Pins are only ever taken under a shard mutex, so holding *every* shard
+  // mutex makes the pin recheck and the table clear one atomic step against
+  // the hit path: no PageRef can be handed out for a frame we invalidate.
+  // (WriteFrame takes shard mutexes, which is why the flush above runs
+  // first, outside this region.)
+  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
   for (auto& shard : shards_) {
-    std::lock_guard shard_lock(shard->mu);
+    shard_locks.emplace_back(shard->mu);
+  }
+  for (size_t i = 0; i < num_frames_; ++i) {
+    Frame& f = frames_[i];
+    if (f.pins.load(std::memory_order_acquire) > 0) {
+      return Status::Internal("cannot invalidate pinned buffer");
+    }
+    if (f.valid && f.dirty.load(std::memory_order_acquire)) {
+      // A pin slipped in after the flush, dirtied the page and released it:
+      // the caller broke the quiesced-pool contract. Refuse rather than
+      // silently discard the write.
+      return Status::Internal("buffer dirtied during invalidation");
+    }
+  }
+  for (auto& shard : shards_) {
     shard->table.clear();
   }
   for (size_t i = 0; i < num_frames_; ++i) {

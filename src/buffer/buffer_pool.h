@@ -109,7 +109,10 @@ class BufferPool {
 
   // Flush everything and invalidate every frame; the next access reads from
   // the device. Used by benchmarks ("all caches were flushed before each
-  // test") and by DropRelation. Requires a quiesced pool (no pins held).
+  // test") and by DropRelation. Requires a quiesced pool (no pins held);
+  // the requirement is enforced by rechecking pin counts while holding every
+  // shard mutex, so a racing Pin either completes before the invalidation or
+  // misses cleanly after it — never holds a ref to an invalidated frame.
   Status FlushAndInvalidate();
 
   // Drop all frames of `rel` without writing them (relation being deleted).
@@ -155,7 +158,11 @@ class BufferPool {
   // Frame metadata. `tag`/`valid` change only under io_mu_ *and* the tag's
   // shard mutex; `pins` is incremented only under the shard mutex (so a
   // sweep holding that mutex can trust pins == 0) but decremented anywhere;
-  // `dirty` and `ref` are free-running atomics.
+  // `dirty` and `ref` are free-running atomics. Flushers *claim* the dirty
+  // bit (exchange to false) before reading page data, and restore it if the
+  // device write fails: a MarkDirty racing with the snapshot re-dirties the
+  // frame, so a mid-mutation image is never the last one written and no
+  // modification is ever silently marked clean.
   struct Frame {
     Tag tag;
     std::unique_ptr<std::byte[]> data;
@@ -177,7 +184,10 @@ class BufferPool {
 
   void Unpin(size_t frame);
   // Clock sweep: pick a victim frame (unpinned, reference bit clear), write
-  // it back if dirty, and return it invalid and unmapped. Requires io_mu_.
+  // it back if dirty, and return it invalid and unmapped. The write-back
+  // happens while the victim is still mapped, so a failed device write
+  // leaves the dirty page reachable and retryable; frames pinned or
+  // re-dirtied during the write-back are skipped. Requires io_mu_.
   Result<size_t> EvictOne();
   // Write frame's page to its device, honoring extension ordering (a block
   // beyond the device's current size forces lower pending blocks out first).

@@ -114,11 +114,14 @@ Status CommitLog::WriteLogBlock(uint32_t block, const std::vector<std::byte>& im
   return Status::Ok();
 }
 
-Status CommitLog::PersistGroup(std::unique_lock<std::mutex>& lock, TxnId xid) {
+uint64_t CommitLog::EnqueueTransition(TxnId xid) {
   ++persist_requests_;
   dirty_blocks_.insert(xid / kEntriesPerPage);
-  const uint64_t my_seq = ++enqueue_seq_;
-  while (persisted_seq_ < my_seq) {
+  return ++enqueue_seq_;
+}
+
+Status CommitLog::WaitPersisted(std::unique_lock<std::mutex>& lock, uint64_t seq) {
+  while (sticky_error_.ok() && persisted_seq_ < seq) {
     if (flush_in_progress_) {
       flush_cv_.wait(lock);
       continue;
@@ -142,14 +145,30 @@ Status CommitLog::PersistGroup(std::unique_lock<std::mutex>& lock, TxnId xid) {
     }
     lock.lock();
     ++persist_batches_;
-    if (!s.ok() && sticky_error_.ok()) {
+    if (s.ok()) {
+      // Only a successful flush makes the covered transitions durable (and
+      // therefore visible: see VisibleStatus). On failure persisted_seq_
+      // stays put and the sticky error poisons the log, so an unflushed
+      // commit can never be observed by readers.
+      persisted_seq_ = std::max(persisted_seq_, covers);
+    } else if (sticky_error_.ok()) {
       sticky_error_ = s;
     }
-    persisted_seq_ = std::max(persisted_seq_, covers);
     flush_in_progress_ = false;
     flush_cv_.notify_all();
   }
   return sticky_error_;
+}
+
+TxnStatus CommitLog::VisibleStatus(const Entry& e) const {
+  // A committed entry whose covering group flush has not landed must read as
+  // still in progress: a crash before the flush recovers it as aborted, and
+  // snapshot visibility (StatusOf / CommittedBefore) must never show a
+  // commit that recovery could take back.
+  if (e.status == TxnStatus::kCommitted && e.durable_seq > persisted_seq_) {
+    return TxnStatus::kInProgress;
+  }
+  return e.status;
 }
 
 Status CommitLog::BeginTxn(TxnId xid) {
@@ -174,7 +193,7 @@ Status CommitLog::BeginTxn(TxnId xid) {
   }
   xid_horizon_ = xid + kXidHorizonBatch;
   dirty_blocks_.insert(0);  // the horizon record lives in log page 0
-  return PersistGroup(lock, xid);
+  return WaitPersisted(lock, EnqueueTransition(xid));
 }
 
 Status CommitLog::CommitTxn(TxnId xid, Timestamp commit_ts) {
@@ -182,8 +201,12 @@ Status CommitLog::CommitTxn(TxnId xid, Timestamp commit_ts) {
   if (xid >= entries_.size() || entries_[xid].status != TxnStatus::kInProgress) {
     return Status::Internal("commit of unknown xid " + std::to_string(xid));
   }
-  entries_[xid] = Entry{TxnStatus::kCommitted, commit_ts};
-  return PersistGroup(lock, xid);
+  const uint64_t seq = EnqueueTransition(xid);
+  // durable_seq hides the commit from readers until the covering flush lands
+  // (the leader may release mu_ mid-flush, so entries_ is observable before
+  // the device write completes).
+  entries_[xid] = Entry{TxnStatus::kCommitted, commit_ts, seq};
+  return WaitPersisted(lock, seq);
 }
 
 Status CommitLog::AbortTxn(TxnId xid) {
@@ -203,12 +226,13 @@ TxnStatus CommitLog::StatusOf(TxnId xid) const {
   if (xid >= entries_.size()) {
     return TxnStatus::kUnused;
   }
-  return entries_[xid].status;
+  return VisibleStatus(entries_[xid]);
 }
 
 Timestamp CommitLog::CommitTimeOf(TxnId xid) const {
   std::lock_guard lock(mu_);
-  if (xid >= entries_.size() || entries_[xid].status != TxnStatus::kCommitted) {
+  if (xid >= entries_.size() ||
+      VisibleStatus(entries_[xid]) != TxnStatus::kCommitted) {
     return 0;
   }
   return entries_[xid].commit_ts;
@@ -220,7 +244,7 @@ bool CommitLog::CommittedBefore(TxnId xid, Timestamp as_of) const {
     return false;
   }
   const Entry& e = entries_[xid];
-  return e.status == TxnStatus::kCommitted && e.commit_ts <= as_of;
+  return VisibleStatus(e) == TxnStatus::kCommitted && e.commit_ts <= as_of;
 }
 
 TxnId CommitLog::MaxTxnId() const {

@@ -16,7 +16,12 @@
 // the leader's flush to land. Under concurrent commit traffic this turns one
 // read-modify-write + one device write *per transition* (the POSTGRES 4.0.1
 // behavior Hellerstein calls out as the known bottleneck of the no-overwrite
-// commit path) into one write per batch. Aborts piggyback: they only dirty
+// commit path) into one write per batch. Because the leader releases the log
+// mutex during the device write, each committed entry carries the flush
+// sequence that makes it durable, and readers (StatusOf, CommittedBefore,
+// CommitTimeOf) report it as still in-progress until that flush lands —
+// commit *visibility* always implies commit *durability*, exactly as when
+// the mutex was held across the write. Aborts piggyback: they only dirty
 // the page in memory and ride out with the next group flush, because an
 // unpersisted abort reads back as in-progress, which recovery also treats as
 // aborted. Begins batch through the *xid horizon*: entry 0 of the log holds a
@@ -105,6 +110,10 @@ class CommitLog {
   struct Entry {
     TxnStatus status = TxnStatus::kUnused;
     Timestamp commit_ts = 0;
+    // Flush sequence that makes a kCommitted entry durable; 0 means already
+    // durable (bootstrap / loaded from the device). Readers must not see the
+    // commit until persisted_seq_ reaches it — see VisibleStatus.
+    uint64_t durable_seq = 0;
   };
 
   static constexpr uint32_t kEntrySize = 16;
@@ -119,9 +128,16 @@ class CommitLog {
   // Write one log page, zero-extending the relation up to it. Called by the
   // flush leader outside mu_ (flush_in_progress_ keeps leaders exclusive).
   Status WriteLogBlock(uint32_t block, const std::vector<std::byte>& image);
-  // Join (or lead) a group flush covering the queued dirty pages; returns
-  // once the transition enqueued by the caller is durable. `lock` holds mu_.
-  Status PersistGroup(std::unique_lock<std::mutex>& lock, TxnId xid);
+  // Queue `xid`'s log page for the next group flush and return the flush
+  // sequence that will cover this transition. mu_ held.
+  uint64_t EnqueueTransition(TxnId xid);
+  // Join (or lead) group flushes until the transition with sequence `seq` is
+  // durable (or the log is poisoned); `lock` holds mu_.
+  Status WaitPersisted(std::unique_lock<std::mutex>& lock, uint64_t seq);
+  // Status as transaction-visibility readers may see it: a committed entry
+  // whose covering flush has not landed reads as still in progress, because
+  // a crash right now would recover it as aborted. mu_ held.
+  TxnStatus VisibleStatus(const Entry& e) const;
 
   DeviceManager* device_;
   mutable std::mutex mu_;
@@ -135,6 +151,7 @@ class CommitLog {
   std::set<uint32_t> dirty_blocks_;   // log pages awaiting flush
   uint64_t enqueue_seq_ = 0;          // last persist request enqueued
   uint64_t persisted_seq_ = 0;        // all requests <= this are durable
+                                      // (advanced only on flush success)
   bool flush_in_progress_ = false;
   Status sticky_error_ = Status::Ok();  // first flush failure; poisons the log
 

@@ -265,6 +265,82 @@ TEST_F(BufferPoolTest, PartitionCountRoundsUpToPowerOfTwo) {
   EXPECT_EQ(odd.num_partitions(), 4u);
 }
 
+// Forwards to an NvramDevice but fails every WriteBlock while armed: lets
+// the tests below exercise write-back failure on the eviction path.
+class FailingWriteDevice final : public DeviceManager {
+ public:
+  explicit FailingWriteDevice(BlockStore* store) : inner_(store) {}
+
+  std::string_view name() const override { return "failing-write"; }
+  Status CreateRelation(Oid rel) override { return inner_.CreateRelation(rel); }
+  Status DropRelation(Oid rel) override { return inner_.DropRelation(rel); }
+  bool RelationExists(Oid rel) const override { return inner_.RelationExists(rel); }
+  Result<uint32_t> NumBlocks(Oid rel) const override { return inner_.NumBlocks(rel); }
+  Status ReadBlock(Oid rel, uint32_t block, std::span<std::byte> out) override {
+    return inner_.ReadBlock(rel, block, out);
+  }
+  Status WriteBlock(Oid rel, uint32_t block, std::span<const std::byte> data) override {
+    if (fail_writes.load()) {
+      return Status::Internal("injected write failure");
+    }
+    return inner_.WriteBlock(rel, block, data);
+  }
+
+  std::atomic<bool> fail_writes{false};
+
+ private:
+  NvramDevice inner_;
+};
+
+// Regression: eviction used to unmap the victim *before* the dirty
+// write-back, so a failed device write left the page unreachable and its
+// data silently lost. The write-back must come first; a failure leaves the
+// dirty page mapped and retryable.
+TEST(BufferPoolFailureTest, EvictionWriteFailureKeepsDirtyPageReachable) {
+  MemBlockStore store;
+  SimClock clock;
+  DeviceSwitch sw;
+  auto owned = std::make_unique<FailingWriteDevice>(&store);
+  FailingWriteDevice* dev = owned.get();
+  sw.Register(kDeviceNvram, std::move(owned));
+  for (Oid rel : {1, 2}) {
+    ASSERT_TRUE(dev->CreateRelation(rel).ok());
+    sw.BindRelation(rel, kDeviceNvram);
+  }
+
+  BufferPool pool(&sw, 4, &clock);
+  // Seed rel 1 on the device so a later Pin of it misses and must evict.
+  for (int b = 0; b < 4; ++b) {
+    auto ref = pool.Extend(1, nullptr);
+    ASSERT_TRUE(ref.ok());
+    ref->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAndInvalidate().ok());
+
+  // Fill every frame with dirty, unflushed pages of rel 2.
+  for (int b = 0; b < 4; ++b) {
+    auto ref = pool.Extend(2, nullptr);
+    ASSERT_TRUE(ref.ok());
+    ref->data()[kPageHeaderSize] = std::byte{static_cast<uint8_t>(b + 1)};
+    ref->MarkDirty();
+  }
+
+  dev->fail_writes.store(true);
+  // The miss forces an eviction whose write-back fails: the Pin reports the
+  // error, and the victim's dirty page must still be mapped and dirty.
+  EXPECT_FALSE(pool.Pin(1, 0).ok());
+  dev->fail_writes.store(false);
+
+  // Retry succeeds and no page was lost.
+  ASSERT_TRUE(pool.FlushAndInvalidate().ok());
+  for (uint32_t b = 0; b < 4; ++b) {
+    auto ref = pool.Pin(2, b);
+    ASSERT_TRUE(ref.ok()) << "block " << b;
+    EXPECT_EQ(ref->data()[kPageHeaderSize], std::byte{static_cast<uint8_t>(b + 1)})
+        << "block " << b;
+  }
+}
+
 // The mapping is sharded but the frames are shared: a relation hashed to one
 // shard must still be able to use every frame in the pool.
 TEST_F(BufferPoolTest, ShardedPoolSharesFramesAcrossPartitions) {

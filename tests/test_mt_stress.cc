@@ -193,6 +193,49 @@ TEST_F(MtStressTest, CrossThreadPinHandoffUnderLoad) {
   EXPECT_TRUE(pool.FlushAndInvalidate().ok());
 }
 
+// FlushAndInvalidate's pin check must be atomic against the hit path: a Pin
+// racing with the invalidation either completes first (and the invalidation
+// refuses) or misses afterwards — it can never be handed a frame that is
+// being invalidated or remapped under it.
+TEST_F(MtStressTest, FlushAndInvalidateRacingPins) {
+  constexpr Oid kRel = 1;
+  constexpr uint32_t kBlocks = 8;
+  CreateRel(kRel);
+  BufferPool pool(&sw_, 8, &clock_, CpuParams{}, /*partitions=*/4);
+  for (uint32_t b = 0; b < kBlocks; ++b) {
+    auto ref = pool.Extend(kRel, nullptr);
+    ASSERT_TRUE(ref.ok());
+    ref->data()[kPageHeaderSize] = std::byte{static_cast<uint8_t>(b)};
+    ref->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAndInvalidate().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> corrupt{0};
+  std::thread reader([&] {
+    Rng rng(0xfeedface);
+    while (!stop.load()) {
+      const uint32_t b = static_cast<uint32_t>(rng.Next() % kBlocks);
+      auto ref = pool.Pin(kRel, b);
+      if (ref.ok() &&
+          ref->data()[kPageHeaderSize] != std::byte{static_cast<uint8_t>(b)}) {
+        corrupt.fetch_add(1);
+      }
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const Status s = pool.FlushAndInvalidate();
+    if (!s.ok()) {
+      // Legal refusal: the reader held a pin at that instant.
+      EXPECT_EQ(s.code(), ErrorCode::kInternal);
+    }
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_TRUE(pool.FlushAndInvalidate().ok());
+}
+
 TEST_F(MtStressTest, GroupCommitConcurrentBeginCommit) {
   NvramDevice dev(&store_);
   auto log_or = CommitLog::Open(&dev);

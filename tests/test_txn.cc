@@ -22,6 +22,60 @@ class CommitLogTest : public ::testing::Test {
   NvramDevice dev_;  // zero-cost device keeps these tests about semantics
 };
 
+// Forwards to an NvramDevice but fails every WriteBlock while armed, to
+// exercise the flush-failure paths.
+class FailingWriteDevice final : public DeviceManager {
+ public:
+  explicit FailingWriteDevice(BlockStore* store) : inner_(store) {}
+
+  std::string_view name() const override { return "failing-write"; }
+  Status CreateRelation(Oid rel) override { return inner_.CreateRelation(rel); }
+  Status DropRelation(Oid rel) override { return inner_.DropRelation(rel); }
+  bool RelationExists(Oid rel) const override { return inner_.RelationExists(rel); }
+  Result<uint32_t> NumBlocks(Oid rel) const override { return inner_.NumBlocks(rel); }
+  Status ReadBlock(Oid rel, uint32_t block, std::span<std::byte> out) override {
+    return inner_.ReadBlock(rel, block, out);
+  }
+  Status WriteBlock(Oid rel, uint32_t block, std::span<const std::byte> data) override {
+    if (fail_writes.load()) {
+      return Status::Internal("injected write failure");
+    }
+    return inner_.WriteBlock(rel, block, data);
+  }
+
+  std::atomic<bool> fail_writes{false};
+
+ private:
+  NvramDevice inner_;
+};
+
+TEST(CommitLogFailureTest, UnflushedCommitIsNeverVisible) {
+  MemBlockStore store;
+  FailingWriteDevice dev(&store);
+  auto log_or = CommitLog::Open(&dev);
+  ASSERT_TRUE(log_or.ok());
+  CommitLog& log = **log_or;
+
+  const TxnId xid = kBootstrapTxn + 1;
+  ASSERT_TRUE(log.BeginTxn(xid).ok());
+  dev.fail_writes.store(true);
+  EXPECT_FALSE(log.CommitTxn(xid, 42).ok());
+
+  // The commit decision never reached the device, so a crash right now would
+  // recover xid as aborted. Visibility must agree: readers may not observe a
+  // commit that recovery could take back.
+  EXPECT_EQ(log.StatusOf(xid), TxnStatus::kInProgress);
+  EXPECT_EQ(log.CommitTimeOf(xid), 0u);
+  EXPECT_FALSE(log.CommittedBefore(xid, 1000));
+
+  // What a crash actually does: reopen over the same store sees the
+  // in-progress entry and aborts it — consistent with what readers saw.
+  NvramDevice clean(&store);
+  auto reopened = CommitLog::Open(&clean);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->StatusOf(xid), TxnStatus::kAborted);
+}
+
 TEST_F(CommitLogTest, LifecycleOfOneTxn) {
   auto log = CommitLog::Open(&dev_);
   ASSERT_TRUE(log.ok());
