@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/access/btree.h"
+#include "src/buffer/buffer_pool.h"
 #include "src/harness/worlds.h"
 #include "src/util/lzss.h"
 #include "src/util/random.h"
@@ -81,6 +82,34 @@ void BM_FileWriteRead(benchmark::State& state) {
                           kInvChunkSize);
 }
 BENCHMARK(BM_FileWriteRead);
+
+// Tight buffer-pool hit loop: the hottest instrumented path in the engine.
+// scripts/check.sh's metrics leg diffs this against an INVFS_NO_METRICS build
+// to bound the counter/trace overhead on the hit path (~5% budget).
+void BM_BufferHit(benchmark::State& state) {
+  SimClock clock;
+  MemBlockStore store;
+  DeviceSwitch sw;
+  sw.Register(kDeviceMagneticDisk, std::make_unique<MagneticDiskDevice>(
+                                       &store, &clock, DiskParams{}));
+  (void)sw.Get(kDeviceMagneticDisk)->CreateRelation(1);
+  sw.BindRelation(1, kDeviceMagneticDisk);
+  BufferPool pool(&sw, 8, &clock);
+  uint32_t block = 0;
+  {
+    auto ref = pool.Extend(1, &block);
+    if (!ref.ok()) {
+      state.SkipWithError("extend failed");
+      return;
+    }
+  }
+  for (auto s : state) {
+    auto ref = pool.Pin(1, 0);
+    benchmark::DoNotOptimize(ref);
+  }
+  state.counters["hits"] = static_cast<double>(pool.hits());
+}
+BENCHMARK(BM_BufferHit);
 
 void BM_PostquelParseExecute(benchmark::State& state) {
   WorldOptions options;

@@ -98,12 +98,16 @@ Status Run() {
   std::printf("\nreading the migrated file back (device switch is transparent):\n");
   // First, fully cold: destage to the platter and empty the staging cache so
   // the read pays the platter load; then again, warm from the staging cache.
-  auto* jukebox_dev = static_cast<JukeboxDevice*>(db->devices().Get(kDeviceJukebox));
+  // The switch entry is an instrumentation decorator; unwrap it before
+  // downcasting to the concrete device.
+  auto* jukebox_dev =
+      static_cast<JukeboxDevice*>(db->devices().Get(kDeviceJukebox)->Underlying());
   INV_RETURN_IF_ERROR(jukebox_dev->DropStagingCache());
   INV_RETURN_IF_ERROR(timed_read("  cold  (platter load + optical)"));
   INV_RETURN_IF_ERROR(timed_read("  warm  (magnetic staging cache) "));
 
-  auto* jukebox = static_cast<JukeboxDevice*>(db->devices().Get(kDeviceJukebox));
+  auto* jukebox =
+      static_cast<JukeboxDevice*>(db->devices().Get(kDeviceJukebox)->Underlying());
   std::printf("\njukebox stats: %llu platter load(s), %llu cache hits, %llu misses\n",
               static_cast<unsigned long long>(jukebox->platter_loads()),
               static_cast<unsigned long long>(jukebox->cache_hits()),

@@ -11,6 +11,7 @@
 #   scripts/check.sh asan       # just the ASan+UBSan leg
 #   scripts/check.sh tsan       # just the TSan leg
 #   scripts/check.sh tidy       # just clang-tidy
+#   scripts/check.sh metrics    # just the metrics-overhead smoke gate
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,17 +55,68 @@ run_tidy() {
   echo "==> [tidy] clean"
 }
 
+run_metrics_overhead() {
+  # Smoke gate on observability cost: the buffer-pool hit path is the hottest
+  # instrumented loop in the engine, so bound its slowdown vs a build with the
+  # instrumentation compiled out (-DINVFS_NO_METRICS=ON). Median of several
+  # repetitions keeps machine noise from tripping the gate; budget is percent,
+  # overridable via INVFS_METRICS_BUDGET.
+  local budget=${INVFS_METRICS_BUDGET:-5}
+  local reps=${INVFS_METRICS_REPS:-7}
+  local on_dir="$ROOT/build-metrics-on" off_dir="$ROOT/build-metrics-off"
+  echo "==> [metrics] configure+build bench_micro (instrumented and INVFS_NO_METRICS)"
+  cmake -B "$on_dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+        -DINVFS_NO_METRICS=OFF >/dev/null
+  cmake -B "$off_dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+        -DINVFS_NO_METRICS=ON >/dev/null
+  cmake --build "$on_dir" -j "$JOBS" --target bench_micro -- --no-print-directory
+  cmake --build "$off_dir" -j "$JOBS" --target bench_micro -- --no-print-directory
+
+  median_cpu_time() {
+    # CSV rows: name,iterations,real_time,cpu_time,... — pick the
+    # *_median aggregate row's cpu_time.
+    "$1/bench/bench_micro" --benchmark_filter='^BM_BufferHit$' \
+        --benchmark_repetitions="$reps" --benchmark_report_aggregates_only=true \
+        --benchmark_format=csv 2>/dev/null |
+      awk -F, '/^"BM_BufferHit_median"/ { print $4 }'
+  }
+
+  # Alternate the two binaries over several passes and keep each one's best
+  # median: machine noise (e.g. the build that just saturated every core)
+  # inflates both, and the minimum is the stable estimate of the true cost.
+  echo "==> [metrics] run BM_BufferHit (3 alternating passes, $reps repetitions each)"
+  local on_ns="" off_ns="" pass v
+  for pass in 1 2 3; do
+    v=$(median_cpu_time "$on_dir")
+    on_ns=$(awk -v a="$on_ns" -v b="$v" 'BEGIN { print (a == "" || b+0 < a+0) ? b : a }')
+    v=$(median_cpu_time "$off_dir")
+    off_ns=$(awk -v a="$off_ns" -v b="$v" 'BEGIN { print (a == "" || b+0 < a+0) ? b : a }')
+  done
+  if [[ -z "$on_ns" || -z "$off_ns" ]]; then
+    echo "==> [metrics] FAILED: could not parse benchmark output" >&2
+    exit 1
+  fi
+  echo "==> [metrics] hit-path median cpu_time: instrumented=${on_ns}ns bare=${off_ns}ns"
+  awk -v on="$on_ns" -v off="$off_ns" -v budget="$budget" 'BEGIN {
+    pct = (on / off - 1) * 100
+    printf "==> [metrics] overhead: %.2f%% (budget %s%%)\n", pct, budget
+    exit (pct > budget) ? 1 : 0
+  }' || { echo "==> [metrics] FAILED: instrumentation overhead over budget" >&2; exit 1; }
+}
+
 case "$LEG" in
   asan) run_sanitized asan address ;;
   tsan) run_sanitized tsan thread ;;
   tidy) run_tidy ;;
+  metrics) run_metrics_overhead ;;
   all)
     run_sanitized asan address
     run_sanitized tsan thread
     run_tidy
+    run_metrics_overhead
     ;;
   *)
-    echo "unknown leg '$LEG' (want asan, tsan, tidy, or all)" >&2
+    echo "unknown leg '$LEG' (want asan, tsan, tidy, metrics, or all)" >&2
     exit 2
     ;;
 esac

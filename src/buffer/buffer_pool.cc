@@ -83,9 +83,19 @@ void PageRef::MarkDirty() {
 // ----------------------------------------------------------------- BufferPool
 
 BufferPool::BufferPool(DeviceSwitch* devices, size_t num_buffers, SimClock* clock,
-                       CpuParams cpu, size_t partitions)
+                       CpuParams cpu, size_t partitions, MetricsRegistry* metrics)
     : devices_(devices), clock_(clock), cpu_(cpu) {
   INV_CHECK(num_buffers > 0);
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  hits_ = metrics->GetCounter("buffer.hits");
+  misses_ = metrics->GetCounter("buffer.misses");
+  evictions_ = metrics->GetCounter("buffer.evictions");
+  write_backs_ = metrics->GetCounter("buffer.write_backs");
+  sweep_steps_ = metrics->GetCounter("buffer.sweep_steps");
   num_frames_ = num_buffers;
   frames_ = std::make_unique<Frame[]>(num_frames_);
   for (size_t i = 0; i < num_frames_; ++i) {
@@ -125,6 +135,7 @@ Result<size_t> BufferPool::EvictOne() {
   // are rechecked under the victim's shard mutex, because that mutex is what
   // pin-hits hold while incrementing.
   for (size_t step = 0; step < 3 * num_frames_; ++step) {
+    sweep_steps_->Add();
     const size_t i = hand_;
     hand_ = (hand_ + 1) % num_frames_;
     Frame& f = frames_[i];
@@ -155,6 +166,8 @@ Result<size_t> BufferPool::EvictOne() {
       s.table.erase(f.tag);
       f.valid = false;
     }
+    evictions_->Add();
+    metrics_->trace().Record(TraceEvent::kPageEvict, f.tag.rel, f.tag.block);
     return i;
   }
   return Status::ResourceExhausted("all buffers pinned");
@@ -200,6 +213,8 @@ Status BufferPool::WriteFrame(size_t frame) {
         g.dirty.store(true, std::memory_order_release);  // still unwritten
         return ws;
       }
+      write_backs_->Add();
+      metrics_->trace().Record(TraceEvent::kPageWriteBack, g.tag.rel, g.tag.block);
     }
   }
   // Same claim-before-read protocol for the frame itself.
@@ -213,6 +228,8 @@ Status BufferPool::WriteFrame(size_t frame) {
       f.dirty.store(true, std::memory_order_release);  // still unwritten
       return ws;
     }
+    write_backs_->Add();
+    metrics_->trace().Record(TraceEvent::kPageWriteBack, f.tag.rel, f.tag.block);
   }
   // Recompute pending extensions for this relation.
   INV_ASSIGN_OR_RETURN(uint32_t new_dev_size, mgr->NumBlocks(f.tag.rel));
@@ -238,12 +255,14 @@ Result<PageRef> BufferPool::Pin(Oid rel, uint32_t block) {
       Frame& f = frames_[it->second];
       f.pins.fetch_add(1, std::memory_order_acq_rel);
       f.ref.store(true, std::memory_order_release);
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_->Add();
       LocalPinCounter()->fetch_add(1, std::memory_order_relaxed);
       return PageRef(this, it->second, f.data.get(), LocalPinCounter());
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Misses leave the hot path, so the trace record's cost is invisible.
+  misses_->Add();
+  metrics_->trace().Record(TraceEvent::kPageMiss, rel, block);
   std::lock_guard lock(io_mu_);
   {
     // Another thread may have completed the same miss while we waited.

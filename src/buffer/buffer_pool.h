@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/device/device.h"
+#include "src/obs/metrics.h"
 #include "src/sim/cost_params.h"
 #include "src/storage/page.h"
 #include "src/util/status.h"
@@ -88,9 +89,13 @@ class BufferPool {
  public:
   // `partitions` is the number of mapping shards; 0 picks the default
   // (kDefaultPoolPartitions). 1 degenerates to the old single-lock pool —
-  // benchmarks use that as the contention baseline.
+  // benchmarks use that as the contention baseline. `metrics` is the registry
+  // the pool publishes its buffer.* counters into (the owning Database's);
+  // nullptr gives the pool a private registry so standalone pools in tests
+  // and benches never mix their numbers.
   BufferPool(DeviceSwitch* devices, size_t num_buffers, SimClock* clock,
-             CpuParams cpu = {}, size_t partitions = 0);
+             CpuParams cpu = {}, size_t partitions = 0,
+             MetricsRegistry* metrics = nullptr);
   ~BufferPool();
 
   // Pin block `block` of `rel`, reading it from its device if not cached.
@@ -123,8 +128,12 @@ class BufferPool {
 
   size_t num_buffers() const { return num_frames_; }
   size_t num_partitions() const { return shards_.size(); }
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  // Thin reads over the registry counters (buffer.hits / buffer.misses /
+  // buffer.evictions / buffer.write_backs): sums over the counter stripes.
+  uint64_t hits() const { return hits_->Value(); }
+  uint64_t misses() const { return misses_->Value(); }
+  uint64_t evictions() const { return evictions_->Value(); }
+  uint64_t write_backs() const { return write_backs_->Value(); }
 
   // Number of pins the calling thread currently holds (across all pools).
   // Used by the lock manager's debug-invariants mode to flag threads that
@@ -214,8 +223,16 @@ class BufferPool {
   std::map<Oid, uint32_t> pending_extensions_;  // rel -> blocks past device size
   size_t hand_ = 0;  // clock-sweep position
 
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
+  // buffer.* metrics. Cached registry pointers: an increment is one striped
+  // relaxed fetch_add, so the hit path stays as cheap as the raw atomics the
+  // counters replaced. Owned registry only when none was supplied.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* hits_ = nullptr;
+  Counter* misses_ = nullptr;
+  Counter* evictions_ = nullptr;
+  Counter* write_backs_ = nullptr;
+  Counter* sweep_steps_ = nullptr;
 };
 
 }  // namespace invfs

@@ -1,24 +1,34 @@
 #include "src/catalog/database.h"
 
+#include "src/device/instrumented_device.h"
+
 namespace invfs {
 
 Database::Database(StorageEnv* env, DatabaseOptions options)
     : options_(options), clock_(&env->clock) {
+  // Every device goes through the switch wrapped in an InstrumentedDevice so
+  // device.* metrics come for free; code needing the concrete device type
+  // downcasts Underlying().
+  auto wrap = [this](std::unique_ptr<DeviceManager> dev) {
+    return std::make_unique<InstrumentedDevice>(std::move(dev), clock_, &metrics_);
+  };
   devices_.Register(kDeviceMagneticDisk,
-                    std::make_unique<MagneticDiskDevice>(env->disk_store.get(), clock_,
-                                                         options.disk,
-                                                         options.disk_extent_pages));
+                    wrap(std::make_unique<MagneticDiskDevice>(
+                        env->disk_store.get(), clock_, options.disk,
+                        options.disk_extent_pages)));
   if (options.enable_nvram) {
     devices_.Register(kDeviceNvram,
-                      std::make_unique<NvramDevice>(env->nvram_store.get()));
+                      wrap(std::make_unique<NvramDevice>(env->nvram_store.get())));
   }
   if (options.enable_jukebox) {
     devices_.Register(kDeviceJukebox,
-                      std::make_unique<JukeboxDevice>(env->jukebox_store.get(), clock_,
-                                                      options.jukebox, options.disk));
+                      wrap(std::make_unique<JukeboxDevice>(env->jukebox_store.get(),
+                                                           clock_, options.jukebox,
+                                                           options.disk)));
   }
   buffers_ = std::make_unique<BufferPool>(&devices_, options.buffers, clock_,
-                                          options.cpu, options.buffer_partitions);
+                                          options.cpu, options.buffer_partitions,
+                                          &metrics_);
 }
 
 Result<std::unique_ptr<Database>> Database::Open(StorageEnv* env,
@@ -26,9 +36,9 @@ Result<std::unique_ptr<Database>> Database::Open(StorageEnv* env,
   auto db = std::unique_ptr<Database>(new Database(env, options));
   DeviceManager* disk = db->devices_.Get(kDeviceMagneticDisk);
   db->devices_.BindRelation(kCommitLogRelOid, kDeviceMagneticDisk);
-  INV_ASSIGN_OR_RETURN(db->log_, CommitLog::Open(disk));
+  INV_ASSIGN_OR_RETURN(db->log_, CommitLog::Open(disk, &db->metrics_));
   db->txns_ = std::make_unique<TxnManager>(db->log_.get(), db->buffers_.get(),
-                                           &db->locks_, db->clock_);
+                                           &db->locks_, db->clock_, &db->metrics_);
   db->catalog_ = std::make_unique<Catalog>(&db->devices_, db->buffers_.get(),
                                            db->txns_.get());
   if (Catalog::Exists(disk)) {

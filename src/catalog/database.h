@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "src/catalog/catalog.h"
+#include "src/obs/metrics.h"
 #include "src/sim/cost_params.h"
 #include "src/sim/sim_clock.h"
 #include "src/txn/txn_manager.h"
@@ -100,6 +101,10 @@ class Database {
   DeviceSwitch& devices() { return devices_; }
   LockManager& locks() { return locks_; }
   SimClock& clock() { return *clock_; }
+  // Every component's counters/histograms/trace for this database. Queryable
+  // through the `invfs_stats` / `invfs_trace` virtual relations.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
   const DatabaseOptions& options() const { return options_; }
 
  private:
@@ -107,8 +112,10 @@ class Database {
 
   DatabaseOptions options_;
   SimClock* clock_;
+  // Declared before every component that registers metrics into it.
+  MetricsRegistry metrics_;
   DeviceSwitch devices_;
-  LockManager locks_;
+  LockManager locks_{&metrics_};
   std::unique_ptr<BufferPool> buffers_;
   std::unique_ptr<CommitLog> log_;
   std::unique_ptr<TxnManager> txns_;

@@ -54,6 +54,11 @@ class DeviceManager {
 
   // Hook for devices with post-commit work (e.g. jukebox cache destage).
   virtual Status Sync() { return Status::Ok(); }
+
+  // Unwraps instrumentation decorators (InstrumentedDevice). Callers that
+  // need the concrete device type (e.g. JukeboxDevice's cache statistics)
+  // must downcast Underlying(), never the switch entry itself.
+  virtual DeviceManager* Underlying() { return this; }
 };
 
 // NVRAM device: battery-backed memory, no mechanical cost. The paper's

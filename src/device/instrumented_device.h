@@ -1,0 +1,81 @@
+// InstrumentedDevice: a transparent DeviceManager decorator that publishes
+// per-device I/O metrics.
+//
+// The switch registers the decorator in place of the real device; everything
+// above the switch (buffer pool, commit log, catalogs) is unchanged — the
+// same location transparency the bdevsw-style switch already provides is
+// what makes the instrumentation free to slot in. Latencies are *simulated*
+// time (SimClock::Peek deltas), so `device.read_us` for the jukebox shows
+// platter-load spikes exactly as the cost model charges them, reproducibly.
+//
+// Code that needs the concrete device type must call Underlying() before
+// downcasting (see DeviceManager::Underlying).
+
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "src/device/device.h"
+#include "src/obs/metrics.h"
+#include "src/sim/sim_clock.h"
+#include "src/storage/common.h"
+
+namespace invfs {
+
+class InstrumentedDevice final : public DeviceManager {
+ public:
+  // Wraps `inner`, publishing device.* metrics labeled with inner->name().
+  InstrumentedDevice(std::unique_ptr<DeviceManager> inner, SimClock* clock,
+                     MetricsRegistry* metrics)
+      : inner_(std::move(inner)), clock_(clock) {
+    const std::string_view label = inner_->name();
+    reads_ = metrics->GetCounter("device.reads", label);
+    writes_ = metrics->GetCounter("device.writes", label);
+    read_bytes_ = metrics->GetCounter("device.read_bytes", label);
+    write_bytes_ = metrics->GetCounter("device.write_bytes", label);
+    read_us_ = metrics->GetHistogram("device.read_us", label);
+    write_us_ = metrics->GetHistogram("device.write_us", label);
+  }
+
+  std::string_view name() const override { return inner_->name(); }
+  Status CreateRelation(Oid rel) override { return inner_->CreateRelation(rel); }
+  Status DropRelation(Oid rel) override { return inner_->DropRelation(rel); }
+  bool RelationExists(Oid rel) const override { return inner_->RelationExists(rel); }
+  Result<uint32_t> NumBlocks(Oid rel) const override { return inner_->NumBlocks(rel); }
+
+  Status ReadBlock(Oid rel, uint32_t block, std::span<std::byte> out) override {
+    const SimMicros start = clock_->Peek();
+    Status s = inner_->ReadBlock(rel, block, out);
+    reads_->Add();
+    read_bytes_->Add(out.size());
+    read_us_->Observe(clock_->Peek() - start);
+    return s;
+  }
+
+  Status WriteBlock(Oid rel, uint32_t block,
+                    std::span<const std::byte> data) override {
+    const SimMicros start = clock_->Peek();
+    Status s = inner_->WriteBlock(rel, block, data);
+    writes_->Add();
+    write_bytes_->Add(data.size());
+    write_us_->Observe(clock_->Peek() - start);
+    return s;
+  }
+
+  Status Sync() override { return inner_->Sync(); }
+
+  DeviceManager* Underlying() override { return inner_->Underlying(); }
+
+ private:
+  std::unique_ptr<DeviceManager> inner_;
+  SimClock* clock_;
+  Counter* reads_;
+  Counter* writes_;
+  Counter* read_bytes_;
+  Counter* write_bytes_;
+  Histogram* read_us_;
+  Histogram* write_us_;
+};
+
+}  // namespace invfs

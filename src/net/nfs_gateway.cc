@@ -6,6 +6,13 @@ InvNfsGateway::InvNfsGateway(InversionFs* fs) : fs_(fs) {
   auto session = fs_->NewSession();
   INV_CHECK(session.ok());
   session_ = std::move(*session);
+  metrics_ = &fs_->db().metrics();
+  read_bytes_ = metrics_->GetCounter("nfs.read_bytes");
+  write_bytes_ = metrics_->GetCounter("nfs.write_bytes");
+}
+
+void InvNfsGateway::CountOp(const char* op) {
+  metrics_->GetCounter("nfs.requests", op)->Add();
 }
 
 Result<std::pair<std::string, Timestamp>> InvNfsGateway::ParseTimePath(
@@ -29,6 +36,7 @@ Result<std::pair<std::string, Timestamp>> InvNfsGateway::ParseTimePath(
 }
 
 Result<int> InvNfsGateway::Creat(const std::string& path) {
+  CountOp("creat");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   if (parsed.second != kTimestampNow) {
     return Status::ReadOnly("cannot create files in the past");
@@ -37,6 +45,7 @@ Result<int> InvNfsGateway::Creat(const std::string& path) {
 }
 
 Result<int> InvNfsGateway::Open(const std::string& path, bool writable) {
+  CountOp("open");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   if (parsed.second != kTimestampNow && writable) {
     return Status::ReadOnly("historical names are read-only: " + path);
@@ -46,28 +55,44 @@ Result<int> InvNfsGateway::Open(const std::string& path, bool writable) {
                           parsed.second);
 }
 
-Status InvNfsGateway::Close(int fd) { return session_->p_close(fd); }
+Status InvNfsGateway::Close(int fd) {
+  CountOp("close");
+  return session_->p_close(fd);
+}
 
 Result<int64_t> InvNfsGateway::Read(int fd, std::span<std::byte> buf) {
-  return session_->p_read(fd, buf);
+  CountOp("read");
+  auto n = session_->p_read(fd, buf);
+  if (n.ok() && *n > 0) {
+    read_bytes_->Add(static_cast<uint64_t>(*n));
+  }
+  return n;
 }
 
 Result<int64_t> InvNfsGateway::Write(int fd, std::span<const std::byte> buf) {
   // Stateless-NFS semantics: the session has no open transaction, so the
   // write commits (and is forced durable) before returning.
-  return session_->p_write(fd, buf);
+  CountOp("write");
+  auto n = session_->p_write(fd, buf);
+  if (n.ok() && *n > 0) {
+    write_bytes_->Add(static_cast<uint64_t>(*n));
+  }
+  return n;
 }
 
 Result<int64_t> InvNfsGateway::Seek(int fd, int64_t offset, Whence whence) {
+  CountOp("seek");
   return session_->p_lseek(fd, offset, whence);
 }
 
 Result<FileStat> InvNfsGateway::GetAttr(const std::string& path) {
+  CountOp("getattr");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   return session_->stat(parsed.first, parsed.second);
 }
 
 Status InvNfsGateway::Mkdir(const std::string& path) {
+  CountOp("mkdir");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   if (parsed.second != kTimestampNow) {
     return Status::ReadOnly("cannot mkdir in the past");
@@ -76,6 +101,7 @@ Status InvNfsGateway::Mkdir(const std::string& path) {
 }
 
 Status InvNfsGateway::Remove(const std::string& path) {
+  CountOp("remove");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   if (parsed.second != kTimestampNow) {
     return Status::ReadOnly("cannot remove files from the past");
@@ -84,6 +110,7 @@ Status InvNfsGateway::Remove(const std::string& path) {
 }
 
 Status InvNfsGateway::Rename(const std::string& from, const std::string& to) {
+  CountOp("rename");
   INV_ASSIGN_OR_RETURN(auto pf, ParseTimePath(from));
   INV_ASSIGN_OR_RETURN(auto pt, ParseTimePath(to));
   if (pf.second != kTimestampNow || pt.second != kTimestampNow) {
@@ -93,6 +120,7 @@ Status InvNfsGateway::Rename(const std::string& from, const std::string& to) {
 }
 
 Result<std::vector<DirEntry>> InvNfsGateway::Readdir(const std::string& path) {
+  CountOp("readdir");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   return session_->readdir(parsed.first, parsed.second);
 }

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "src/inversion/inv_fs.h"
+#include "src/obs/metrics.h"
 
 namespace invfs {
 
@@ -54,8 +55,15 @@ class InvNfsGateway {
       const std::string& path);
 
  private:
+  // Count one nfs.requests{<op>} (cached cold-path lookup per op).
+  void CountOp(const char* op);
+
   InversionFs* fs_;
   std::unique_ptr<InvSession> session_;
+  // nfs.* metrics (in the served database's registry).
+  MetricsRegistry* metrics_;
+  Counter* read_bytes_;
+  Counter* write_bytes_;
 };
 
 }  // namespace invfs

@@ -120,15 +120,64 @@ std::vector<std::byte> ErrorResponse(const Status& status) {
 
 // -------------------------------------------------------------------- server
 
+namespace {
+
+const char* RpcOpName(RpcOp op) {
+  switch (op) {
+    case RpcOp::kBegin:
+      return "begin";
+    case RpcOp::kCommit:
+      return "commit";
+    case RpcOp::kAbort:
+      return "abort";
+    case RpcOp::kCreat:
+      return "creat";
+    case RpcOp::kOpen:
+      return "open";
+    case RpcOp::kClose:
+      return "close";
+    case RpcOp::kRead:
+      return "read";
+    case RpcOp::kWrite:
+      return "write";
+    case RpcOp::kLseek:
+      return "lseek";
+    case RpcOp::kFstat:
+      return "fstat";
+    case RpcOp::kMkdir:
+      return "mkdir";
+    case RpcOp::kUnlink:
+      return "unlink";
+    case RpcOp::kRename:
+      return "rename";
+    case RpcOp::kStat:
+      return "stat";
+    case RpcOp::kReaddir:
+      return "readdir";
+    case RpcOp::kQuery:
+      return "query";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 InversionServer::InversionServer(InversionFs* fs) : fs_(fs) {
   auto session = fs_->NewSession();
   INV_CHECK(session.ok());
   session_ = std::move(*session);
+  metrics_ = &fs_->db().metrics();
+  bytes_in_ = metrics_->GetCounter("rpc.bytes_in");
+  bytes_out_ = metrics_->GetCounter("rpc.bytes_out");
 }
 
 std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> request) {
   ByteReader r(request);
   const RpcOp op = static_cast<RpcOp>(r.U8());
+  // Per-op request counter: one registry map lookup per call, which is noise
+  // next to the simulated wire costs this layer exists to charge.
+  metrics_->GetCounter("rpc.requests", RpcOpName(op))->Add();
+  bytes_in_->Add(request.size());
   ByteWriter payload;
   Status status = Status::Ok();
 
@@ -272,7 +321,10 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
   if (!r.ok()) {
     status = Status::InvalidArgument("malformed rpc request");
   }
-  return status.ok() ? OkResponse(payload) : ErrorResponse(status);
+  std::vector<std::byte> response =
+      status.ok() ? OkResponse(payload) : ErrorResponse(status);
+  bytes_out_->Add(response.size());
+  return response;
 }
 
 // -------------------------------------------------------------------- client

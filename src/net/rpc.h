@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/inversion/inv_fs.h"
+#include "src/obs/metrics.h"
 #include "src/sim/net_model.h"
 #include "src/util/bytes.h"
 
@@ -63,6 +64,10 @@ class InversionServer {
  private:
   InversionFs* fs_;
   std::unique_ptr<InvSession> session_;
+  // rpc.* metrics (in the served database's registry).
+  MetricsRegistry* metrics_;
+  Counter* bytes_in_;
+  Counter* bytes_out_;
 };
 
 // In-process transport: full marshalling through the server with simulated

@@ -1,0 +1,221 @@
+// Low-overhead metrics: monotonic counters, gauges, and fixed-bucket latency
+// histograms, collected into a registry that the query layer exposes as the
+// `invfs_stats` virtual relation.
+//
+// The paper's signature argument is that building the file system inside the
+// database buys ad-hoc queries over namespace and metadata for free; this
+// module extends the same idea to the engine's own internals, the way
+// POSTGRES' descendants grew pg_stat_* views. Requirements, in order:
+//
+//   1. The hot paths PR 3 parallelized (buffer hits, group commit) must not
+//      re-serialize on instrumentation. Each early thread owns a
+//      cache-line-padded counter cell outright (indexed by its dense tag), so
+//      an increment is a plain relaxed load+store — no locked RMW, no shared
+//      cache line; reads sum the cells. No mutex anywhere near an increment.
+//   2. Instrumentation must be compilable out: -DINVFS_NO_METRICS turns every
+//      Add/Set/Observe/Record into a no-op (the registry and its readers stay
+//      so tooling keeps linking). scripts/check.sh's `metrics` leg measures
+//      the difference on the buffer-hit path and gates it at ~5%.
+//   3. Registration is the cold path: GetCounter/GetGauge/GetHistogram take a
+//      mutex and return a stable pointer the component caches at construction.
+//
+// One registry instance per Database (so two databases in one process do not
+// mix their numbers), plus a process-wide Default() registry for code with no
+// Database in reach (the logging layer). Snapshots merge both when queried
+// through `invfs_stats`.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace invfs {
+
+#ifdef INVFS_NO_METRICS
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+// Monotonic counter. Each of the first kStripes-1 threads (by dense tag) owns
+// a cache-line-padded cell outright, so its increment is a plain relaxed
+// load+store — no locked RMW, which alone costs more than the ~5% hit-path
+// budget scripts/check.sh enforces. Later threads share one overflow cell via
+// fetch_add: still exact, just slower. Value() sums the cells: cheap enough
+// for snapshots and accessors, not meant for per-operation reads.
+class Counter {
+ public:
+  static constexpr size_t kStripes = 32;
+
+  void Add(uint64_t n = 1) {
+    if constexpr (kMetricsEnabled) {
+      const uint64_t tag = ThreadTag();
+      if (tag < kStripes) {
+        // Single writer per cell (tags are unique), so a non-atomic-RMW
+        // update loses nothing; atomic stores keep readers tear-free.
+        std::atomic<uint64_t>& v = cells_[tag].v;
+        v.store(v.load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
+      } else {
+        overflow_.fetch_add(n, std::memory_order_relaxed);
+      }
+    } else {
+      (void)n;
+    }
+  }
+
+  uint64_t Value() const {
+    uint64_t total = overflow_.load(std::memory_order_relaxed);
+    for (const Cell& c : cells_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_{};  // cells_[tag], tag 0 unused
+  std::atomic<uint64_t> overflow_{0};
+};
+
+// Point-in-time signed value (queue depths, open handles).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if constexpr (kMetricsEnabled) {
+      v_.store(v, std::memory_order_relaxed);
+    } else {
+      (void)v;
+    }
+  }
+  void Add(int64_t d) {
+    if constexpr (kMetricsEnabled) {
+      v_.fetch_add(d, std::memory_order_relaxed);
+    } else {
+      (void)d;
+    }
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Latency/size histogram with fixed power-of-two buckets: bucket 0 counts
+// observations of 0, bucket i >= 1 counts values in [2^(i-1), 2^i), and the
+// last bucket absorbs everything larger. Fixed buckets mean zero allocation
+// and a single relaxed fetch_add per observation; count and sum ride on
+// striped counters so hot observers do not contend.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  void Observe(uint64_t v) {
+    if constexpr (kMetricsEnabled) {
+      buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+      count_.Add(1);
+      sum_.Add(v);
+    } else {
+      (void)v;
+    }
+  }
+
+  uint64_t Count() const { return count_.Value(); }
+  uint64_t Sum() const { return sum_.Value(); }
+  double Mean() const {
+    const uint64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+  }
+  std::array<uint64_t, kBuckets> Buckets() const {
+    std::array<uint64_t, kBuckets> out{};
+    for (size_t i = 0; i < kBuckets; ++i) {
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  static size_t BucketOf(uint64_t v) {
+    if (v == 0) {
+      return 0;
+    }
+    size_t b = 0;
+    while (v != 0 && b + 1 < kBuckets) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+  // Inclusive upper bound of bucket `i` (for rendering).
+  static uint64_t BucketUpper(size_t i) {
+    return i == 0 ? 0 : (i >= 63 ? UINT64_MAX : (uint64_t{1} << i) - 1);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  Counter count_;
+  Counter sum_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindName(MetricKind kind);
+
+// One metric's state at snapshot time.
+struct MetricSample {
+  std::string name;
+  std::string label;
+  MetricKind kind = MetricKind::kCounter;
+  int64_t value = 0;   // counter total / gauge value / histogram count
+  uint64_t count = 0;  // histogram observation count (0 otherwise)
+  uint64_t sum = 0;    // histogram observation sum (0 otherwise)
+  std::array<uint64_t, Histogram::kBuckets> buckets{};  // histogram only
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create; the returned pointer is stable for the registry's
+  // lifetime, so components look up once and cache. `label` distinguishes
+  // instances of the same metric (device name, log level, shard id).
+  Counter* GetCounter(std::string_view name, std::string_view label = "");
+  Gauge* GetGauge(std::string_view name, std::string_view label = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view label = "");
+
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+
+  // All registered metrics, sorted by (name, label).
+  std::vector<MetricSample> Snapshot() const;
+
+  // Human-readable table / machine-readable JSON object of Snapshot().
+  std::string DumpText() const;
+  std::string DumpJson() const;
+
+  // Process-wide registry for code with no Database in scope (logging).
+  static MetricsRegistry& Default();
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (name, label)
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  TraceRing trace_;
+};
+
+}  // namespace invfs

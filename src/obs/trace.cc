@@ -1,0 +1,100 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace invfs {
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kNone:
+      return "none";
+    case TraceEvent::kTxnBegin:
+      return "txn.begin";
+    case TraceEvent::kTxnCommit:
+      return "txn.commit";
+    case TraceEvent::kTxnAbort:
+      return "txn.abort";
+    case TraceEvent::kPageMiss:
+      return "page.miss";
+    case TraceEvent::kPageEvict:
+      return "page.evict";
+    case TraceEvent::kPageWriteBack:
+      return "page.write_back";
+    case TraceEvent::kLockWait:
+      return "lock.wait";
+    case TraceEvent::kGroupCommitFlush:
+      return "log.flush";
+  }
+  return "unknown";
+}
+
+namespace obs_internal {
+
+constinit thread_local uint64_t t_thread_tag = 0;
+
+uint64_t AssignThreadTag() {
+  static std::atomic<uint64_t> next_tag{0};
+  t_thread_tag = next_tag.fetch_add(1, std::memory_order_relaxed) + 1;
+  return t_thread_tag;
+}
+
+}  // namespace obs_internal
+
+uint64_t TraceNowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start)
+          .count());
+}
+
+void TraceRing::Record(TraceEvent event, uint64_t a, uint64_t b, uint64_t c) {
+#ifdef INVFS_NO_METRICS
+  (void)event;
+  (void)a;
+  (void)b;
+  (void)c;
+#else
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& s = slots_[seq & (kCapacity - 1)];
+  // Invalidate first: a reader that copies a payload mixing the old and the
+  // new record will see seq change (to 0 or to `seq`) on its re-check.
+  s.seq.store(0, std::memory_order_release);
+  s.micros.store(TraceNowMicros(), std::memory_order_relaxed);
+  s.thread.store(ThreadTag(), std::memory_order_relaxed);
+  s.event.store(static_cast<uint32_t>(event), std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.c.store(c, std::memory_order_relaxed);
+  s.seq.store(seq, std::memory_order_release);
+#endif
+}
+
+std::vector<TraceRecord> TraceRing::Snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(kCapacity);
+  for (const Slot& s : slots_) {
+    const uint64_t seq = s.seq.load(std::memory_order_acquire);
+    if (seq == 0) {
+      continue;
+    }
+    TraceRecord r;
+    r.seq = seq;
+    r.micros = s.micros.load(std::memory_order_relaxed);
+    r.thread = s.thread.load(std::memory_order_relaxed);
+    r.event = static_cast<TraceEvent>(s.event.load(std::memory_order_relaxed));
+    r.a = s.a.load(std::memory_order_relaxed);
+    r.b = s.b.load(std::memory_order_relaxed);
+    r.c = s.c.load(std::memory_order_relaxed);
+    if (s.seq.load(std::memory_order_acquire) != seq) {
+      continue;  // overwritten mid-copy; the record is gone
+    }
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& x, const TraceRecord& y) { return x.seq < y.seq; });
+  return out;
+}
+
+}  // namespace invfs

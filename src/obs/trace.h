@@ -1,0 +1,103 @@
+// Lock-free bounded trace ring of recent engine events.
+//
+// Complements the counters in MetricsRegistry: counters tell you *how much*,
+// the trace tells you *what just happened* — the last few thousand
+// transaction transitions, page misses/evictions/write-backs, lock waits and
+// group-commit flushes, each stamped with a monotonic wall-clock microsecond
+// and the recording thread's tag. The ring is fixed-size and overwrites the
+// oldest records; writers never block and never allocate, so it is safe to
+// record from the hottest paths (we still keep it off the buffer *hit* path,
+// which at millions of events per second would be all the ring ever holds).
+//
+// Concurrency protocol (seqlock per slot, all fields atomic so the race is
+// benign under TSan as well as in fact):
+//   writer: claim a global sequence number, zero the slot's seq (invalidate),
+//           store the payload with relaxed stores, publish seq last (release);
+//   reader: load seq (acquire), copy the payload, re-load seq — accept the
+//           copy only if seq was nonzero and unchanged.
+// A reader can lose a record to an overwrite (the ring is lossy by design)
+// but can never observe a half-written one.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace invfs {
+
+enum class TraceEvent : uint32_t {
+  kNone = 0,
+  kTxnBegin = 1,          // a = xid
+  kTxnCommit = 2,         // a = xid, b = commit timestamp
+  kTxnAbort = 3,          // a = xid
+  kPageMiss = 4,          // a = rel, b = block
+  kPageEvict = 5,         // a = rel, b = block
+  kPageWriteBack = 6,     // a = rel, b = block
+  kLockWait = 7,          // a = txn, b = rel
+  kGroupCommitFlush = 8,  // a = pages written, b = transitions covered, c = ok
+};
+
+const char* TraceEventName(TraceEvent event);
+
+struct TraceRecord {
+  uint64_t seq = 0;     // global record number, 1-based, monotonic
+  uint64_t micros = 0;  // wall microseconds since process start (monotonic)
+  uint64_t thread = 0;  // recording thread's tag (see ThreadTag())
+  TraceEvent event = TraceEvent::kNone;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+};
+
+namespace obs_internal {
+// 0 = not yet assigned. constinit keeps the access wrapper-free: a dynamic
+// initializer would make every read go through the TLS init guard, which is
+// an out-of-line call on the buffer-pool hit path (measured ~10% there).
+extern constinit thread_local uint64_t t_thread_tag;
+uint64_t AssignThreadTag();
+}  // namespace obs_internal
+
+// Small dense id for the calling thread (1, 2, 3, ... in first-use order).
+// Also used by the metrics stripes and the logging layer's line tags.
+inline uint64_t ThreadTag() {
+  const uint64_t tag = obs_internal::t_thread_tag;
+  return tag != 0 ? tag : obs_internal::AssignThreadTag();
+}
+
+// Monotonic wall-clock microseconds since the first call in the process.
+uint64_t TraceNowMicros();
+
+class TraceRing {
+ public:
+  static constexpr size_t kCapacity = 4096;  // power of two
+  static_assert((kCapacity & (kCapacity - 1)) == 0);
+
+  void Record(TraceEvent event, uint64_t a = 0, uint64_t b = 0, uint64_t c = 0);
+
+  // Consistent copies of the currently held records, oldest first. Lossy
+  // under concurrent writes (slots being overwritten are skipped).
+  std::vector<TraceRecord> Snapshot() const;
+
+  // Total records ever written (records dropped = total - ring occupancy).
+  uint64_t TotalRecorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // 0 = empty/in-flight; published last
+    std::atomic<uint64_t> micros{0};
+    std::atomic<uint64_t> thread{0};
+    std::atomic<uint32_t> event{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint64_t> c{0};
+  };
+
+  std::array<Slot, kCapacity> slots_{};
+  std::atomic<uint64_t> next_{0};
+};
+
+}  // namespace invfs

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "src/query/parser.h"
+#include "src/query/virtual_tables.h"
 
 namespace invfs {
 namespace {
@@ -35,6 +36,10 @@ struct BoundRange {
   TableInfo* table = nullptr;
   Snapshot snap;
   Row current;
+  // Virtual relations (invfs_stats / invfs_trace): rows materialized from an
+  // observability snapshot at bind time; no heap, no lock, no index.
+  bool is_virtual = false;
+  std::vector<Row> vrows;
 };
 
 }  // namespace
@@ -113,7 +118,10 @@ Result<Value> CoerceValue(const Value& v, TypeId t) {
 }
 
 Executor::Executor(Database* db, FunctionRegistry* registry, ExecutorHooks hooks)
-    : db_(db), registry_(registry), hooks_(std::move(hooks)) {}
+    : db_(db), registry_(registry), hooks_(std::move(hooks)) {
+  plans_run_ = db_->metrics().GetCounter("query.plans_run");
+  tuples_scanned_ = db_->metrics().GetCounter("query.tuples_scanned");
+}
 
 Result<ResultSet> Executor::ExecuteQuery(std::string_view text, TxnId txn) {
   INV_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(text));
@@ -155,6 +163,9 @@ Result<ResultSet> Executor::Execute(const Statement& stmt, TxnId txn) {
 }
 
 Result<ResultSet> Executor::ExecRetrieve(const Statement& stmt, TxnId txn) {
+  // Counted before range binding, so a SELECT over invfs_stats observes
+  // itself (its own plan is part of the snapshot it reads).
+  plans_run_->Add();
   // Resolve range declarations; infer them from qualified column refs when
   // the from-clause is omitted (POSTQUEL's implicit range variables).
   std::vector<RangeDecl> decls = [] (const Statement& s) {
@@ -180,6 +191,18 @@ Result<ResultSet> Executor::ExecRetrieve(const Statement& stmt, TxnId txn) {
   for (const RangeDecl& decl : decls) {
     BoundRange r;
     r.decl = decl;
+    if (IsVirtualTable(decl.table)) {
+      if (decl.as_of.has_value()) {
+        return Status::InvalidArgument("virtual relation " + decl.table +
+                                       " does not support time travel");
+      }
+      r.table = VirtualTableInfo(decl.table);
+      r.is_virtual = true;
+      r.vrows = MaterializeVirtualTable(db_, decl.table);
+      r.snap = db_->SnapshotFor(txn);
+      ranges.push_back(std::move(r));
+      continue;  // no catalog entry, no table lock
+    }
     if (decl.as_of.has_value()) {
       r.snap = db_->SnapshotAt(*decl.as_of);
       INV_ASSIGN_OR_RETURN(r.table, db_->catalog().GetTableAt(decl.table, r.snap));
@@ -245,6 +268,9 @@ Result<ResultSet> Executor::ExecRetrieve(const Statement& stmt, TxnId txn) {
   };
   std::vector<AccessPath> paths(ranges.size());
   for (size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].is_virtual) {
+      continue;  // virtual relations have no indexes
+    }
     if (ranges[i].decl.as_of.has_value()) {
       continue;  // historical scans read heap + archive sequentially
     }
@@ -327,6 +353,13 @@ Result<ResultSet> Executor::ExecRetrieve(const Statement& stmt, TxnId txn) {
       return recurse(level + 1);
     };
 
+    if (r.is_virtual) {
+      for (const Row& vrow : r.vrows) {
+        INV_RETURN_IF_ERROR(emit(Row(vrow)));
+      }
+      return Status::Ok();
+    }
+
     if (paths[level].index != nullptr) {
       INV_ASSIGN_OR_RETURN(Value key_val, Eval(*paths[level].key_expr, ctx));
       const TypeId col_type =
@@ -337,6 +370,7 @@ Result<ResultSet> Executor::ExecRetrieve(const Statement& stmt, TxnId txn) {
       for (Tid tid : tids) {
         INV_ASSIGN_OR_RETURN(auto row, r.table->heap->Fetch(r.snap, tid));
         if (row.has_value()) {
+          tuples_scanned_->Add();
           INV_RETURN_IF_ERROR(emit(std::move(*row)));
         }
       }
@@ -346,6 +380,7 @@ Result<ResultSet> Executor::ExecRetrieve(const Statement& stmt, TxnId txn) {
     auto scan_heap = [&](Heap* heap) -> Status {
       auto it = heap->Scan(r.snap);
       while (it.Next()) {
+        tuples_scanned_->Add();
         INV_RETURN_IF_ERROR(emit(it.row()));
       }
       return it.status();

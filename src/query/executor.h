@@ -62,6 +62,11 @@ class Executor {
   Database* db_;
   FunctionRegistry* registry_;
   ExecutorHooks hooks_;
+  // query.* metrics (in db_'s registry): retrieves executed, and heap/index
+  // tuples fetched by them (virtual-table rows excluded, so a query over
+  // invfs_stats does not perturb the counters it reports).
+  Counter* plans_run_;
+  Counter* tuples_scanned_;
 };
 
 }  // namespace invfs

@@ -1,0 +1,96 @@
+#include "src/query/virtual_tables.h"
+
+#include <set>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace invfs {
+
+namespace {
+
+// Reserved oids well below the catalog's first allocated oid; never stored
+// in pg_class, only used so EvalContext bindings have distinct identities.
+constexpr Oid kInvfsStatsOid = 90;
+constexpr Oid kInvfsTraceOid = 91;
+
+TableInfo* StatsTableInfo() {
+  static TableInfo* info = [] {
+    auto* t = new TableInfo();
+    t->oid = kInvfsStatsOid;
+    t->name = "invfs_stats";
+    t->schema = Schema{{"name", TypeId::kText},
+                       {"label", TypeId::kText},
+                       {"kind", TypeId::kText},
+                       {"value", TypeId::kInt8},
+                       {"count", TypeId::kInt8},
+                       {"sum", TypeId::kInt8}};
+    return t;
+  }();
+  return info;
+}
+
+TableInfo* TraceTableInfo() {
+  static TableInfo* info = [] {
+    auto* t = new TableInfo();
+    t->oid = kInvfsTraceOid;
+    t->name = "invfs_trace";
+    t->schema = Schema{{"seq", TypeId::kInt8},
+                       {"micros", TypeId::kInt8},
+                       {"thread", TypeId::kInt8},
+                       {"event", TypeId::kText},
+                       {"a", TypeId::kInt8},
+                       {"b", TypeId::kInt8},
+                       {"c", TypeId::kInt8}};
+    return t;
+  }();
+  return info;
+}
+
+void AppendStatsRows(const std::vector<MetricSample>& samples,
+                     std::set<std::pair<std::string, std::string>>* seen,
+                     std::vector<Row>* out) {
+  for (const MetricSample& s : samples) {
+    if (!seen->insert({s.name, s.label}).second) {
+      continue;
+    }
+    out->push_back(Row{Value::Text(s.name), Value::Text(s.label),
+                       Value::Text(MetricKindName(s.kind)), Value::Int8(s.value),
+                       Value::Int8(static_cast<int64_t>(s.count)),
+                       Value::Int8(static_cast<int64_t>(s.sum))});
+  }
+}
+
+}  // namespace
+
+bool IsVirtualTable(std::string_view name) {
+  return name == "invfs_stats" || name == "invfs_trace";
+}
+
+TableInfo* VirtualTableInfo(std::string_view name) {
+  return name == "invfs_trace" ? TraceTableInfo() : StatsTableInfo();
+}
+
+std::vector<Row> MaterializeVirtualTable(Database* db, std::string_view name) {
+  std::vector<Row> rows;
+  if (name == "invfs_trace") {
+    for (const TraceRecord& r : db->metrics().trace().Snapshot()) {
+      rows.push_back(Row{Value::Int8(static_cast<int64_t>(r.seq)),
+                         Value::Int8(static_cast<int64_t>(r.micros)),
+                         Value::Int8(static_cast<int64_t>(r.thread)),
+                         Value::Text(TraceEventName(r.event)),
+                         Value::Int8(static_cast<int64_t>(r.a)),
+                         Value::Int8(static_cast<int64_t>(r.b)),
+                         Value::Int8(static_cast<int64_t>(r.c))});
+    }
+    return rows;
+  }
+  // invfs_stats: this database's registry first, then process-wide metrics
+  // (logging) that the database does not shadow.
+  std::set<std::pair<std::string, std::string>> seen;
+  AppendStatsRows(db->metrics().Snapshot(), &seen, &rows);
+  AppendStatsRows(MetricsRegistry::Default().Snapshot(), &seen, &rows);
+  return rows;
+}
+
+}  // namespace invfs

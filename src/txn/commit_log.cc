@@ -1,14 +1,31 @@
 #include "src/txn/commit_log.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "src/util/bytes.h"
 
 namespace invfs {
 
-Result<std::unique_ptr<CommitLog>> CommitLog::Open(DeviceManager* device) {
-  auto log = std::unique_ptr<CommitLog>(new CommitLog(device));
+CommitLog::CommitLog(DeviceManager* device, MetricsRegistry* metrics)
+    : device_(device) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  persist_requests_ = metrics->GetCounter("log.persist_requests");
+  persist_batches_ = metrics->GetCounter("log.persist_batches");
+  device_page_writes_ = metrics->GetCounter("log.device_page_writes");
+  horizon_hits_ = metrics->GetCounter("log.horizon_hits");
+  batch_transitions_ = metrics->GetHistogram("log.batch_transitions");
+  flush_us_ = metrics->GetHistogram("log.flush_us");
+}
+
+Result<std::unique_ptr<CommitLog>> CommitLog::Open(DeviceManager* device,
+                                                   MetricsRegistry* metrics) {
+  auto log = std::unique_ptr<CommitLog>(new CommitLog(device, metrics));
   if (!device->RelationExists(kCommitLogRelOid)) {
     INV_RETURN_IF_ERROR(device->CreateRelation(kCommitLogRelOid));
   }
@@ -106,16 +123,16 @@ Status CommitLog::WriteLogBlock(uint32_t block, const std::vector<std::byte>& im
     std::vector<std::byte> zero(kPageSize, std::byte{0});
     for (uint32_t b = nblocks; b < block; ++b) {
       INV_RETURN_IF_ERROR(device_->WriteBlock(kCommitLogRelOid, b, zero));
-      device_page_writes_.fetch_add(1, std::memory_order_relaxed);
+      device_page_writes_->Add();
     }
   }
   INV_RETURN_IF_ERROR(device_->WriteBlock(kCommitLogRelOid, block, image));
-  device_page_writes_.fetch_add(1, std::memory_order_relaxed);
+  device_page_writes_->Add();
   return Status::Ok();
 }
 
 uint64_t CommitLog::EnqueueTransition(TxnId xid) {
-  ++persist_requests_;
+  persist_requests_->Add();
   dirty_blocks_.insert(xid / kEntriesPerPage);
   return ++enqueue_seq_;
 }
@@ -131,6 +148,7 @@ Status CommitLog::WaitPersisted(std::unique_lock<std::mutex>& lock, uint64_t seq
     // (they form the next group).
     flush_in_progress_ = true;
     const uint64_t covers = enqueue_seq_;
+    const uint64_t batch_size = covers - persisted_seq_;
     std::vector<uint32_t> blocks(dirty_blocks_.begin(), dirty_blocks_.end());
     dirty_blocks_.clear();
     std::vector<std::vector<std::byte>> images;
@@ -139,12 +157,20 @@ Status CommitLog::WaitPersisted(std::unique_lock<std::mutex>& lock, uint64_t seq
       images.push_back(BuildPageImage(b));
     }
     lock.unlock();
+    const auto flush_start = std::chrono::steady_clock::now();
     Status s = Status::Ok();
     for (size_t i = 0; i < blocks.size() && s.ok(); ++i) {
       s = WriteLogBlock(blocks[i], images[i]);
     }
+    flush_us_->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - flush_start)
+            .count()));
+    batch_transitions_->Observe(batch_size);
+    metrics_->trace().Record(TraceEvent::kGroupCommitFlush, batch_size,
+                             blocks.size(), s.ok() ? 1 : 0);
     lock.lock();
-    ++persist_batches_;
+    persist_batches_->Add();
     if (s.ok()) {
       // Only a successful flush makes the covered transitions durable (and
       // therefore visible: see VisibleStatus). On failure persisted_seq_
@@ -189,6 +215,7 @@ Status CommitLog::BeginTxn(TxnId xid) {
   // begin that crosses the horizon advances it — one device wait per
   // kXidHorizonBatch transactions.
   if (xid <= xid_horizon_) {
+    horizon_hits_->Add();
     return sticky_error_;
   }
   xid_horizon_ = xid + kXidHorizonBatch;
@@ -250,16 +277,6 @@ bool CommitLog::CommittedBefore(TxnId xid, Timestamp as_of) const {
 TxnId CommitLog::MaxTxnId() const {
   std::lock_guard lock(mu_);
   return entries_.empty() ? 0 : static_cast<TxnId>(entries_.size() - 1);
-}
-
-uint64_t CommitLog::persist_requests() const {
-  std::lock_guard lock(mu_);
-  return persist_requests_;
-}
-
-uint64_t CommitLog::persist_batches() const {
-  std::lock_guard lock(mu_);
-  return persist_batches_;
 }
 
 }  // namespace invfs

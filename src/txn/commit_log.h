@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "src/device/device.h"
+#include "src/obs/metrics.h"
 #include "src/storage/common.h"
 #include "src/util/status.h"
 
@@ -66,8 +67,11 @@ class CommitLog {
   // in-progress entries found at open are from a crashed process and are
   // marked aborted — that *is* the entire recovery procedure. The converted
   // entries are persisted immediately, so a second crash (or an offline
-  // invfs_check run over the raw image) sees them as aborted too.
-  static Result<std::unique_ptr<CommitLog>> Open(DeviceManager* device);
+  // invfs_check run over the raw image) sees them as aborted too. `metrics`
+  // receives the log.* counters/histograms; nullptr gives the log a private
+  // registry.
+  static Result<std::unique_ptr<CommitLog>> Open(DeviceManager* device,
+                                                 MetricsRegistry* metrics = nullptr);
 
   // Register a new transaction id as in-progress. A crash can never lead to
   // xid reuse: either the begin record itself is persisted (when it advances
@@ -94,18 +98,19 @@ class CommitLog {
   TxnId MaxTxnId() const;
 
   // --- group-commit telemetry ---------------------------------------------
+  // Thin reads over the registry counters (log.persist_requests etc.).
   // Durable transitions requested (begin + commit calls).
-  uint64_t persist_requests() const;
+  uint64_t persist_requests() const { return persist_requests_->Value(); }
   // Flush groups executed. With concurrency, batches < requests: that delta
   // is the device writes group commit saved.
-  uint64_t persist_batches() const;
+  uint64_t persist_batches() const { return persist_batches_->Value(); }
   // Raw device page writes issued by the log (including zero-fill extension).
-  uint64_t device_page_writes() const {
-    return device_page_writes_.load(std::memory_order_relaxed);
-  }
+  uint64_t device_page_writes() const { return device_page_writes_->Value(); }
+  // Begins whose xid the persisted horizon already covered (no device wait).
+  uint64_t horizon_hits() const { return horizon_hits_->Value(); }
 
  private:
-  explicit CommitLog(DeviceManager* device) : device_(device) {}
+  CommitLog(DeviceManager* device, MetricsRegistry* metrics);
 
   struct Entry {
     TxnStatus status = TxnStatus::kUnused;
@@ -155,9 +160,16 @@ class CommitLog {
   bool flush_in_progress_ = false;
   Status sticky_error_ = Status::Ok();  // first flush failure; poisons the log
 
-  uint64_t persist_requests_ = 0;
-  uint64_t persist_batches_ = 0;
-  std::atomic<uint64_t> device_page_writes_{0};
+  // log.* metrics (cached registry pointers; Counter increments are striped
+  // relaxed atomics, safe under or outside mu_).
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* persist_requests_ = nullptr;
+  Counter* persist_batches_ = nullptr;
+  Counter* device_page_writes_ = nullptr;
+  Counter* horizon_hits_ = nullptr;
+  Histogram* batch_transitions_ = nullptr;  // transitions covered per flush
+  Histogram* flush_us_ = nullptr;           // leader device-write wall time
 };
 
 }  // namespace invfs

@@ -1,13 +1,23 @@
 #include "src/txn/lock_manager.h"
 
+#include <chrono>
+
 #include "src/buffer/buffer_pool.h"
 
 namespace invfs {
 
-LockManager::LockManager() {
+LockManager::LockManager(MetricsRegistry* metrics) {
 #ifdef INVFS_DEBUG_INVARIANTS
   debug_invariants_ = true;
 #endif
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  acquisitions_ = metrics->GetCounter("lock.acquisitions");
+  waits_ = metrics->GetCounter("lock.waits");
+  wait_us_ = metrics->GetHistogram("lock.wait_us");
 }
 
 void LockManager::set_debug_invariants(bool on) {
@@ -146,7 +156,10 @@ Status LockManager::Acquire(TxnId txn, Oid rel, LockMode mode) {
     }
     upgrade = hit != state.holders.end();
   }
+  acquisitions_->Add();
   bool inversion_reported = false;
+  bool waited = false;
+  std::chrono::steady_clock::time_point wait_start;
   // Note: the RelLock node must be re-fetched after every wait. A pure waiter
   // (no hold of its own on `rel`) sleeps while ReleaseAll may erase the node
   // once its last holder leaves; a reference held across the wait would
@@ -170,9 +183,22 @@ Status LockManager::Acquire(TxnId txn, Oid rel, LockMode mode) {
                       DumpWaitsForLocked());
       inversion_reported = true;
     }
+    if (!waited) {
+      waited = true;
+      wait_start = std::chrono::steady_clock::now();
+      waits_->Add();
+      metrics_->trace().Record(TraceEvent::kLockWait, txn, rel,
+                               mode == LockMode::kExclusive ? 1 : 0);
+    }
     waiting_on_[txn] = rel;
     cv_.wait(lock);
     waiting_on_.erase(txn);
+  }
+  if (waited) {
+    wait_us_->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count()));
   }
   locks_[rel].holders[txn] = mode;  // grants and upgrades
   if (debug_invariants_) {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/storage/common.h"
 #include "src/util/status.h"
 
@@ -37,7 +38,9 @@ enum class LockMode { kShared, kExclusive };
 
 class LockManager {
  public:
-  LockManager();
+  // `metrics` receives lock.acquisitions / lock.waits / lock.wait_us;
+  // nullptr gives the manager a private registry.
+  explicit LockManager(MetricsRegistry* metrics = nullptr);
 
   // One recorded lock grant (or upgrade), in acquisition order.
   struct Acquisition {
@@ -104,6 +107,13 @@ class LockManager {
   // Acquire under the same id is a strict-2PL violation.
   std::set<TxnId> released_;
   std::vector<std::string> violations_;
+
+  // lock.* metrics.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* acquisitions_ = nullptr;
+  Counter* waits_ = nullptr;       // acquisitions that blocked at least once
+  Histogram* wait_us_ = nullptr;   // wall time blocked per waiting acquisition
 };
 
 }  // namespace invfs

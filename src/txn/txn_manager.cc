@@ -3,12 +3,20 @@
 namespace invfs {
 
 TxnManager::TxnManager(CommitLog* log, BufferPool* buffers, LockManager* locks,
-                       SimClock* clock)
+                       SimClock* clock, MetricsRegistry* metrics)
     : log_(log), buffers_(buffers), locks_(locks), clock_(clock) {
   next_xid_ = log_->MaxTxnId() + 1;
   if (next_xid_ <= kBootstrapTxn) {
     next_xid_ = kBootstrapTxn + 1;
   }
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  begins_ = metrics->GetCounter("txn.begins");
+  commits_ = metrics->GetCounter("txn.commits");
+  aborts_ = metrics->GetCounter("txn.aborts");
 }
 
 Result<TxnId> TxnManager::Begin() {
@@ -26,6 +34,8 @@ Result<TxnId> TxnManager::Begin() {
     std::lock_guard lock(mu_);
     active_[xid] = {};
   }
+  begins_->Add();
+  metrics_->trace().Record(TraceEvent::kTxnBegin, xid);
   return xid;
 }
 
@@ -47,6 +57,8 @@ Status TxnManager::Commit(TxnId txn) {
   }
   INV_RETURN_IF_ERROR(log_->CommitTxn(txn, clock_->Now()));
   locks_->ReleaseAll(txn);
+  commits_->Add();
+  metrics_->trace().Record(TraceEvent::kTxnCommit, txn, touched.size());
   return Status::Ok();
 }
 
@@ -63,6 +75,8 @@ Status TxnManager::Abort(TxnId txn) {
   // snapshot because the xid never commits. (Space is reclaimed by vacuum.)
   INV_RETURN_IF_ERROR(log_->AbortTxn(txn));
   locks_->ReleaseAll(txn);
+  aborts_->Add();
+  metrics_->trace().Record(TraceEvent::kTxnAbort, txn);
   return Status::Ok();
 }
 

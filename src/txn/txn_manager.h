@@ -31,7 +31,10 @@ namespace invfs {
 
 class TxnManager {
  public:
-  TxnManager(CommitLog* log, BufferPool* buffers, LockManager* locks, SimClock* clock);
+  // `metrics` receives txn.begins/commits/aborts; nullptr gives the manager
+  // a private registry.
+  TxnManager(CommitLog* log, BufferPool* buffers, LockManager* locks,
+             SimClock* clock, MetricsRegistry* metrics = nullptr);
 
   Result<TxnId> Begin();
   Status Commit(TxnId txn);
@@ -60,6 +63,13 @@ class TxnManager {
   mutable std::mutex mu_;
   TxnId next_xid_;
   std::map<TxnId, std::set<Oid>> active_;  // txn -> touched relations
+
+  // txn.* metrics.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* begins_ = nullptr;
+  Counter* commits_ = nullptr;
+  Counter* aborts_ = nullptr;
 };
 
 }  // namespace invfs

@@ -1,6 +1,9 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <mutex>
+
+#include "src/obs/metrics.h"
 
 namespace invfs {
 namespace {
@@ -23,6 +26,21 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// Emitted-message counter per level, in the process-wide default registry
+// (logging has no Database in reach). Cached: the registry lookup takes a
+// mutex, the increment does not.
+Counter* MessageCounter(LogLevel level) {
+  static Counter* counters[5] = {
+      MetricsRegistry::Default().GetCounter("log_messages", "debug"),
+      MetricsRegistry::Default().GetCounter("log_messages", "info"),
+      MetricsRegistry::Default().GetCounter("log_messages", "warn"),
+      MetricsRegistry::Default().GetCounter("log_messages", "error"),
+      MetricsRegistry::Default().GetCounter("log_messages", "off"),
+  };
+  const int i = static_cast<int>(level);
+  return counters[i >= 0 && i < 5 ? i : 4];
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
@@ -30,7 +48,15 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
 void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line, msg.c_str());
+  MessageCounter(level)->Add();
+  // Tag with the obs layer's per-thread id so interleaved multi-threaded runs
+  // attribute lines, and serialize the write: stderr is unbuffered, so a
+  // single unlocked fprintf can interleave mid-line with another thread's.
+  static std::mutex mu;
+  std::lock_guard lock(mu);
+  std::fprintf(stderr, "[%s t%llu %s:%d] %s\n", LevelName(level),
+               static_cast<unsigned long long>(ThreadTag()), file, line,
+               msg.c_str());
 }
 
 }  // namespace invfs

@@ -63,6 +63,43 @@ TEST_F(BufferPoolTest, DirtyPageSurvivesEviction) {
   }
 }
 
+TEST_F(BufferPoolTest, EvictionAndWriteBackCounters) {
+  CreateRel(1);
+  BufferPool pool(&sw_, 2, &clock_);  // tiny pool forces eviction
+  EXPECT_EQ(pool.evictions(), 0u);
+  EXPECT_EQ(pool.write_backs(), 0u);
+  for (int i = 0; i < 6; ++i) {
+    uint32_t block = 0;
+    auto ref = pool.Extend(1, &block);
+    ASSERT_TRUE(ref.ok());
+    ref->MarkDirty();
+  }
+  // 6 extends through 2 frames: 4 frames were reclaimed, each flushing its
+  // dirty page on the way out.
+  EXPECT_EQ(pool.evictions(), 4u);
+  EXPECT_GE(pool.write_backs(), 4u);
+  const uint64_t misses_before = pool.misses();
+  auto ref = pool.Pin(1, 0);  // long evicted: a fresh device read
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(pool.misses(), misses_before + 1);
+}
+
+TEST_F(BufferPoolTest, SharedRegistryExposesBufferCounters) {
+  // When the pool is handed an external registry (as Database does), the same
+  // counters are visible through registry snapshots under buffer.* names.
+  CreateRel(1);
+  MetricsRegistry reg;
+  BufferPool pool(&sw_, 8, &clock_, CpuParams{}, /*partitions=*/0, &reg);
+  uint32_t block = 0;
+  auto ref = pool.Extend(1, &block);
+  ASSERT_TRUE(ref.ok());
+  ref->Release();
+  auto again = pool.Pin(1, 0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(reg.GetCounter("buffer.hits")->Value(), pool.hits());
+  EXPECT_GE(pool.hits(), 1u);
+}
+
 TEST_F(BufferPoolTest, PinnedPagesCannotBeEvicted) {
   CreateRel(1);
   BufferPool pool(&sw_, 2, &clock_);

@@ -20,6 +20,7 @@
 
 #include "src/buffer/buffer_pool.h"
 #include "src/catalog/database.h"
+#include "src/obs/metrics.h"
 #include "src/txn/commit_log.h"
 #include "src/util/random.h"
 
@@ -354,6 +355,61 @@ TEST_F(MtStressTest, ConcurrentTransactionsThroughDatabase) {
     th.join();
   }
   EXPECT_EQ(failures.load(), 0);
+}
+
+// 8 threads hammer one registry — striped counters, a shared histogram, and
+// the trace ring — while a snapshotter concurrently reads everything. Totals
+// must be exact (no lost updates) and every concurrent snapshot internally
+// consistent. This is the TSan target for the observability layer.
+TEST(MetricsStressTest, ConcurrentIncrementAndSnapshot) {
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 20000;
+
+  MetricsRegistry reg;
+  Counter* counter = reg.GetCounter("stress.counter");
+  Histogram* hist = reg.GetHistogram("stress.hist");
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    const uint64_t expected =
+        static_cast<uint64_t>(kThreads) * kItersPerThread;
+    while (!stop.load(std::memory_order_acquire)) {
+      // Mid-run reads must never see torn or overshooting values, and trace
+      // snapshots must be well-formed mid-write (seqlock re-check).
+      EXPECT_LE(counter->Value(), expected);
+      EXPECT_LE(hist->Count(), expected);
+      for (const TraceRecord& r : reg.trace().Snapshot()) {
+        EXPECT_EQ(r.event, TraceEvent::kLockWait);
+      }
+      (void)reg.DumpText();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        counter->Add();
+        hist->Observe(static_cast<uint64_t>(i));
+        if (i % 16 == 0) {
+          reg.trace().Record(TraceEvent::kLockWait, t, i);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  const uint64_t expected = static_cast<uint64_t>(kThreads) * kItersPerThread;
+  EXPECT_EQ(counter->Value(), expected);
+  EXPECT_EQ(hist->Count(), expected);
+  EXPECT_EQ(reg.trace().TotalRecorded(),
+            static_cast<uint64_t>(kThreads) * (kItersPerThread / 16));
+  auto snap = reg.trace().Snapshot();
+  EXPECT_EQ(snap.size(), TraceRing::kCapacity);
 }
 
 }  // namespace

@@ -1,0 +1,147 @@
+// Unit tests for the observability layer: counter/gauge/histogram semantics,
+// registry snapshots and dumps, and the trace ring (including wrap-around).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace invfs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds zeros; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  // Everything huge lands in the final bucket rather than overflowing.
+  EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, CountSumMeanAndBuckets) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(5);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 6u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+  auto buckets = h.Buckets();
+  EXPECT_EQ(buckets[0], 1u);  // the 0
+  EXPECT_EQ(buckets[1], 1u);  // the 1
+  EXPECT_EQ(buckets[3], 1u);  // the 5 (in [4,8))
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x");
+  Counter* b = reg.GetCounter("x");
+  EXPECT_EQ(a, b);
+  // Distinct labels are distinct metrics.
+  Counter* l1 = reg.GetCounter("x", "one");
+  Counter* l2 = reg.GetCounter("x", "two");
+  EXPECT_NE(l1, l2);
+  EXPECT_NE(a, l1);
+  // Kinds live in separate namespaces keyed by (name, label).
+  Gauge* g = reg.GetGauge("x");
+  Histogram* h = reg.GetHistogram("x");
+  EXPECT_NE(static_cast<void*>(g), static_cast<void*>(a));
+  EXPECT_NE(static_cast<void*>(h), static_cast<void*>(a));
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.GetCounter("b.counter")->Add(2);
+  reg.GetGauge("a.gauge")->Set(-5);
+  reg.GetHistogram("c.hist")->Observe(16);
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.gauge");
+  EXPECT_EQ(snap[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(snap[0].value, -5);
+  EXPECT_EQ(snap[1].name, "b.counter");
+  EXPECT_EQ(snap[1].value, 2);
+  EXPECT_EQ(snap[2].name, "c.hist");
+  EXPECT_EQ(snap[2].count, 1u);
+  EXPECT_EQ(snap[2].sum, 16u);
+}
+
+TEST(MetricsRegistryTest, DumpTextAndJsonContainMetrics) {
+  MetricsRegistry reg;
+  reg.GetCounter("buffer.hits")->Add(7);
+  reg.GetHistogram("log.flush_us", "disk")->Observe(100);
+  const std::string text = reg.DumpText();
+  EXPECT_NE(text.find("buffer.hits"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("log.flush_us{disk}"), std::string::npos);
+  const std::string json = reg.DumpJson();
+  EXPECT_NE(json.find("\"name\": \"buffer.hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(TraceRingTest, RecordsInOrder) {
+  TraceRing ring;
+  ring.Record(TraceEvent::kTxnBegin, 10);
+  ring.Record(TraceEvent::kTxnCommit, 10, 2);
+  auto snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].event, TraceEvent::kTxnBegin);
+  EXPECT_EQ(snap[0].a, 10u);
+  EXPECT_EQ(snap[1].event, TraceEvent::kTxnCommit);
+  EXPECT_EQ(snap[1].b, 2u);
+  EXPECT_LT(snap[0].seq, snap[1].seq);
+  EXPECT_EQ(ring.TotalRecorded(), 2u);
+}
+
+TEST(TraceRingTest, WrapKeepsOnlyTheNewest) {
+  TraceRing ring;
+  const size_t n = TraceRing::kCapacity + 100;
+  for (size_t i = 0; i < n; ++i) {
+    ring.Record(TraceEvent::kPageMiss, i);
+  }
+  auto snap = ring.Snapshot();
+  EXPECT_EQ(snap.size(), TraceRing::kCapacity);
+  EXPECT_EQ(ring.TotalRecorded(), n);
+  // The survivors are the newest kCapacity records, still in seq order.
+  EXPECT_EQ(snap.front().a, n - TraceRing::kCapacity);
+  EXPECT_EQ(snap.back().a, n - 1);
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].seq, snap[i].seq);
+  }
+}
+
+TEST(TraceEventTest, NamesAreStable) {
+  EXPECT_STREQ(TraceEventName(TraceEvent::kTxnBegin), "txn.begin");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kPageMiss), "page.miss");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kGroupCommitFlush), "log.flush");
+}
+
+}  // namespace
+}  // namespace invfs

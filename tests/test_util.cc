@@ -5,8 +5,13 @@
 #include <cstring>
 #include <string>
 
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
 #include "src/util/bytes.h"
 #include "src/util/crc32.h"
+#include "src/util/logging.h"
 #include "src/util/lzss.h"
 #include "src/util/random.h"
 #include "src/util/status.h"
@@ -298,6 +303,48 @@ INSTANTIATE_TEST_SUITE_P(
     SizesAndKinds, LzssRoundtrip,
     ::testing::Combine(::testing::Values(1, 2, 17, 255, 4096, 8133, 20000),
                        ::testing::Values(0, 1, 2, 3)));
+
+// ------------------------------------------------------------- logging
+
+TEST(Logging, CountsEmittedMessagesPerLevel) {
+  Counter* warns =
+      MetricsRegistry::Default().GetCounter("log_messages", "warn");
+  Counter* errors =
+      MetricsRegistry::Default().GetCounter("log_messages", "error");
+  const uint64_t warns_before = warns->Value();
+  const uint64_t errors_before = errors->Value();
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  INV_LOG(kWarn, "counted");
+  INV_LOG(kError, "counted");
+  INV_LOG(kDebug, "suppressed below threshold, not counted");
+  SetLogLevel(saved);
+  EXPECT_EQ(warns->Value(), warns_before + 1);
+  EXPECT_EQ(errors->Value(), errors_before + 1);
+}
+
+TEST(Logging, ConcurrentEmissionCountsExactly) {
+  Counter* infos =
+      MetricsRegistry::Default().GetCounter("log_messages", "info");
+  const uint64_t before = infos->Value();
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        INV_LOG(kInfo, "mt");
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  SetLogLevel(saved);
+  EXPECT_EQ(infos->Value(), before + kThreads * kPerThread);
+}
 
 }  // namespace
 }  // namespace invfs
