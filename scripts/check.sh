@@ -12,6 +12,7 @@
 #   scripts/check.sh tsan       # just the TSan leg
 #   scripts/check.sh tidy       # just clang-tidy
 #   scripts/check.sh metrics    # just the metrics-overhead smoke gate
+#   scripts/check.sh torture    # just the crash-recovery torture sweep (ASan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -104,19 +105,47 @@ run_metrics_overhead() {
   }' || { echo "==> [metrics] FAILED: instrumentation overhead over budget" >&2; exit 1; }
 }
 
+run_torture() {
+  # Crash-recovery torture sweep under ASan: a fixed seed and scaled-up
+  # workload enumerate ~200 crash schedules (every crash-point occurrence in
+  # the budget plus a device-write sweep); each one snapshots the halted
+  # image, recovers it, runs the structural checker, and verifies the
+  # acked/unacked transaction oracle. Deterministic: a failure reproduces
+  # with the printed schedule name.
+  local dir="$ROOT/build-asan"
+  echo "==> [torture] configure+build invfs_torture (INVFS_SANITIZE=address)"
+  cmake -B "$dir" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DINVFS_SANITIZE=address \
+        -DINVFS_DEBUG_INVARIANTS=ON >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target invfs_torture -- --no-print-directory
+  echo "==> [torture] main sweep (seed 1337, ~170 schedules)"
+  env ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
+      "$dir/src/fault/invfs_torture" \
+        --seed 1337 --txns 60 --files 16 --buffers 20 \
+        --occurrences 8 --write-schedules 120
+  echo "==> [torture] create-heavy sweep (seed 1338, reaches btree.split)"
+  env ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
+      "$dir/src/fault/invfs_torture" \
+        --seed 1338 --txns 300 --files 400 --occurrences 2 --no-write-sweep
+  echo "==> [torture] clean"
+}
+
 case "$LEG" in
   asan) run_sanitized asan address ;;
   tsan) run_sanitized tsan thread ;;
   tidy) run_tidy ;;
   metrics) run_metrics_overhead ;;
+  torture) run_torture ;;
   all)
     run_sanitized asan address
     run_sanitized tsan thread
     run_tidy
     run_metrics_overhead
+    run_torture
     ;;
   *)
-    echo "unknown leg '$LEG' (want asan, tsan, tidy, metrics, or all)" >&2
+    echo "unknown leg '$LEG' (want asan, tsan, tidy, metrics, torture, or all)" >&2
     exit 2
     ;;
 esac

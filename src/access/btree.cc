@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/access/btree_layout.h"
+#include "src/fault/crash_points.h"
 #include "src/storage/page.h"
 #include "src/util/bytes.h"
 
@@ -228,6 +229,7 @@ Result<BTree::SplitResult> BTree::InsertRec(uint32_t block, const BtreeKey& key,
       return SplitResult{};
     }
     // Split: move the upper half to a fresh right sibling.
+    CrashPointRegistry::Hit("btree.split");
     const size_t m = entries.size() / 2;
     std::vector<Entry> right_entries(entries.begin() + static_cast<ptrdiff_t>(m),
                                      entries.end());

@@ -1,5 +1,7 @@
 #include "src/access/heap.h"
 
+#include "src/fault/crash_points.h"
+
 namespace invfs {
 
 Heap::Heap(Oid rel, const Schema* schema, BufferPool* pool, TxnManager* txns)
@@ -16,6 +18,7 @@ Result<Tid> Heap::InsertRaw(TxnId txn, const Row& row, const TupleMeta& meta) {
                                    std::to_string(encoded.size()) + " bytes)");
   }
   txns_->NoteTouched(txn, rel_);
+  CrashPointRegistry::Hit("heap.insert");
 
   INV_ASSIGN_OR_RETURN(uint32_t nblocks, pool_->NumBlocks(rel_));
   // Try the hint block (normally the last block), then extend.
@@ -75,8 +78,25 @@ Result<Tid> Heap::Replace(TxnId txn, Tid old_tid, const Row& new_row, Oid row_oi
 }
 
 Result<std::optional<Row>> Heap::Fetch(const Snapshot& snap, Tid tid) const {
-  INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, tid.block));
+  // A TID past the persisted end of the heap is a dangling reference from a
+  // write-through index whose heap page never reached disk before a crash.
+  // Force-at-commit flushes data pages before the commit record, so the
+  // entry's writer never committed: the tuple is invisible by construction,
+  // not an error. Checked only on the failure path so fetches that resolve
+  // stay zero-overhead.
+  auto ref_or = pool_->Pin(rel_, tid.block);
+  if (!ref_or.ok()) {
+    auto nblocks = pool_->NumBlocks(rel_);
+    if (nblocks.ok() && tid.block >= *nblocks) {
+      return std::optional<Row>();
+    }
+    return ref_or.status();
+  }
+  PageRef ref = std::move(*ref_or);
   Page page = ref.page();
+  if (tid.slot >= page.num_slots()) {
+    return std::optional<Row>();  // dangling entry; see above
+  }
   INV_ASSIGN_OR_RETURN(auto tuple, page.GetTuple(tid.slot));
   if (tuple.empty()) {
     return std::optional<Row>();
@@ -90,8 +110,20 @@ Result<std::optional<Row>> Heap::Fetch(const Snapshot& snap, Tid tid) const {
 
 Result<std::optional<Value>> Heap::FetchColumn(const Snapshot& snap, Tid tid,
                                                size_t column) const {
-  INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, tid.block));
+  // Dangling post-crash index entries are invisible, not errors; see Fetch.
+  auto ref_or = pool_->Pin(rel_, tid.block);
+  if (!ref_or.ok()) {
+    auto nblocks = pool_->NumBlocks(rel_);
+    if (nblocks.ok() && tid.block >= *nblocks) {
+      return std::optional<Value>();
+    }
+    return ref_or.status();
+  }
+  PageRef ref = std::move(*ref_or);
   Page page = ref.page();
+  if (tid.slot >= page.num_slots()) {
+    return std::optional<Value>();
+  }
   INV_ASSIGN_OR_RETURN(auto tuple, page.GetTuple(tid.slot));
   if (tuple.empty() || !snap.IsVisible(GetTupleMeta(tuple))) {
     return std::optional<Value>();

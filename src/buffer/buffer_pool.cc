@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/fault/crash_points.h"
+
 namespace invfs {
 
 namespace {
@@ -152,6 +154,7 @@ Result<size_t> BufferPool::EvictOne() {
     // leave the dirty page reachable and retryable, so the mapping is erased
     // only after the data is safely on the device.
     if (f.dirty.load(std::memory_order_acquire)) {
+      CrashPointRegistry::Hit("buffer.eviction");
       INV_RETURN_IF_ERROR(WriteFrame(i));
     }
     {
@@ -208,6 +211,7 @@ Status BufferPool::WriteFrame(size_t frame) {
       if (gpage.IsInitialized()) {
         gpage.UpdateChecksum();
       }
+      CrashPointRegistry::Hit("buffer.write_back");
       Status ws = mgr->WriteBlock(g.tag.rel, g.tag.block, {g.data.get(), kPageSize});
       if (!ws.ok()) {
         g.dirty.store(true, std::memory_order_release);  // still unwritten
@@ -223,6 +227,7 @@ Status BufferPool::WriteFrame(size_t frame) {
     if (fpage.IsInitialized()) {
       fpage.UpdateChecksum();
     }
+    CrashPointRegistry::Hit("buffer.write_back");
     Status ws = mgr->WriteBlock(f.tag.rel, f.tag.block, {f.data.get(), kPageSize});
     if (!ws.ok()) {
       f.dirty.store(true, std::memory_order_release);  // still unwritten

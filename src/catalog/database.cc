@@ -1,16 +1,28 @@
 #include "src/catalog/database.h"
 
 #include "src/device/instrumented_device.h"
+#include "src/fault/fault_device.h"
 
 namespace invfs {
 
 Database::Database(StorageEnv* env, DatabaseOptions options)
     : options_(options), clock_(&env->clock) {
-  // Every device goes through the switch wrapped in an InstrumentedDevice so
-  // device.* metrics come for free; code needing the concrete device type
+  // Every device goes through the switch stacked as
+  // Policy(Instrumented(Fault(real))): the fault injector (when configured)
+  // sits closest to the store so corruption lands in the raw image, the
+  // instrumentation above it sees every physical attempt including retries,
+  // and the error policy on top retries transients and trips read-only on
+  // permanent write failures. Code needing the concrete device type
   // downcasts Underlying().
-  auto wrap = [this](std::unique_ptr<DeviceManager> dev) {
-    return std::make_unique<InstrumentedDevice>(std::move(dev), clock_, &metrics_);
+  auto wrap = [this, &options](std::unique_ptr<DeviceManager> dev)
+      -> std::unique_ptr<DeviceManager> {
+    if (options.fault_injector != nullptr) {
+      dev = std::make_unique<FaultDevice>(std::move(dev), options.fault_injector);
+    }
+    auto instrumented =
+        std::make_unique<InstrumentedDevice>(std::move(dev), clock_, &metrics_);
+    return std::make_unique<ErrorPolicyDevice>(
+        std::move(instrumented), clock_, options.error_policy, &metrics_);
   };
   devices_.Register(kDeviceMagneticDisk,
                     wrap(std::make_unique<MagneticDiskDevice>(
@@ -55,8 +67,17 @@ Result<TxnId> Database::Begin() {
   if (crashed_) {
     return Status::Internal("database has crashed");
   }
+  if (log_->poisoned()) {
+    // Fail-stop read-only: a permanently failed commit-log flush means no
+    // future commit could be made durable, so refuse new transactions
+    // cleanly up front instead of failing at commit time.
+    return Status::ReadOnlyDevice(
+        "commit log is poisoned; database is fail-stop read-only");
+  }
   return txns_->Begin();
 }
+
+bool Database::read_only() const { return log_ != nullptr && log_->poisoned(); }
 
 Status Database::Commit(TxnId txn) {
   INV_RETURN_IF_ERROR(txns_->Commit(txn));

@@ -16,12 +16,15 @@
 #include <memory>
 
 #include "src/catalog/catalog.h"
+#include "src/device/error_policy.h"
 #include "src/obs/metrics.h"
 #include "src/sim/cost_params.h"
 #include "src/sim/sim_clock.h"
 #include "src/txn/txn_manager.h"
 
 namespace invfs {
+
+class FaultInjector;
 
 // Caller-owned persistent world: survives Database teardown, so tests and
 // examples can crash and reopen.
@@ -50,6 +53,15 @@ struct DatabaseOptions {
   // move frequently"). Disable to measure what lazy index write-back buys
   // (ablation bench).
   bool write_through_indexes = true;
+  // Transient-error retry and read-only degradation knobs, applied to every
+  // device (the policy decorator is always stacked; with no faults armed its
+  // cost is one relaxed load per I/O — bench_pr5 gates this).
+  DeviceErrorPolicy error_policy{};
+  // Optional fault injection: when set, every device is additionally wrapped
+  // in a FaultDevice sharing this injector (stacking:
+  // Policy(Instrumented(Fault(real))), so retries are visible to the
+  // instrumentation). Caller-owned; must outlive the Database.
+  FaultInjector* fault_injector = nullptr;
 };
 
 class Database {
@@ -92,9 +104,15 @@ class Database {
   // The Database object is unusable afterwards; re-Open the StorageEnv.
   void Crash();
 
+  // True once the commit log is poisoned (a flush failed permanently): the
+  // database is fail-stop read-only — Begin() refuses new transactions with
+  // kReadOnlyDevice while reads, snapshots, and time travel keep working.
+  bool read_only() const;
+
   // --- components ------------------------------------------------------------
 
   Catalog& catalog() { return *catalog_; }
+  CommitLog& commit_log() { return *log_; }
   BufferPool* buffers_ptr() { return buffers_.get(); }
   TxnManager& txns() { return *txns_; }
   BufferPool& buffers() { return *buffers_; }

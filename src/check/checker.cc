@@ -4,6 +4,7 @@
 #include <cstring>
 #include <optional>
 #include <set>
+#include <string_view>
 
 #include "src/access/btree.h"
 #include "src/access/btree_layout.h"
@@ -65,7 +66,23 @@ std::string Violation::ToString() const {
     out += " block " + std::to_string(block);
   }
   out += ": " + detail;
+  if (quarantined) {
+    out += " [quarantined]";
+  }
+  if (residue) {
+    out += " [crash residue]";
+  }
   return out;
+}
+
+bool CheckReport::OnlyQuarantined() const {
+  return std::all_of(violations.begin(), violations.end(),
+                     [](const Violation& v) { return v.quarantined; });
+}
+
+bool CheckReport::OnlyResidue() const {
+  return std::all_of(violations.begin(), violations.end(),
+                     [](const Violation& v) { return v.residue; });
 }
 
 bool CheckReport::Has(const std::string& invariant) const {
@@ -123,9 +140,31 @@ Checker::Checker(StorageEnv& env)
               env.jukebox_store.get()) {}
 
 void Checker::Add(std::string invariant, Oid rel, uint32_t block,
-                  std::string detail) {
+                  std::string detail, bool fallout) {
+  // Detectable physical damage quarantines its page: every further complaint
+  // about the same block (undecodable tuples, bad geometry, overlapping line
+  // pointers) is fallout of that damage, not an independent invariant breach.
+  // page-geometry is deliberately NOT an anchor — bad geometry under a valid
+  // checksum is software corruption the page-level defenses did not catch.
+  static constexpr std::string_view kAnchors[] = {"page-unreadable",
+                                                  "page-magic",
+                                                  "page-checksum"};
+  bool quarantined = fallout;
+  for (std::string_view a : kAnchors) {
+    if (invariant == a) {
+      quarantined_.emplace(rel, block);
+      quarantined = true;
+      break;
+    }
+  }
+  quarantined = quarantined || Quarantined(rel, block);
   report_.violations.push_back(
-      Violation{std::move(invariant), rel, block, std::move(detail)});
+      Violation{std::move(invariant), rel, block, std::move(detail),
+                quarantined});
+}
+
+bool Checker::Quarantined(Oid rel, uint32_t block) const {
+  return quarantined_.count({rel, block}) != 0;
 }
 
 BlockStore* Checker::StoreFor(DeviceId device) const {
@@ -544,9 +583,19 @@ void Checker::CheckBtree(BlockStore* store, const RelInfo& index, Oid heap_rel) 
         if (heap_slots != nullptr &&
             (e.tid.block >= heap_slots->size() ||
              e.tid.slot >= (*heap_slots)[e.tid.block])) {
+          // A TID into a quarantined heap page is fallout: the page's slot
+          // count is unknowable, so the entry may well be fine.
+          const bool fallout = Quarantined(heap_rel, e.tid.block);
           Add("btree-tid-range", index.oid, block,
               "entry " + std::to_string(i) + " points at " + e.tid.ToString() +
-                  ", outside heap rel " + std::to_string(heap_rel));
+                  ", outside heap rel " + std::to_string(heap_rel),
+              fallout);
+          // Otherwise the TID points past the persisted end of its heap.
+          // Force-at-commit flushes heap pages before the commit record, so
+          // the entry's writer never committed: this is a dead entry a crash
+          // legitimately strands in a write-through index, gone at the next
+          // rebuild.
+          report_.violations.back().residue = !fallout;
         }
       }
       return;
@@ -587,6 +636,18 @@ void Checker::CheckBtree(BlockStore* store, const RelInfo& index, Oid heap_rel) 
   for (uint32_t b = 1; b < nblocks; ++b) {
     if (visited[b] == 0) {
       Add("btree-unreachable", index.oid, b, "node not reachable from the root");
+    }
+  }
+
+  // A physically damaged page anywhere in this index makes the structural
+  // walk's downstream complaints (key order, sibling chain, unreachable
+  // nodes, depth) fallout of that damage rather than independent corruption.
+  if (auto it = quarantined_.lower_bound({index.oid, 0});
+      it != quarantined_.end() && it->first == index.oid) {
+    for (Violation& v : report_.violations) {
+      if (v.rel == index.oid) {
+        v.quarantined = true;
+      }
     }
   }
 }
@@ -792,6 +853,10 @@ Result<CheckReport> Checker::Run() {
       Add("orphan-chunk-table", info.oid, ~0u,
           info.name + " stores chunks of file " + std::to_string(file) +
               ", which no fileatt row references");
+      // A crashed p_creat leaves the chunk table cataloged (its pg_class
+      // page flushed) while the fileatt insert never reached disk: garbage
+      // for the vacuum cleaner, not corruption.
+      report_.violations.back().residue = true;
     }
   }
 
@@ -811,6 +876,11 @@ Result<CheckReport> Checker::Run() {
         Add("relation-unreferenced", oid, ~0u,
             std::string("relation exists on ") + s.name +
                 " but no pg_class version names it");
+        // Relations are created on the device the moment DDL runs, but the
+        // pg_class insert only reaches disk at commit (or an eviction). A
+        // crash in between strands the physical relation with no cataloged
+        // trace — vacuum garbage, not corruption.
+        report_.violations.back().residue = true;
       }
     }
   }

@@ -26,7 +26,9 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/catalog/database.h"
@@ -44,6 +46,17 @@ struct Violation {
   Oid rel = kInvalidOid;
   uint32_t block = 0;
   std::string detail;
+  // True when the violation is physically detectable page damage (bad magic,
+  // bad checksum, unreadable) or fallout confined to — or pointing at — such
+  // a page. Fault-injection tests corrupt pages on purpose; quarantined
+  // violations are the ones the page-level defenses caught and contained.
+  bool quarantined = false;
+  // True for provably-dead crash residue under force-at-commit: state a
+  // transaction in flight at a crash legitimately leaves behind (a physical
+  // relation no pg_class version names, a write-through index entry pointing
+  // past the persisted end of its heap). Invisible after recovery; the
+  // vacuum cleaner reclaims it.
+  bool residue = false;
 
   std::string ToString() const;
 };
@@ -56,6 +69,15 @@ struct CheckReport {
   uint64_t index_entries_checked = 0;
 
   bool ok() const { return violations.empty(); }
+  // True when every violation (there may be none) is quarantined page damage
+  // or its fallout — i.e. all corruption present was *detected* at the page
+  // level and is confined to the damaged pages. `invfs_check
+  // --tolerate-quarantined` exits 0 in this state.
+  bool OnlyQuarantined() const;
+  // True when every violation (there may be none) is crash residue — the
+  // torture driver's standard for an image recovered from a mid-transaction
+  // crash. `invfs_check --tolerate-residue` exits 0 in this state.
+  bool OnlyResidue() const;
   // True if any violation names `invariant`.
   bool Has(const std::string& invariant) const;
   std::string ToString() const;
@@ -105,7 +127,12 @@ class Checker {
     Row row;
   };
 
-  void Add(std::string invariant, Oid rel, uint32_t block, std::string detail);
+  // `fallout` forces the quarantined flag for cross-reference damage (e.g. an
+  // index entry pointing into a quarantined heap page) that the same-block
+  // rule in Add cannot see.
+  void Add(std::string invariant, Oid rel, uint32_t block, std::string detail,
+           bool fallout = false);
+  bool Quarantined(Oid rel, uint32_t block) const;
   BlockStore* StoreFor(DeviceId device) const;
   bool IsCurrent(const TupleMeta& meta) const;
 
@@ -131,6 +158,9 @@ class Checker {
   // Heap geometry gathered during heap walks: rel -> per-block slot counts.
   // B-tree leaf TIDs are validated against this.
   std::map<Oid, std::vector<uint16_t>> heap_slots_;
+  // (rel, block) pairs whose pages carry detectable physical damage; further
+  // violations on (or pointing at) these blocks are tagged as fallout.
+  std::set<std::pair<Oid, uint32_t>> quarantined_;
 };
 
 // Convenience: check the image held by `env` and return the report.

@@ -1,14 +1,27 @@
 // invfs_check: offline structural verifier (fsck for Inversion images).
 //
-// Usage: invfs_check <disk-dir> [nvram-dir] [jukebox-dir]
+// Usage: invfs_check [--tolerate-quarantined] [--tolerate-residue]
+//                    <disk-dir> [nvram-dir] [jukebox-dir]
 //
 // Each argument is a FileBlockStore directory (one rel<oid>.blk file per
 // relation) as written by examples that persist a StorageEnv. The image must
 // be quiescent — run against a copy if the database is live.
 //
-// Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+// --tolerate-quarantined: tolerate violations that are detectable physical
+// page damage (bad checksum/magic, unreadable) or fallout confined to those
+// pages — i.e. corruption caught and contained by the page-level defenses.
+// Used by fault-injection tests that corrupt pages on purpose.
+//
+// --tolerate-residue: tolerate provably-dead crash residue (uncataloged
+// physical relations, index entries past the persisted end of their heap) —
+// what a mid-transaction crash legitimately leaves for the vacuum cleaner.
+// Use when checking an image recovered from a crash.
+//
+// Exit 0 when every violation is tolerated by an enabled class (trivially so
+// when clean), 1 when violations remain, 2 on usage or I/O error.
 
 #include <cstdio>
+#include <cstring>
 
 #include "src/check/checker.h"
 
@@ -29,9 +42,23 @@ invfs::BlockStore* OpenStore(
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool tolerate_quarantined = false;
+  bool tolerate_residue = false;
+  while (argc > 1) {
+    if (std::strcmp(argv[1], "--tolerate-quarantined") == 0) {
+      tolerate_quarantined = true;
+    } else if (std::strcmp(argv[1], "--tolerate-residue") == 0) {
+      tolerate_residue = true;
+    } else {
+      break;
+    }
+    --argc;
+    ++argv;
+  }
   if (argc < 2 || argc > 4) {
     std::fprintf(stderr,
-                 "usage: invfs_check <disk-dir> [nvram-dir] [jukebox-dir]\n");
+                 "usage: invfs_check [--tolerate-quarantined] "
+                 "[--tolerate-residue] <disk-dir> [nvram-dir] [jukebox-dir]\n");
     return 2;
   }
   std::unique_ptr<invfs::FileBlockStore> disk, nvram, jukebox;
@@ -55,5 +82,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::fputs(report->ToString().c_str(), stdout);
-  return report->ok() ? 0 : 1;
+  if (report->ok()) {
+    return 0;
+  }
+  bool all_tolerated = true;
+  for (const invfs::Violation& v : report->violations) {
+    if (!((tolerate_quarantined && v.quarantined) ||
+          (tolerate_residue && v.residue))) {
+      all_tolerated = false;
+      break;
+    }
+  }
+  if (all_tolerated) {
+    std::fputs("invfs_check: all violations tolerated\n", stdout);
+    return 0;
+  }
+  return 1;
 }

@@ -102,6 +102,13 @@ Status MemBlockStore::CorruptByte(Oid rel, uint32_t block, uint32_t offset) {
   return Status::Ok();
 }
 
+std::unique_ptr<MemBlockStore> MemBlockStore::Clone() const {
+  std::lock_guard lock(mu_);
+  auto copy = std::make_unique<MemBlockStore>();
+  copy->rels_ = rels_;
+  return copy;
+}
+
 // --------------------------------------------------------------- FileBlockStore
 
 Result<std::unique_ptr<FileBlockStore>> FileBlockStore::Open(const std::string& dir) {

@@ -55,6 +55,11 @@ class MemBlockStore final : public BlockStore {
   // for the self-identifying block check).
   Status CorruptByte(Oid rel, uint32_t block, uint32_t offset);
 
+  // Deep copy of the stored image. The torture driver snapshots the "disk"
+  // at a simulated crash and reopens the copy, leaving the original frozen
+  // for re-examination.
+  std::unique_ptr<MemBlockStore> Clone() const;
+
  private:
   mutable std::mutex mu_;
   std::map<Oid, std::vector<std::vector<std::byte>>> rels_;

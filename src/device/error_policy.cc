@@ -1,0 +1,107 @@
+#include "src/device/error_policy.h"
+
+#include <algorithm>
+
+namespace invfs {
+
+ErrorPolicyDevice::ErrorPolicyDevice(std::unique_ptr<DeviceManager> inner,
+                                     SimClock* clock, DeviceErrorPolicy policy,
+                                     MetricsRegistry* metrics)
+    : inner_(std::move(inner)), clock_(clock), policy_(policy) {
+  const std::string_view label = inner_->name();
+  retries_ = metrics->GetCounter("device.retries", label);
+  permanent_errors_ = metrics->GetCounter("device.permanent_errors", label);
+}
+
+template <typename Op>
+Status ErrorPolicyDevice::WithRetries(Op&& op) {
+  Status s = op();
+  SimMicros backoff = policy_.backoff_us;
+  for (int attempt = 0; attempt < policy_.max_retries && s.IsTransientIo();
+       ++attempt) {
+    clock_->Advance(backoff);
+    backoff = std::min(backoff * 2, policy_.max_backoff_us);
+    retries_->Add();
+    s = op();
+  }
+  return s;
+}
+
+Status ErrorPolicyDevice::ReadOnlyError() const {
+  return Status::ReadOnlyDevice("device '" + std::string(name()) +
+                                "' is read-only after a permanent write error");
+}
+
+Status ErrorPolicyDevice::TripReadOnly(const Status& cause) {
+  if (!read_only_.exchange(true, std::memory_order_acq_rel)) {
+    permanent_errors_->Add();
+  }
+  return Status::ReadOnlyDevice("device '" + std::string(name()) +
+                                "' tripped read-only: " + cause.ToString());
+}
+
+Status ErrorPolicyDevice::CreateRelation(Oid rel) {
+  if (read_only()) {
+    return ReadOnlyError();
+  }
+  Status s = WithRetries([&] { return inner_->CreateRelation(rel); });
+  if (!s.ok() && (s.IsTransientIo() || s.code() == ErrorCode::kIoError)) {
+    return TripReadOnly(s);
+  }
+  return s;
+}
+
+Status ErrorPolicyDevice::DropRelation(Oid rel) {
+  if (read_only()) {
+    return ReadOnlyError();
+  }
+  Status s = WithRetries([&] { return inner_->DropRelation(rel); });
+  if (!s.ok() && (s.IsTransientIo() || s.code() == ErrorCode::kIoError)) {
+    return TripReadOnly(s);
+  }
+  return s;
+}
+
+Status ErrorPolicyDevice::ReadBlock(Oid rel, uint32_t block,
+                                    std::span<std::byte> out) {
+  // Reads are served even on a read-only device: that is the entire point of
+  // the degradation (queries and recovery outlive a dying write path).
+  Status s = WithRetries([&] { return inner_->ReadBlock(rel, block, out); });
+  if (s.IsTransientIo()) {
+    // Out of retries: surface as a hard I/O error so callers do not loop.
+    return Status::IoError("read failed after " +
+                           std::to_string(policy_.max_retries) +
+                           " retries: " + s.ToString());
+  }
+  return s;
+}
+
+Status ErrorPolicyDevice::WriteBlock(Oid rel, uint32_t block,
+                                     std::span<const std::byte> data) {
+  if (read_only()) {
+    return ReadOnlyError();
+  }
+  Status s = WithRetries([&] { return inner_->WriteBlock(rel, block, data); });
+  if (s.ok()) {
+    return s;
+  }
+  if (s.IsTransientIo() || s.code() == ErrorCode::kIoError) {
+    return TripReadOnly(s);
+  }
+  return s;  // logical errors (bad block, missing relation) pass through
+}
+
+Status ErrorPolicyDevice::Sync() {
+  if (read_only()) {
+    // A read-only device has nothing new to destage; syncing what already
+    // landed is a no-op rather than an error, so shutdown paths stay clean.
+    return Status::Ok();
+  }
+  Status s = WithRetries([&] { return inner_->Sync(); });
+  if (!s.ok() && (s.IsTransientIo() || s.code() == ErrorCode::kIoError)) {
+    return TripReadOnly(s);
+  }
+  return s;
+}
+
+}  // namespace invfs

@@ -1,0 +1,85 @@
+// ErrorPolicyDevice: per-device I/O error policy — retry with capped
+// exponential backoff for transient errors, sticky read-only degradation for
+// permanent write failures.
+//
+// The decorator sits *outermost* in the switch stack
+// (Policy(Instrumented(Fault(real)))) so that every physical retry is
+// visible to the instrumentation layer below it. Behavior:
+//
+//   * A kTransientIo error is retried up to `max_retries` times with
+//     exponential backoff charged to the SimClock (deterministic; no wall
+//     sleeping). Each retry increments `device.retries`. If a retry
+//     succeeds, the caller never learns a fault happened.
+//   * A permanent error (anything non-transient) on a *write* path — or a
+//     transient one that survives every retry — trips the device into a
+//     sticky read-only state: `device.permanent_errors` increments once, the
+//     failed write and every later write/create/drop returns
+//     kReadOnlyDevice, and reads keep flowing to the device untouched. This
+//     is the graceful degradation the live system promises: a dying disk
+//     stops accepting updates, but recovery, queries, and time travel over
+//     already-persisted data keep working.
+//   * Read errors are returned to the caller after retries but do not trip
+//     read-only: a failed read says nothing about the device's ability to
+//     persist, and the page CRC layer above decides what the damage means.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "src/device/device.h"
+#include "src/obs/metrics.h"
+#include "src/sim/sim_clock.h"
+
+namespace invfs {
+
+struct DeviceErrorPolicy {
+  int max_retries = 4;               // retries after the initial attempt
+  SimMicros backoff_us = 100;        // first retry delay; doubles each retry
+  SimMicros max_backoff_us = 10000;  // backoff cap
+};
+
+class ErrorPolicyDevice final : public DeviceManager {
+ public:
+  ErrorPolicyDevice(std::unique_ptr<DeviceManager> inner, SimClock* clock,
+                    DeviceErrorPolicy policy, MetricsRegistry* metrics);
+
+  std::string_view name() const override { return inner_->name(); }
+
+  Status CreateRelation(Oid rel) override;
+  Status DropRelation(Oid rel) override;
+  bool RelationExists(Oid rel) const override {
+    return inner_->RelationExists(rel);
+  }
+  Result<uint32_t> NumBlocks(Oid rel) const override {
+    return inner_->NumBlocks(rel);
+  }
+  Status ReadBlock(Oid rel, uint32_t block, std::span<std::byte> out) override;
+  Status WriteBlock(Oid rel, uint32_t block,
+                    std::span<const std::byte> data) override;
+  Status Sync() override;
+
+  DeviceManager* Underlying() override { return inner_->Underlying(); }
+
+  // True once a permanent write failure tripped the device.
+  bool read_only() const { return read_only_.load(std::memory_order_acquire); }
+
+ private:
+  // Run `op` with the transient-retry loop. Does not touch read-only state.
+  template <typename Op>
+  Status WithRetries(Op&& op);
+  Status ReadOnlyError() const;
+  // Trip read-only (once) and convert `cause` into the kReadOnlyDevice
+  // status writers see from now on.
+  Status TripReadOnly(const Status& cause);
+
+  std::unique_ptr<DeviceManager> inner_;
+  SimClock* clock_;
+  DeviceErrorPolicy policy_;
+  std::atomic<bool> read_only_{false};
+  Counter* retries_;
+  Counter* permanent_errors_;
+};
+
+}  // namespace invfs

@@ -1,0 +1,76 @@
+#include "src/fault/crash_points.h"
+
+namespace invfs {
+
+CrashPointRegistry& CrashPointRegistry::Instance() {
+  static CrashPointRegistry instance;
+  return instance;
+}
+
+void CrashPointRegistry::StartRecording() {
+  std::lock_guard lock(mu_);
+  recording_ = true;
+  counts_.clear();
+  UpdateActiveLocked();
+}
+
+std::map<std::string, uint64_t> CrashPointRegistry::StopRecording() {
+  std::lock_guard lock(mu_);
+  recording_ = false;
+  UpdateActiveLocked();
+  return std::move(counts_);
+}
+
+void CrashPointRegistry::Arm(std::string point, uint64_t occurrence,
+                             std::function<void()> on_crash) {
+  std::lock_guard lock(mu_);
+  armed_point_ = std::move(point);
+  armed_occurrence_ = occurrence == 0 ? 1 : occurrence;
+  armed_hits_ = 0;
+  on_crash_ = std::move(on_crash);
+  fired_ = false;
+  UpdateActiveLocked();
+}
+
+void CrashPointRegistry::Disarm() {
+  std::lock_guard lock(mu_);
+  recording_ = false;
+  counts_.clear();
+  armed_point_.clear();
+  armed_occurrence_ = 0;
+  armed_hits_ = 0;
+  on_crash_ = nullptr;
+  fired_ = false;
+  UpdateActiveLocked();
+}
+
+bool CrashPointRegistry::fired() const {
+  std::lock_guard lock(mu_);
+  return fired_;
+}
+
+void CrashPointRegistry::UpdateActiveLocked() {
+  active_.store(recording_ || !armed_point_.empty(),
+                std::memory_order_relaxed);
+}
+
+void CrashPointRegistry::HitSlow(std::string_view point) {
+  std::function<void()> cb;
+  {
+    std::lock_guard lock(mu_);
+    if (recording_) {
+      ++counts_[std::string(point)];
+    }
+    if (!fired_ && !armed_point_.empty() && point == armed_point_) {
+      if (++armed_hits_ == armed_occurrence_) {
+        fired_ = true;
+        cb = on_crash_;  // run outside mu_: the callback may take other locks
+      }
+    }
+  }
+  if (cb) {
+    cb();
+  }
+}
+
+}  // namespace invfs

@@ -1,0 +1,227 @@
+#include "src/fault/fault_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace invfs {
+
+namespace {
+// Torn writes are modeled at 512-byte sector granularity: a power failure
+// mid-write leaves some sectors new, some old (disks reorder sectors within a
+// page write; only individual sectors are atomic).
+constexpr size_t kSectorSize = 512;
+constexpr size_t kSectorsPerPage = kPageSize / kSectorSize;
+}  // namespace
+
+void FaultInjector::Arm(std::vector<FaultSpec> specs) {
+  std::lock_guard lock(mu_);
+  specs_ = std::move(specs);
+  consumed_.assign(specs_.size(), false);
+  arm_base_reads_ = reads_;
+  arm_base_writes_ = writes_;
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard lock(mu_);
+  specs_.clear();
+  consumed_.clear();
+}
+
+void FaultInjector::Crash() { crashed_.store(true, std::memory_order_release); }
+
+uint64_t FaultInjector::total_reads() const {
+  std::lock_guard lock(mu_);
+  return reads_;
+}
+
+uint64_t FaultInjector::total_writes() const {
+  std::lock_guard lock(mu_);
+  return writes_;
+}
+
+uint64_t FaultInjector::reads_since_arm() const {
+  std::lock_guard lock(mu_);
+  return reads_ - arm_base_reads_;
+}
+
+uint64_t FaultInjector::writes_since_arm() const {
+  std::lock_guard lock(mu_);
+  return writes_ - arm_base_writes_;
+}
+
+uint64_t FaultInjector::faults_fired() const {
+  std::lock_guard lock(mu_);
+  return faults_fired_;
+}
+
+FaultInjector::Action FaultInjector::OnOp(FaultSpec::Op op, FaultSpec* spec_out) {
+  std::lock_guard lock(mu_);
+  const uint64_t n = op == FaultSpec::Op::kRead ? ++reads_ : ++writes_;
+  const uint64_t base =
+      op == FaultSpec::Op::kRead ? arm_base_reads_ : arm_base_writes_;
+  const uint64_t since_arm = n - base;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& s = specs_[i];
+    if (s.op != op || s.at != since_arm) {
+      continue;
+    }
+    // Each spec fires at most once: it names a single (op, position) and the
+    // position counter only advances. Transient semantics — the retry
+    // succeeds — fall out naturally, because the retry is the next position.
+    // "Permanent" means the error status is kIoError, which the retry policy
+    // above refuses to retry and converts into a read-only trip.
+    if (consumed_[i]) {
+      continue;
+    }
+    ++faults_fired_;
+    switch (s.kind) {
+      case FaultSpec::Kind::kTransientError:
+        consumed_[i] = true;
+        return Action::kFailTransient;
+      case FaultSpec::Kind::kPermanentError:
+        consumed_[i] = true;
+        return Action::kFailPermanent;
+      case FaultSpec::Kind::kTornWrite:
+      case FaultSpec::Kind::kBitFlip:
+        consumed_[i] = true;
+        *spec_out = s;
+        return Action::kCorrupt;
+      case FaultSpec::Kind::kCrash:
+        consumed_[i] = true;
+        crashed_.store(true, std::memory_order_release);
+        return Action::kHalt;
+    }
+  }
+  return Action::kPass;
+}
+
+std::vector<std::byte> FaultInjector::CorruptImage(
+    const FaultSpec& spec, std::span<const std::byte> data,
+    std::span<const std::byte> old_page) {
+  std::lock_guard lock(mu_);
+  std::vector<std::byte> image(data.begin(), data.end());
+  if (spec.kind == FaultSpec::Kind::kBitFlip) {
+    const size_t bit = rng_.Uniform(image.size() * 8);
+    image[bit / 8] ^= std::byte{static_cast<uint8_t>(1U << (bit % 8))};
+    return image;
+  }
+  // Torn write: keep a strict subset of the new sectors; the rest revert to
+  // the pre-write content. Half the time it is a prefix (an in-order disk
+  // that lost power), otherwise a random non-empty proper subset (a disk that
+  // reorders sectors).
+  const size_t sectors = std::min(kSectorsPerPage, image.size() / kSectorSize);
+  std::vector<bool> keep_new(sectors, false);
+  if (rng_.Uniform(2) == 0) {
+    const size_t prefix = 1 + rng_.Uniform(sectors - 1);
+    std::fill(keep_new.begin(),
+              keep_new.begin() + static_cast<ptrdiff_t>(prefix), true);
+  } else {
+    size_t kept = 0;
+    for (size_t s = 0; s < sectors; ++s) {
+      if (rng_.Uniform(2) == 0) {
+        keep_new[s] = true;
+        ++kept;
+      }
+    }
+    if (kept == 0) {
+      keep_new[rng_.Uniform(sectors)] = true;
+      kept = 1;
+    }
+    if (kept == sectors) {
+      keep_new[rng_.Uniform(sectors)] = false;  // must lose something
+    }
+  }
+  for (size_t s = 0; s < sectors; ++s) {
+    if (!keep_new[s]) {
+      const size_t off = s * kSectorSize;
+      if (off + kSectorSize <= old_page.size()) {
+        std::memcpy(image.data() + off, old_page.data() + off, kSectorSize);
+      } else {
+        std::memset(image.data() + off, 0, kSectorSize);  // extending write
+      }
+    }
+  }
+  return image;
+}
+
+Status FaultDevice::HaltedError() const {
+  return Status::IoError(std::string(name()) +
+                         ": halted at crash point (simulated power failure)");
+}
+
+Status FaultDevice::CreateRelation(Oid rel) {
+  if (injector_->crashed()) {
+    return HaltedError();
+  }
+  return inner_->CreateRelation(rel);
+}
+
+Status FaultDevice::DropRelation(Oid rel) {
+  if (injector_->crashed()) {
+    return HaltedError();
+  }
+  return inner_->DropRelation(rel);
+}
+
+Status FaultDevice::Sync() {
+  if (injector_->crashed()) {
+    return HaltedError();
+  }
+  return inner_->Sync();
+}
+
+Status FaultDevice::ReadBlock(Oid rel, uint32_t block, std::span<std::byte> out) {
+  if (injector_->crashed()) {
+    return HaltedError();
+  }
+  FaultSpec spec;
+  switch (injector_->OnOp(FaultSpec::Op::kRead, &spec)) {
+    case FaultInjector::Action::kFailTransient:
+      return Status::TransientIo(std::string(name()) +
+                                 ": injected transient read error");
+    case FaultInjector::Action::kFailPermanent:
+      return Status::IoError(std::string(name()) +
+                             ": injected permanent read error");
+    case FaultInjector::Action::kHalt:
+      return HaltedError();
+    case FaultInjector::Action::kCorrupt:  // reads are never corrupted in place
+    case FaultInjector::Action::kPass:
+      break;
+  }
+  return inner_->ReadBlock(rel, block, out);
+}
+
+Status FaultDevice::WriteBlock(Oid rel, uint32_t block,
+                               std::span<const std::byte> data) {
+  if (injector_->crashed()) {
+    return HaltedError();
+  }
+  FaultSpec spec;
+  switch (injector_->OnOp(FaultSpec::Op::kWrite, &spec)) {
+    case FaultInjector::Action::kFailTransient:
+      return Status::TransientIo(std::string(name()) +
+                                 ": injected transient write error");
+    case FaultInjector::Action::kFailPermanent:
+      return Status::IoError(std::string(name()) +
+                             ": injected permanent write error");
+    case FaultInjector::Action::kHalt:
+      return HaltedError();
+    case FaultInjector::Action::kCorrupt: {
+      // Persist a damaged image but report success: the caller believes the
+      // write landed, exactly as a disk with a failing head would behave.
+      std::vector<std::byte> old_page(kPageSize, std::byte{0});
+      INV_ASSIGN_OR_RETURN(uint32_t nblocks, inner_->NumBlocks(rel));
+      if (block < nblocks) {
+        INV_RETURN_IF_ERROR(inner_->ReadBlock(rel, block, old_page));
+      }
+      const std::vector<std::byte> image =
+          injector_->CorruptImage(spec, data, old_page);
+      return inner_->WriteBlock(rel, block, image);
+    }
+    case FaultInjector::Action::kPass:
+      break;
+  }
+  return inner_->WriteBlock(rel, block, data);
+}
+
+}  // namespace invfs

@@ -1,0 +1,75 @@
+// Crash-recovery torture driver.
+//
+// The paper claims file-system recovery is "essentially instantaneous" and
+// needs no fsck because uncommitted updates are invisible by construction.
+// This driver turns the claim into an enumerated proof obligation:
+//
+//   1. Recording pass: run a deterministic mixed workload (creates, strided
+//      overwrites, appends, unlinks — all through InvSession transactions)
+//      against a fresh InversionWorld with the CrashPointRegistry counting
+//      how often every named crash point fires, and the FaultInjector
+//      counting device writes.
+//   2. Schedule enumeration: every (crash point, occurrence) pair — with
+//      occurrences spread evenly across the recorded hit count — plus a
+//      sweep of "halt at the Nth device write" schedules stepped to fit the
+//      budget.
+//   3. For each schedule: replay the identical workload in a fresh world,
+//      halt the simulated process image at the scheduled boundary (the
+//      FaultInjector freezes the block stores), snapshot the frozen image,
+//      reopen it (Database::Open *is* recovery), run the offline structural
+//      verifier, and check the semantic oracle: every transaction acked as
+//      committed is fully visible with its exact contents, every
+//      never-acked transaction is fully invisible, and the single
+//      transaction whose commit overlapped the crash is all-or-nothing.
+//
+// All randomness flows from TortureOptions::seed, so a failing schedule
+// replays exactly (same workload, same fault, same image).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace invfs {
+
+struct TortureOptions {
+  uint64_t seed = 0xC0FFEE;
+  // Transactions per workload run (1-3 file operations each).
+  int transactions = 24;
+  int max_files = 8;
+  // Buffer-pool frames for the torture worlds: small enough that evictions
+  // (and therefore the buffer.eviction crash point) actually fire.
+  size_t buffers = 48;
+  // Crash-point schedules: at most this many occurrences per point, spread
+  // evenly across the recorded hit count.
+  uint64_t occurrences_per_point = 4;
+  // Device-write sweep: crash before the Nth write, N stepped so at most
+  // this many schedules run.
+  uint64_t write_sweep_schedules = 48;
+  bool run_crash_points = true;
+  bool run_write_sweep = true;
+  bool verbose = false;  // one line per schedule to stdout
+};
+
+struct TortureReport {
+  uint64_t schedules = 0;      // schedules enumerated and run
+  uint64_t crashes = 0;        // schedules whose halt actually fired
+  uint64_t not_reached = 0;    // armed point never hit (workload completed)
+  uint64_t indeterminate = 0;  // crash overlapped an in-flight commit
+  uint64_t recorded_writes = 0;   // device writes in the recording pass
+  std::vector<std::string> crash_points;  // recorded "point x count" lines
+  std::vector<std::string> failures;      // empty == the sweep passed
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+// Run the full torture sweep. Non-OK only on environmental errors (the
+// baseline workload itself failing); verification failures land in
+// TortureReport::failures.
+Result<TortureReport> RunTorture(const TortureOptions& options);
+
+}  // namespace invfs

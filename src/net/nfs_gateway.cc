@@ -1,6 +1,41 @@
 #include "src/net/nfs_gateway.h"
 
+#include <cerrno>
+
 namespace invfs {
+
+int NfsErrnoFor(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kOk:
+      return 0;
+    case ErrorCode::kNotFound:
+      return ENOENT;
+    case ErrorCode::kAlreadyExists:
+      return EEXIST;
+    case ErrorCode::kInvalidArgument:
+      return EINVAL;
+    case ErrorCode::kReadOnly:
+    case ErrorCode::kReadOnlyDevice:
+      return EROFS;
+    case ErrorCode::kDeadlock:
+    case ErrorCode::kTxnAborted:
+      // NFS has no transactions; a deadlock-victim abort of the implicit
+      // single-op transaction looks like a retryable failure to the client.
+      return EAGAIN;
+    case ErrorCode::kResourceExhausted:
+      return ENOSPC;
+    case ErrorCode::kPermissionDenied:
+      return EACCES;
+    case ErrorCode::kUnimplemented:
+      return ENOSYS;
+    case ErrorCode::kIoError:
+    case ErrorCode::kTransientIo:
+    case ErrorCode::kCorruption:
+    case ErrorCode::kInternal:
+      return EIO;
+  }
+  return EIO;
+}
 
 InvNfsGateway::InvNfsGateway(InversionFs* fs) : fs_(fs) {
   auto session = fs_->NewSession();

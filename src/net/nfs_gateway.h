@@ -31,6 +31,13 @@
 
 namespace invfs {
 
+// Maps a Status onto the errno an NFS server would put on the wire (the
+// NFSERR_* values coincide with the classic errno numbers). Writes rejected
+// by a read-only store — a historical open, a device tripped into sticky
+// read-only mode, or a fail-stop database — surface as EROFS; device and
+// corruption failures as EIO.
+int NfsErrnoFor(const Status& status);
+
 class InvNfsGateway {
  public:
   explicit InvNfsGateway(InversionFs* fs);

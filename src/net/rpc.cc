@@ -3,6 +3,9 @@
 namespace invfs {
 namespace {
 
+// Largest read a single request frame may ask the server to buffer.
+constexpr uint32_t kMaxRpcReadBytes = 64u << 20;
+
 // ---- shared value / struct marshalling --------------------------------------
 
 enum class WireType : uint8_t {
@@ -223,6 +226,14 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
     case RpcOp::kRead: {
       const int fd = static_cast<int>(r.U32());
       const uint32_t len = r.U32();
+      // Trust boundary: `len` is wire-controlled. Without a cap a single
+      // 9-byte frame could demand a 4 GB allocation before p_read ever runs.
+      if (len > kMaxRpcReadBytes) {
+        status = Status::InvalidArgument(
+            "rpc read of " + std::to_string(len) + " bytes exceeds the " +
+            std::to_string(kMaxRpcReadBytes) + "-byte frame limit");
+        break;
+      }
       std::vector<std::byte> buf(len);
       auto n = session_->p_read(fd, buf);
       status = n.status();

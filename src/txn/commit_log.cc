@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "src/fault/crash_points.h"
 #include "src/util/bytes.h"
 
 namespace invfs {
@@ -157,10 +158,28 @@ Status CommitLog::WaitPersisted(std::unique_lock<std::mutex>& lock, uint64_t seq
       images.push_back(BuildPageImage(b));
     }
     lock.unlock();
+    CrashPointRegistry::Hit("commitlog.pre_flush");
     const auto flush_start = std::chrono::steady_clock::now();
     Status s = Status::Ok();
-    for (size_t i = 0; i < blocks.size() && s.ok(); ++i) {
-      s = WriteLogBlock(blocks[i], images[i]);
+    // A transient device hiccup must not poison the log: page writes are
+    // idempotent images, so the whole batch is simply retried from the top.
+    // (With the ErrorPolicyDevice stacked below, transients are normally
+    // retried there and never reach this loop; this guards logs opened on a
+    // bare device.)
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      s = Status::Ok();
+      for (size_t i = 0; i < blocks.size() && s.ok(); ++i) {
+        if (i > 0) {
+          CrashPointRegistry::Hit("commitlog.mid_batch");
+        }
+        s = WriteLogBlock(blocks[i], images[i]);
+      }
+      if (!s.IsTransientIo()) {
+        break;
+      }
+    }
+    if (s.ok()) {
+      CrashPointRegistry::Hit("commitlog.post_flush");
     }
     flush_us_->Observe(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
@@ -183,7 +202,21 @@ Status CommitLog::WaitPersisted(std::unique_lock<std::mutex>& lock, uint64_t seq
     flush_in_progress_ = false;
     flush_cv_.notify_all();
   }
-  return sticky_error_;
+  return FailStopLocked();
+}
+
+Status CommitLog::FailStopLocked() const {
+  if (sticky_error_.ok()) {
+    return Status::Ok();
+  }
+  return Status::ReadOnlyDevice(
+      "commit log poisoned; database is fail-stop read-only (cause: " +
+      sticky_error_.ToString() + ")");
+}
+
+bool CommitLog::poisoned() const {
+  std::lock_guard lock(mu_);
+  return !sticky_error_.ok();
 }
 
 TxnStatus CommitLog::VisibleStatus(const Entry& e) const {
@@ -216,7 +249,7 @@ Status CommitLog::BeginTxn(TxnId xid) {
   // kXidHorizonBatch transactions.
   if (xid <= xid_horizon_) {
     horizon_hits_->Add();
-    return sticky_error_;
+    return FailStopLocked();
   }
   xid_horizon_ = xid + kXidHorizonBatch;
   dirty_blocks_.insert(0);  // the horizon record lives in log page 0
@@ -234,6 +267,21 @@ Status CommitLog::CommitTxn(TxnId xid, Timestamp commit_ts) {
   // the device write completes).
   entries_[xid] = Entry{TxnStatus::kCommitted, commit_ts, seq};
   return WaitPersisted(lock, seq);
+}
+
+Status CommitLog::CommitTxnReadOnly(TxnId xid, Timestamp commit_ts) {
+  std::lock_guard lock(mu_);
+  if (xid >= entries_.size() || entries_[xid].status != TxnStatus::kInProgress) {
+    return Status::Internal("commit of unknown xid " + std::to_string(xid));
+  }
+  // durable_seq 0 makes the commit visible immediately: there is nothing a
+  // crash could take back, because no tuple bears this xid (recovery simply
+  // burns it as aborted, which nothing observes). Deliberately no
+  // FailStopLocked check — read-only commits must keep succeeding after the
+  // log has poisoned, or in-flight readers would fail on a degraded device.
+  entries_[xid] = Entry{TxnStatus::kCommitted, commit_ts, 0};
+  dirty_blocks_.insert(xid / kEntriesPerPage);
+  return Status::Ok();
 }
 
 Status CommitLog::AbortTxn(TxnId xid) {

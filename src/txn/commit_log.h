@@ -82,6 +82,12 @@ class CommitLog {
   // Persist the commit decision (forces the containing log page to stable
   // storage — possibly via another thread's group flush — before returning).
   Status CommitTxn(TxnId xid, Timestamp commit_ts);
+  // Commit a transaction that stamped no tuples. Its status never gates any
+  // snapshot, so the decision needs no durability: recorded in memory only,
+  // queued to ride out with the next flush, no device wait. This is what
+  // keeps pure-read transactions committing (with zero log I/O) on a device
+  // that has tripped read-only — and even on a poisoned log.
+  Status CommitTxnReadOnly(TxnId xid, Timestamp commit_ts);
   // Aborts are recorded in memory and queued for the next group flush;
   // waiting is unnecessary because an unpersisted abort reads as
   // in-progress, which is equally invisible.
@@ -96,6 +102,12 @@ class CommitLog {
 
   // Highest xid ever registered (for xid allocation after reopen).
   TxnId MaxTxnId() const;
+
+  // True once a group flush failed permanently. The log refuses durable
+  // transitions from then on (fail-stop): callers see kReadOnlyDevice, and
+  // Database surfaces the whole engine as read-only. Reads (StatusOf,
+  // CommittedBefore, CommitTimeOf) keep working over what already persisted.
+  bool poisoned() const;
 
   // --- group-commit telemetry ---------------------------------------------
   // Thin reads over the registry counters (log.persist_requests etc.).
@@ -143,6 +155,9 @@ class CommitLog {
   // whose covering flush has not landed reads as still in progress, because
   // a crash right now would recover it as aborted. mu_ held.
   TxnStatus VisibleStatus(const Entry& e) const;
+  // Ok, or the clean fail-stop error once sticky_error_ poisoned the log.
+  // mu_ held.
+  Status FailStopLocked() const;
 
   DeviceManager* device_;
   mutable std::mutex mu_;

@@ -50,12 +50,20 @@ Status TxnManager::Commit(TxnId txn) {
     touched = it->second;
     active_.erase(it);
   }
-  // Force policy: all data this transaction changed must be durable before
-  // the commit record.
-  for (Oid rel : touched) {
-    INV_RETURN_IF_ERROR(buffers_->FlushRelation(rel));
+  if (touched.empty()) {
+    // Read-only transaction: no tuple bears this xid, so the commit decision
+    // needs no durability. Skipping the forced log write keeps pure-read
+    // workloads free of commit I/O, and keeps reads committing on a device
+    // that permanent write errors have tripped read-only.
+    INV_RETURN_IF_ERROR(log_->CommitTxnReadOnly(txn, clock_->Now()));
+  } else {
+    // Force policy: all data this transaction changed must be durable before
+    // the commit record.
+    for (Oid rel : touched) {
+      INV_RETURN_IF_ERROR(buffers_->FlushRelation(rel));
+    }
+    INV_RETURN_IF_ERROR(log_->CommitTxn(txn, clock_->Now()));
   }
-  INV_RETURN_IF_ERROR(log_->CommitTxn(txn, clock_->Now()));
   locks_->ReleaseAll(txn);
   commits_->Add();
   metrics_->trace().Record(TraceEvent::kTxnCommit, txn, touched.size());

@@ -30,6 +30,10 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "Unimplemented";
     case ErrorCode::kInternal:
       return "Internal";
+    case ErrorCode::kTransientIo:
+      return "TransientIo";
+    case ErrorCode::kReadOnlyDevice:
+      return "ReadOnlyDevice";
   }
   return "Unknown";
 }

@@ -30,6 +30,9 @@ enum class ErrorCode : uint8_t {
   kPermissionDenied,
   kUnimplemented,
   kInternal,
+  kTransientIo,     // device hiccup; the same operation may succeed if retried
+  kReadOnlyDevice,  // write rejected: device (or the whole database) has
+                    // tripped into sticky fail-stop read-only mode
 };
 
 // Human-readable name for an ErrorCode, e.g. "NotFound".
@@ -65,6 +68,12 @@ class [[nodiscard]] Status {
     return {ErrorCode::kUnimplemented, std::move(m)};
   }
   static Status Internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
+  static Status TransientIo(std::string m) {
+    return {ErrorCode::kTransientIo, std::move(m)};
+  }
+  static Status ReadOnlyDevice(std::string m) {
+    return {ErrorCode::kReadOnlyDevice, std::move(m)};
+  }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }
@@ -72,6 +81,8 @@ class [[nodiscard]] Status {
 
   bool IsNotFound() const { return code_ == ErrorCode::kNotFound; }
   bool IsDeadlock() const { return code_ == ErrorCode::kDeadlock; }
+  bool IsTransientIo() const { return code_ == ErrorCode::kTransientIo; }
+  bool IsReadOnlyDevice() const { return code_ == ErrorCode::kReadOnlyDevice; }
 
   // "Ok" or "NotFound: no such file".
   std::string ToString() const;

@@ -6,7 +6,9 @@
 #include <cstring>
 #include <thread>
 
+#include "src/buffer/buffer_pool.h"
 #include "src/check/checker.h"
+#include "src/fault/fault_device.h"
 #include "src/inversion/inv_fs.h"
 
 namespace invfs {
@@ -188,6 +190,103 @@ TEST_F(FailureTest, DeadlockVictimCanRetry) {
   // the close commits on its own.
   ASSERT_TRUE(s2.p_close(*retry).ok());
   ExpectImageClean();
+}
+
+// ---- lying-disk scenarios: torn pages and bit flips -------------------------
+
+// Same stack as FailureTest, but every device is wrapped in a FaultDevice so
+// the media can lie: report a successful write while persisting damage.
+class CorruptingDiskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions opts;
+    opts.fault_injector = &injector_;
+    auto db = Database::Open(&env_, opts);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    fs_ = std::make_unique<InversionFs>(db_.get());
+    ASSERT_TRUE(fs_->Mount().ok());
+    auto session = fs_->NewSession();
+    ASSERT_TRUE(session.ok());
+    s_ = std::move(*session);
+  }
+
+  void MakeFile(const std::string& path, const std::string& data) {
+    ASSERT_TRUE(s_->p_begin().ok());
+    auto fd = s_->p_creat(path);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(
+        s_->p_write(*fd, std::as_bytes(std::span(data.data(), data.size()))).ok());
+    ASSERT_TRUE(s_->p_close(*fd).ok());
+    ASSERT_TRUE(s_->p_commit().ok());
+  }
+
+  // Rewrite `path` in place, but the write-back of its chunk-table page goes
+  // through the armed fault: the device reports success while persisting
+  // damage. The transaction then commits normally — the caller holds an ack
+  // for data the media silently mangled.
+  void CommitThroughLyingDisk(const std::string& path, const std::string& data,
+                              FaultSpec::Kind kind) {
+    ASSERT_TRUE(s_->p_begin().ok());
+    auto fd = s_->p_open(path, OpenMode::kWrite);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(
+        s_->p_write(*fd, std::as_bytes(std::span(data.data(), data.size()))).ok());
+    ASSERT_TRUE(s_->p_close(*fd).ok());
+    const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log()};
+    auto oid = fs_->ResolvePath(path, snap);
+    ASSERT_TRUE(oid.ok());
+    auto table = db_->catalog().GetTable("inv" + std::to_string(*oid));
+    ASSERT_TRUE(table.ok());
+    injector_.ArmOne({kind, FaultSpec::Op::kWrite, 1});
+    ASSERT_TRUE(db_->buffers_ptr()->FlushRelation((*table)->oid).ok())
+        << "the lying disk must report success";
+    EXPECT_EQ(injector_.faults_fired(), 1u);
+    injector_.Disarm();
+    ASSERT_TRUE(s_->p_commit().ok());
+    // Drop the clean cached copy so the next read goes back to the media.
+    ASSERT_TRUE(db_->FlushCaches().ok());
+  }
+
+  // The damaged page must be caught by page verification on the read path,
+  // and the offline checker must flag it — with every violation anchored to
+  // (or fallout of) the damaged page, so `invfs_check --tolerate-quarantined`
+  // accepts the rest of the image.
+  void ExpectDamageDetected(const std::string& path) {
+    auto fd = s_->p_open(path, OpenMode::kRead);
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    std::vector<std::byte> buf(100);
+    auto n = s_->p_read(*fd, buf);
+    ASSERT_FALSE(n.ok()) << "damaged page served as good data";
+    EXPECT_EQ(n.status().code(), ErrorCode::kCorruption) << n.status().ToString();
+
+    auto report = CheckImage(env_);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_FALSE(report->ok()) << "checker must see the damage";
+    EXPECT_TRUE(report->OnlyQuarantined()) << report->ToString();
+  }
+
+  StorageEnv env_;
+  FaultInjector injector_;  // outlives db_'s FaultDevices (declared first)
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<InversionFs> fs_;
+  std::unique_ptr<InvSession> s_;
+};
+
+TEST_F(CorruptingDiskTest, TornPageWriteDetectedAndQuarantined) {
+  MakeFile("/torn.dat", std::string(2000, 't'));
+  ASSERT_TRUE(db_->FlushCaches().ok());
+  CommitThroughLyingDisk("/torn.dat", std::string(2000, 'T'),
+                         FaultSpec::Kind::kTornWrite);
+  ExpectDamageDetected("/torn.dat");
+}
+
+TEST_F(CorruptingDiskTest, BitFlipDetectedAndQuarantined) {
+  MakeFile("/flip.dat", std::string(2000, 'f'));
+  ASSERT_TRUE(db_->FlushCaches().ok());
+  CommitThroughLyingDisk("/flip.dat", std::string(2000, 'F'),
+                         FaultSpec::Kind::kBitFlip);
+  ExpectDamageDetected("/flip.dat");
 }
 
 }  // namespace

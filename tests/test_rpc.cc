@@ -5,6 +5,7 @@
 
 #include "src/harness/worlds.h"
 #include "src/net/rpc.h"
+#include "src/util/random.h"
 
 namespace invfs {
 namespace {
@@ -126,6 +127,47 @@ TEST_F(RpcTest, MalformedRequestRejectedNotCrashed) {
   std::vector<std::byte> truncated{std::byte{static_cast<uint8_t>(RpcOp::kWrite)}};
   response = server_->Handle(truncated);
   EXPECT_EQ(static_cast<uint8_t>(response[0]), 0);
+}
+
+TEST_F(RpcTest, FuzzedFramesAlwaysGetResponsesNeverCrash) {
+  Rng rng(0xF422);
+  // Pure random frames: garbage opcodes, garbage fields, random lengths.
+  for (int i = 0; i < 400; ++i) {
+    std::vector<std::byte> frame(rng.Uniform(48));
+    for (auto& b : frame) {
+      b = std::byte{static_cast<uint8_t>(rng.Uniform(256))};
+    }
+    auto response = server_->Handle(frame);
+    ASSERT_FALSE(response.empty());
+    ASSERT_LE(static_cast<uint8_t>(response[0]), 1u);
+  }
+  // Every opcode (valid and beyond) with randomly truncated argument tails:
+  // the decoder must hit its sticky truncation flag, never read off the end.
+  for (int op = 0; op <= 20; ++op) {
+    for (int i = 0; i < 16; ++i) {
+      std::vector<std::byte> frame;
+      frame.push_back(std::byte{static_cast<uint8_t>(op)});
+      const size_t tail = rng.Uniform(12);
+      for (size_t t = 0; t < tail; ++t) {
+        frame.push_back(std::byte{static_cast<uint8_t>(rng.Uniform(256))});
+      }
+      auto response = server_->Handle(frame);
+      ASSERT_FALSE(response.empty());
+      ASSERT_LE(static_cast<uint8_t>(response[0]), 1u);
+    }
+  }
+}
+
+TEST_F(RpcTest, OversizedReadLengthRejectedBeforeAllocation) {
+  // A 9-byte frame asking for a 4 GB read buffer: the server must refuse at
+  // its trust boundary instead of allocating.
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RpcOp::kRead));
+  w.U32(7);            // fd (bogus; never reached)
+  w.U32(0xFFFFFFFFu);  // requested length
+  auto response = server_->Handle(w.data());
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(static_cast<uint8_t>(response[0]), 0) << "error response expected";
 }
 
 TEST_F(RpcTest, WireCostIsCharged) {
