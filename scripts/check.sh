@@ -11,6 +11,7 @@
 #   scripts/check.sh asan       # just the ASan+UBSan leg
 #   scripts/check.sh tsan       # just the TSan leg
 #   scripts/check.sh tidy       # just clang-tidy
+#   scripts/check.sh tsa        # invfs_lint + clang thread safety analysis
 #   scripts/check.sh metrics    # just the metrics-overhead smoke gate
 #   scripts/check.sh torture    # just the crash-recovery torture sweep (ASan)
 set -euo pipefail
@@ -54,6 +55,39 @@ run_tidy() {
   find src -name '*.cc' -print0 |
     xargs -0 -n 4 -P "$JOBS" clang-tidy -p "$dir" --quiet
   echo "==> [tidy] clean"
+}
+
+run_tsa() {
+  # Static concurrency gate, two parts:
+  #   1. invfs_lint — the project's own invariant checker (naked std sync
+  #      primitives, device I/O under a shard mutex, condition waits holding
+  #      extra locks, crash-point catalog/placement). Pure C++, runs on any
+  #      toolchain, no excuses.
+  #   2. clang -Werror=thread-safety over the whole tree, plus the negative
+  #      compile-fail cases in tests/compile_fail. The analysis only exists
+  #      in clang, so this half is skipped (loudly) when clang++ is missing;
+  #      part 1 and the GCC build still run everywhere.
+  local dir="$ROOT/build-tsa"
+  echo "==> [tsa] build + run invfs_lint over src/"
+  cmake -B "$dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target invfs_lint -- --no-print-directory
+  "$dir/src/lint/invfs_lint" "$ROOT/src"
+  echo "==> [tsa] invfs_lint self-tests (fixtures must trip their rules)"
+  ctest --test-dir "$dir" -R '^lint_' --output-on-failure
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "==> [tsa] clang++ not installed; skipping thread safety analysis" \
+         "(install clang to run the annotated build and compile-fail cases)"
+    return 0
+  fi
+  local cdir="$ROOT/build-tsa-clang"
+  echo "==> [tsa] clang build with -Werror=thread-safety"
+  cmake -B "$cdir" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build "$cdir" -j "$JOBS" -- --no-print-directory
+  echo "==> [tsa] compile-fail cases (annotation violations must not build)"
+  ctest --test-dir "$cdir" -R '^compile_fail_' --output-on-failure
+  echo "==> [tsa] clean"
 }
 
 run_metrics_overhead() {
@@ -135,17 +169,19 @@ case "$LEG" in
   asan) run_sanitized asan address ;;
   tsan) run_sanitized tsan thread ;;
   tidy) run_tidy ;;
+  tsa) run_tsa ;;
   metrics) run_metrics_overhead ;;
   torture) run_torture ;;
   all)
     run_sanitized asan address
     run_sanitized tsan thread
     run_tidy
+    run_tsa
     run_metrics_overhead
     run_torture
     ;;
   *)
-    echo "unknown leg '$LEG' (want asan, tsan, tidy, metrics, torture, or all)" >&2
+    echo "unknown leg '$LEG' (want asan, tsan, tidy, tsa, metrics, torture, or all)" >&2
     exit 2
     ;;
 esac

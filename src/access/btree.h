@@ -15,12 +15,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/access/key_codec.h"
 #include "src/buffer/buffer_pool.h"
 #include "src/storage/common.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
 
 namespace invfs {
@@ -83,18 +83,24 @@ class BTree {
     uint32_t right_block = 0;
   };
 
-  Result<uint32_t> RootBlock() const;
-  Status SetRootBlock(uint32_t root);
-  Result<uint32_t> NewNode(bool leaf);
+  // Tree-structure helpers. mu_ guards no field directly — the tree lives in
+  // buffer-pool pages — but every structural traversal or mutation must run
+  // under it, so the helpers carry REQUIRES and the analysis proves the
+  // public entry points hold the monitor lock around them.
+  Result<uint32_t> RootBlock() const REQUIRES(mu_);
+  Status SetRootBlock(uint32_t root) REQUIRES(mu_);
+  Result<uint32_t> NewNode(bool leaf) REQUIRES(mu_);
 
-  Result<SplitResult> InsertRec(uint32_t block, const BtreeKey& key, Tid tid);
+  Result<SplitResult> InsertRec(uint32_t block, const BtreeKey& key, Tid tid)
+      REQUIRES(mu_);
   // Descend from `block` to the leaf that could contain `key`.
-  Result<uint32_t> FindLeaf(uint32_t block, const BtreeKey& key) const;
-  Result<uint32_t> LeftmostLeaf(uint32_t block) const;
+  Result<uint32_t> FindLeaf(uint32_t block, const BtreeKey& key) const
+      REQUIRES(mu_);
+  Result<uint32_t> LeftmostLeaf(uint32_t block) const REQUIRES(mu_);
 
   Oid rel_;
   BufferPool* pool_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
 };
 
 }  // namespace invfs

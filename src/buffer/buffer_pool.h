@@ -32,7 +32,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +39,7 @@
 #include "src/obs/metrics.h"
 #include "src/sim/cost_params.h"
 #include "src/storage/page.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
 
 namespace invfs {
@@ -99,18 +99,18 @@ class BufferPool {
   ~BufferPool();
 
   // Pin block `block` of `rel`, reading it from its device if not cached.
-  Result<PageRef> Pin(Oid rel, uint32_t block);
+  Result<PageRef> Pin(Oid rel, uint32_t block) EXCLUDES(io_mu_);
 
   // Extend `rel` by one block; returns the new block pinned and initialized.
   // The new page is dirty; it reaches the device at flush/eviction.
-  Result<PageRef> Extend(Oid rel, uint32_t* new_block);
+  Result<PageRef> Extend(Oid rel, uint32_t* new_block) EXCLUDES(io_mu_);
 
   // Logical size of the relation: device blocks plus unflushed extensions.
-  Result<uint32_t> NumBlocks(Oid rel);
+  Result<uint32_t> NumBlocks(Oid rel) EXCLUDES(io_mu_);
 
   // Write all dirty pages of `rel` to its device (commit force policy).
-  Status FlushRelation(Oid rel);
-  Status FlushAll();
+  Status FlushRelation(Oid rel) EXCLUDES(io_mu_);
+  Status FlushAll() EXCLUDES(io_mu_);
 
   // Flush everything and invalidate every frame; the next access reads from
   // the device. Used by benchmarks ("all caches were flushed before each
@@ -118,13 +118,13 @@ class BufferPool {
   // the requirement is enforced by rechecking pin counts while holding every
   // shard mutex, so a racing Pin either completes before the invalidation or
   // misses cleanly after it — never holds a ref to an invalidated frame.
-  Status FlushAndInvalidate();
+  Status FlushAndInvalidate() EXCLUDES(io_mu_);
 
   // Drop all frames of `rel` without writing them (relation being deleted).
-  void DiscardRelation(Oid rel);
+  void DiscardRelation(Oid rel) EXCLUDES(io_mu_);
 
   // Crash simulation: throw away all volatile state, including dirty pages.
-  void DiscardAll();
+  void DiscardAll() EXCLUDES(io_mu_);
 
   size_t num_buffers() const { return num_frames_; }
   size_t num_partitions() const { return shards_.size(); }
@@ -167,7 +167,11 @@ class BufferPool {
   // Frame metadata. `tag`/`valid` change only under io_mu_ *and* the tag's
   // shard mutex; `pins` is incremented only under the shard mutex (so a
   // sweep holding that mutex can trust pins == 0) but decremented anywhere;
-  // `dirty` and `ref` are free-running atomics. Flushers *claim* the dirty
+  // `dirty` and `ref` are free-running atomics. (`tag`/`valid` carry no
+  // GUARDED_BY: a nested struct cannot name the pool's io_mu_, and their
+  // guard is the *conjunction* of two capabilities, which the analysis
+  // cannot express — the protocol comment above is normative and TSan
+  // still checks it dynamically.) Flushers *claim* the dirty
   // bit (exchange to false) before reading page data, and restore it if the
   // device write fails: a MarkDirty racing with the snapshot re-dirties the
   // frame, so a mid-mutation image is never the last one written and no
@@ -181,10 +185,14 @@ class BufferPool {
     std::atomic<int> pins{0};
   };
 
-  // One mapping shard: tag -> frame index for tags that hash here.
+  // One mapping shard: tag -> frame index for tags that hash here. Lock
+  // order: io_mu_ strictly before any shard mu (misses hold io_mu_ while
+  // completing the mapping under the shard mutex); a thread holding a shard
+  // mutex must never perform device I/O or take io_mu_ (invfs_lint rule
+  // shard-lock-io).
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<Tag, size_t, TagHash> table;
+    Mutex mu;
+    std::unordered_map<Tag, size_t, TagHash> table GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const Tag& tag) {
@@ -196,16 +204,18 @@ class BufferPool {
   // it back if dirty, and return it invalid and unmapped. The write-back
   // happens while the victim is still mapped, so a failed device write
   // leaves the dirty page reachable and retryable; frames pinned or
-  // re-dirtied during the write-back are skipped. Requires io_mu_.
-  Result<size_t> EvictOne();
+  // re-dirtied during the write-back are skipped.
+  Result<size_t> EvictOne() REQUIRES(io_mu_);
   // Write frame's page to its device, honoring extension ordering (a block
   // beyond the device's current size forces lower pending blocks out first).
-  // Requires io_mu_; must not be called with any shard mutex held.
-  Status WriteFrame(size_t frame);
+  // Must not be called with any shard mutex held.
+  Status WriteFrame(size_t frame) REQUIRES(io_mu_);
   // Flush the dirty frames among `frames` in ascending (rel, block) order.
-  // Requires io_mu_.
-  Status FlushFrames(std::vector<size_t> frames);
-  Result<uint32_t> DeviceBlocks(Oid rel);
+  Status FlushFrames(std::vector<size_t> frames) REQUIRES(io_mu_);
+  Result<uint32_t> DeviceBlocks(Oid rel) REQUIRES(io_mu_);
+  // The invalidation tail of FlushAndInvalidate: recheck quiescence and clear
+  // every mapping while holding every shard mutex.
+  Status InvalidateAllQuiesced() REQUIRES(io_mu_);
 
   DeviceSwitch* devices_;
   SimClock* clock_;
@@ -218,10 +228,12 @@ class BufferPool {
 
   // Serializes everything that changes the mapping or performs device I/O:
   // miss handling, eviction, extension, flushes and discards. Also guards
-  // pending_extensions_ and the clock hand. Hits never take it.
-  std::mutex io_mu_;
-  std::map<Oid, uint32_t> pending_extensions_;  // rel -> blocks past device size
-  size_t hand_ = 0;  // clock-sweep position
+  // pending_extensions_ and the clock hand. Hits never take it. Acquired
+  // strictly before any Shard::mu (see Shard).
+  Mutex io_mu_;
+  // rel -> blocks past device size
+  std::map<Oid, uint32_t> pending_extensions_ GUARDED_BY(io_mu_);
+  size_t hand_ GUARDED_BY(io_mu_) = 0;  // clock-sweep position
 
   // buffer.* metrics. Cached registry pointers: an increment is one striped
   // relaxed fetch_add, so the hit path stays as cheap as the raw atomics the

@@ -114,7 +114,7 @@ Status Catalog::InsertTableRows(TxnId txn, const TableInfo& info) {
 }
 
 Status Catalog::Bootstrap() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // 1. Physically create the five catalog relations on the default device.
   struct Boot {
     Oid oid;
@@ -160,7 +160,7 @@ Status Catalog::Bootstrap() {
 }
 
 Status Catalog::Load() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // Catalog relations have fixed oids and schemas: construct them directly,
   // then read everything else out of them.
   const std::pair<Oid, Schema> fixed[] = {
@@ -308,7 +308,7 @@ Status Catalog::Load() {
 }
 
 Oid Catalog::AllocateOid() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return next_oid_++;
 }
 
@@ -320,7 +320,7 @@ void Catalog::NoteCreated(TxnId txn, Oid oid) {
 
 Result<TableInfo*> Catalog::CreateTable(TxnId txn, const std::string& name,
                                         const Schema& schema, DeviceId device) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (table_names_.contains(name)) {
     return Status::AlreadyExists("table " + name);
   }
@@ -335,7 +335,7 @@ Result<TableInfo*> Catalog::CreateTable(TxnId txn, const std::string& name,
 
 Result<IndexInfo*> Catalog::CreateIndex(TxnId txn, TableInfo* table,
                                         std::vector<size_t> key_columns) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const Oid oid = next_oid_++;
   INV_RETURN_IF_ERROR(PhysicallyCreate(oid, table->device));
   auto info = std::make_unique<IndexInfo>();
@@ -374,7 +374,7 @@ Result<IndexInfo*> Catalog::CreateIndex(TxnId txn, TableInfo* table,
 }
 
 Status Catalog::DropTable(TxnId txn, const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto nit = table_names_.find(name);
   if (nit == table_names_.end()) {
     return Status::NotFound("table " + name);
@@ -428,7 +428,7 @@ Status Catalog::DropTable(TxnId txn, const std::string& name) {
 }
 
 void Catalog::OnCommit(TxnId txn) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   created_by_txn_.erase(txn);
   auto dit = dropped_by_txn_.find(txn);
   if (dit != dropped_by_txn_.end()) {
@@ -464,7 +464,7 @@ void Catalog::OnCommit(TxnId txn) {
 }
 
 void Catalog::OnAbort(TxnId txn) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // Undo drops: restore the name mappings.
   auto dit = dropped_by_txn_.find(txn);
   if (dit != dropped_by_txn_.end()) {
@@ -506,7 +506,7 @@ void Catalog::OnAbort(TxnId txn) {
 }
 
 Result<Oid> Catalog::DefineType(TxnId txn, const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (types_.contains(name)) {
     return Status::AlreadyExists("type " + name);
   }
@@ -520,7 +520,7 @@ Result<Oid> Catalog::DefineType(TxnId txn, const std::string& name) {
 Result<Oid> Catalog::DefineFunction(TxnId txn, const std::string& name, TypeId rettype,
                                     int32_t nargs, ProcLang lang,
                                     const std::string& src) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (procs_.contains(name)) {
     return Status::AlreadyExists("function " + name);
   }
@@ -537,7 +537,7 @@ Result<Oid> Catalog::DefineFunction(TxnId txn, const std::string& name, TypeId r
 }
 
 Result<TableInfo*> Catalog::CreateArchive(TxnId txn, TableInfo* table) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (table->archive_oid != kInvalidOid) {
     return tables_[table->archive_oid].get();
   }
@@ -556,7 +556,7 @@ Result<TableInfo*> Catalog::CreateArchive(TxnId txn, TableInfo* table) {
 }
 
 Status Catalog::MigrateTable(TxnId txn, TableInfo* table, DeviceId new_device) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (table->device == new_device) {
     return Status::Ok();
   }
@@ -606,7 +606,7 @@ Status Catalog::MigrateTable(TxnId txn, TableInfo* table, DeviceId new_device) {
 }
 
 Result<TableInfo*> Catalog::GetTable(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = table_names_.find(name);
   if (it == table_names_.end()) {
     return Status::NotFound("table " + name);
@@ -615,7 +615,7 @@ Result<TableInfo*> Catalog::GetTable(const std::string& name) {
 }
 
 Result<TableInfo*> Catalog::GetTableByOid(Oid oid) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(oid);
   if (it == tables_.end()) {
     return Status::NotFound("table oid " + std::to_string(oid));
@@ -631,7 +631,7 @@ Result<TableInfo*> Catalog::GetTableAt(const std::string& name, const Snapshot& 
   // tables resolve to whatever oid held the name then.
   Heap* pg_class_heap;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     pg_class_heap = pg_class_->heap.get();
   }
   auto it = pg_class_heap->Scan(snap);
@@ -645,7 +645,7 @@ Result<TableInfo*> Catalog::GetTableAt(const std::string& name, const Snapshot& 
 }
 
 Result<ProcInfo*> Catalog::GetFunction(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = procs_.find(name);
   if (it == procs_.end()) {
     return Status::NotFound("function " + name);
@@ -654,7 +654,7 @@ Result<ProcInfo*> Catalog::GetFunction(const std::string& name) {
 }
 
 Result<TypeInfo*> Catalog::GetType(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = types_.find(name);
   if (it == types_.end()) {
     return Status::NotFound("type " + name);
@@ -663,7 +663,7 @@ Result<TypeInfo*> Catalog::GetType(const std::string& name) {
 }
 
 Result<TypeInfo*> Catalog::GetTypeByOid(Oid oid) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, info] : types_) {
     if (info.oid == oid) {
       return &info;
@@ -673,7 +673,7 @@ Result<TypeInfo*> Catalog::GetTypeByOid(Oid oid) {
 }
 
 std::vector<TableInfo*> Catalog::AllTables() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TableInfo*> out;
   out.reserve(tables_.size());
   for (auto& [oid, info] : tables_) {

@@ -15,7 +15,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +23,7 @@
 #include "src/buffer/buffer_pool.h"
 #include "src/device/device.h"
 #include "src/txn/txn_manager.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
 
 namespace invfs {
@@ -147,26 +147,27 @@ class Catalog {
   DeviceSwitch* devices() { return devices_; }
 
  private:
-  // Insert the pg_class/pg_attribute rows describing `info`.
-  Status InsertTableRows(TxnId txn, const TableInfo& info);
+  // Insert the pg_class/pg_attribute rows describing `info`. The helpers run
+  // under mu_ (they read and mutate the schema cache mid-DDL).
+  Status InsertTableRows(TxnId txn, const TableInfo& info) REQUIRES(mu_);
   Result<TableInfo*> MakeCachedTable(Oid oid, const std::string& name, Schema schema,
-                                     DeviceId device, RelKind kind);
-  Status PhysicallyCreate(Oid oid, DeviceId device);
-  void NoteCreated(TxnId txn, Oid oid);
+                                     DeviceId device, RelKind kind) REQUIRES(mu_);
+  Status PhysicallyCreate(Oid oid, DeviceId device) REQUIRES(mu_);
+  void NoteCreated(TxnId txn, Oid oid) REQUIRES(mu_);
 
   DeviceSwitch* devices_;
   BufferPool* pool_;
   TxnManager* txns_;
 
-  std::mutex mu_;
-  Oid next_oid_ = kFirstUserOid;
-  std::map<Oid, std::unique_ptr<TableInfo>> tables_;
-  std::map<std::string, Oid> table_names_;
-  std::map<Oid, std::unique_ptr<IndexInfo>> indexes_;
-  std::map<std::string, ProcInfo> procs_;
-  std::map<std::string, TypeInfo> types_;
-  std::map<TxnId, std::vector<Oid>> created_by_txn_;
-  std::map<TxnId, std::vector<Oid>> dropped_by_txn_;
+  Mutex mu_;
+  Oid next_oid_ GUARDED_BY(mu_) = kFirstUserOid;
+  std::map<Oid, std::unique_ptr<TableInfo>> tables_ GUARDED_BY(mu_);
+  std::map<std::string, Oid> table_names_ GUARDED_BY(mu_);
+  std::map<Oid, std::unique_ptr<IndexInfo>> indexes_ GUARDED_BY(mu_);
+  std::map<std::string, ProcInfo> procs_ GUARDED_BY(mu_);
+  std::map<std::string, TypeInfo> types_ GUARDED_BY(mu_);
+  std::map<TxnId, std::vector<Oid>> created_by_txn_ GUARDED_BY(mu_);
+  std::map<TxnId, std::vector<Oid>> dropped_by_txn_ GUARDED_BY(mu_);
 
   TableInfo* pg_class_ = nullptr;
   TableInfo* pg_attribute_ = nullptr;

@@ -10,10 +10,27 @@
 
 namespace invfs {
 
+namespace {
+// strerror(3) formats into a static buffer shared by all threads; these
+// helpers adapt whichever thread-safe strerror_r the platform provides (the
+// GNU variant returns char*, the XSI variant returns int) via overload
+// selection on the call's result type.
+std::string ErrnoMessage(char* gnu_result, const char* /*buf*/) {
+  return gnu_result;
+}
+std::string ErrnoMessage(int xsi_result, const char* buf) {
+  return xsi_result == 0 ? std::string(buf) : std::string("unknown error");
+}
+std::string ErrnoString(int err) {
+  char buf[128] = {};
+  return ErrnoMessage(::strerror_r(err, buf, sizeof(buf)), buf);
+}
+}  // namespace
+
 // ---------------------------------------------------------------- MemBlockStore
 
 Status MemBlockStore::Create(Oid rel) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = rels_.try_emplace(rel);
   (void)it;
   if (!inserted) {
@@ -23,7 +40,7 @@ Status MemBlockStore::Create(Oid rel) {
 }
 
 Status MemBlockStore::Drop(Oid rel) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (rels_.erase(rel) == 0) {
     return Status::NotFound("relation " + std::to_string(rel));
   }
@@ -31,12 +48,12 @@ Status MemBlockStore::Drop(Oid rel) {
 }
 
 bool MemBlockStore::Exists(Oid rel) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return rels_.contains(rel);
 }
 
 Result<uint32_t> MemBlockStore::NumBlocks(Oid rel) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = rels_.find(rel);
   if (it == rels_.end()) {
     return Status::NotFound("relation " + std::to_string(rel));
@@ -45,7 +62,7 @@ Result<uint32_t> MemBlockStore::NumBlocks(Oid rel) const {
 }
 
 Status MemBlockStore::Read(Oid rel, uint32_t block, std::span<std::byte> out) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = rels_.find(rel);
   if (it == rels_.end()) {
     return Status::NotFound("relation " + std::to_string(rel));
@@ -61,7 +78,7 @@ Status MemBlockStore::Read(Oid rel, uint32_t block, std::span<std::byte> out) {
 }
 
 Status MemBlockStore::Write(Oid rel, uint32_t block, std::span<const std::byte> data) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = rels_.find(rel);
   if (it == rels_.end()) {
     return Status::NotFound("relation " + std::to_string(rel));
@@ -83,7 +100,7 @@ Status MemBlockStore::Write(Oid rel, uint32_t block, std::span<const std::byte> 
 }
 
 std::vector<Oid> MemBlockStore::ListRelations() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Oid> out;
   out.reserve(rels_.size());
   for (const auto& [oid, blocks] : rels_) {
@@ -93,7 +110,7 @@ std::vector<Oid> MemBlockStore::ListRelations() const {
 }
 
 Status MemBlockStore::CorruptByte(Oid rel, uint32_t block, uint32_t offset) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = rels_.find(rel);
   if (it == rels_.end() || block >= it->second.size() || offset >= kPageSize) {
     return Status::InvalidArgument("no such byte to corrupt");
@@ -103,8 +120,12 @@ Status MemBlockStore::CorruptByte(Oid rel, uint32_t block, uint32_t offset) {
 }
 
 std::unique_ptr<MemBlockStore> MemBlockStore::Clone() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto copy = std::make_unique<MemBlockStore>();
+  // The copy is private to this thread, but its rels_ is guarded by *its*
+  // mutex as far as the analysis is concerned; taking it is free of both
+  // contention and ordering concerns (nobody else can reach the object).
+  MutexLock copy_lock(copy->mu_);
   copy->rels_ = rels_;
   return copy;
 }
@@ -113,7 +134,7 @@ std::unique_ptr<MemBlockStore> MemBlockStore::Clone() const {
 
 Result<std::unique_ptr<FileBlockStore>> FileBlockStore::Open(const std::string& dir) {
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::IoError("mkdir " + dir + ": " + std::strerror(errno));
+    return Status::IoError("mkdir " + dir + ": " + ErrnoString(errno));
   }
   return std::unique_ptr<FileBlockStore>(new FileBlockStore(dir));
 }
@@ -139,14 +160,14 @@ Result<int> FileBlockStore::FdFor(Oid rel, bool create) {
     if (errno == ENOENT) {
       return Status::NotFound("relation " + std::to_string(rel));
     }
-    return Status::IoError("open " + PathFor(rel) + ": " + std::strerror(errno));
+    return Status::IoError("open " + PathFor(rel) + ": " + ErrnoString(errno));
   }
   fds_[rel] = fd;
   return fd;
 }
 
 Status FileBlockStore::Create(Oid rel) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   struct stat st;
   if (::stat(PathFor(rel).c_str(), &st) == 0) {
     return Status::AlreadyExists("relation " + std::to_string(rel));
@@ -157,7 +178,7 @@ Status FileBlockStore::Create(Oid rel) {
 }
 
 Status FileBlockStore::Drop(Oid rel) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = fds_.find(rel);
   if (it != fds_.end()) {
     ::close(it->second);
@@ -183,7 +204,7 @@ Result<uint32_t> FileBlockStore::NumBlocks(Oid rel) const {
 }
 
 Status FileBlockStore::Read(Oid rel, uint32_t block, std::span<std::byte> out) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   INV_ASSIGN_OR_RETURN(int fd, FdFor(rel, /*create=*/false));
   if (out.size() < kPageSize) {
     return Status::InvalidArgument("read buffer too small");
@@ -198,7 +219,7 @@ Status FileBlockStore::Read(Oid rel, uint32_t block, std::span<std::byte> out) {
 }
 
 Status FileBlockStore::Write(Oid rel, uint32_t block, std::span<const std::byte> data) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   INV_ASSIGN_OR_RETURN(int fd, FdFor(rel, /*create=*/false));
   if (data.size() != kPageSize) {
     return Status::InvalidArgument("write must be exactly one page");

@@ -15,13 +15,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/sim/cost_params.h"
 #include "src/storage/common.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
 
 namespace invfs {
@@ -61,8 +61,8 @@ class MemBlockStore final : public BlockStore {
   std::unique_ptr<MemBlockStore> Clone() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<Oid, std::vector<std::vector<std::byte>>> rels_;
+  mutable Mutex mu_;
+  std::map<Oid, std::vector<std::vector<std::byte>>> rels_ GUARDED_BY(mu_);
 };
 
 // One file per relation: <dir>/rel<oid>.blk.
@@ -83,11 +83,11 @@ class FileBlockStore final : public BlockStore {
  private:
   explicit FileBlockStore(std::string dir) : dir_(std::move(dir)) {}
   std::string PathFor(Oid rel) const;
-  Result<int> FdFor(Oid rel, bool create);
+  Result<int> FdFor(Oid rel, bool create) REQUIRES(mu_);
 
   std::string dir_;
-  mutable std::mutex mu_;
-  std::map<Oid, int> fds_;
+  mutable Mutex mu_;
+  std::map<Oid, int> fds_ GUARDED_BY(mu_);
 };
 
 }  // namespace invfs

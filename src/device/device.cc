@@ -20,20 +20,20 @@ DiskModel& MagneticDiskDevice::disk_model() { return *model_; }
 
 Status MagneticDiskDevice::CreateRelation(Oid rel) {
   INV_RETURN_IF_ERROR(store_->Create(rel));
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   extents_.try_emplace(rel);
   return Status::Ok();
 }
 
 Status MagneticDiskDevice::DropRelation(Oid rel) {
   INV_RETURN_IF_ERROR(store_->Drop(rel));
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   extents_.erase(rel);  // extents are leaked on purpose: no free-space reuse
   return Status::Ok();
 }
 
 uint64_t MagneticDiskDevice::PhysicalAddress(Oid rel, uint32_t block) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& ext = extents_[rel];
   const uint32_t extent_index = block / extent_pages_;
   while (ext.size() <= extent_index) {
@@ -66,14 +66,14 @@ JukeboxDevice::~JukeboxDevice() = default;
 
 Status JukeboxDevice::CreateRelation(Oid rel) {
   INV_RETURN_IF_ERROR(store_->Create(rel));
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   extents_.try_emplace(rel);
   return Status::Ok();
 }
 
 Status JukeboxDevice::DropRelation(Oid rel) {
   INV_RETURN_IF_ERROR(store_->Drop(rel));
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   extents_.erase(rel);
   rewrite_counts_.erase(rel);
   return Status::Ok();
@@ -144,7 +144,7 @@ bool JukeboxDevice::CacheTouch(const CacheKey& key, bool dirty) {
 
 Status JukeboxDevice::ReadBlock(Oid rel, uint32_t block, std::span<std::byte> out) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const CacheKey key{rel, block};
     if (CacheTouch(key, /*dirty=*/false)) {
       ++cache_hits_;
@@ -162,7 +162,7 @@ Status JukeboxDevice::ReadBlock(Oid rel, uint32_t block, std::span<std::byte> ou
 Status JukeboxDevice::WriteBlock(Oid rel, uint32_t block,
                                  std::span<const std::byte> data) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const CacheKey key{rel, block};
     if (CacheTouch(key, /*dirty=*/true)) {
       ++cache_hits_;
@@ -177,7 +177,7 @@ Status JukeboxDevice::WriteBlock(Oid rel, uint32_t block,
 }
 
 Status JukeboxDevice::Sync() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [key, dirty] : cached_) {
     if (dirty) {
       int& count = rewrite_counts_[key.rel][key.block];
@@ -194,7 +194,7 @@ Status JukeboxDevice::Sync() {
 
 Status JukeboxDevice::DropStagingCache() {
   INV_RETURN_IF_ERROR(Sync());
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   cached_.clear();
   lru_.clear();
   // Fully cold also means no platter in the drive and no head position.
@@ -207,29 +207,29 @@ Status JukeboxDevice::DropStagingCache() {
 
 void DeviceSwitch::Register(DeviceId id, std::unique_ptr<DeviceManager> device) {
   INV_CHECK(id < kMaxDevices);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   devices_[id] = std::move(device);
 }
 
 DeviceManager* DeviceSwitch::Get(DeviceId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return id < kMaxDevices ? devices_[id].get() : nullptr;
 }
 
 bool DeviceSwitch::Has(DeviceId id) const { return Get(id) != nullptr; }
 
 void DeviceSwitch::BindRelation(Oid rel, DeviceId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   bindings_[rel] = id;
 }
 
 void DeviceSwitch::UnbindRelation(Oid rel) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   bindings_.erase(rel);
 }
 
 Result<DeviceId> DeviceSwitch::DeviceFor(Oid rel) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = bindings_.find(rel);
   if (it == bindings_.end()) {
     return Status::NotFound("relation " + std::to_string(rel) +

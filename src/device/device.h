@@ -16,7 +16,6 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -25,6 +24,7 @@
 #include "src/device/block_store.h"
 #include "src/sim/cost_params.h"
 #include "src/storage/common.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
 
 namespace invfs {
@@ -109,15 +109,16 @@ class MagneticDiskDevice final : public DeviceManager {
  private:
   // Physical address of (rel, block); allocates a new extent when `block`
   // crosses the current allocation.
-  uint64_t PhysicalAddress(Oid rel, uint32_t block);
+  uint64_t PhysicalAddress(Oid rel, uint32_t block) EXCLUDES(mu_);
 
   BlockStore* store_;
   std::unique_ptr<DiskModel> model_;
   uint32_t extent_pages_;
-  std::mutex mu_;
-  uint64_t next_free_extent_ = 0;  // global allocation cursor, in extents
+  Mutex mu_;
+  // Global allocation cursor, in extents.
+  uint64_t next_free_extent_ GUARDED_BY(mu_) = 0;
   // Per relation: physical extent bases in logical order.
-  std::unordered_map<Oid, std::vector<uint64_t>> extents_;
+  std::unordered_map<Oid, std::vector<uint64_t>> extents_ GUARDED_BY(mu_);
 };
 
 // Sony WORM optical jukebox with a magnetic staging cache.
@@ -145,10 +146,22 @@ class JukeboxDevice final : public DeviceManager {
   // the next reads go to the platters (used by cold-read experiments).
   Status DropStagingCache();
 
-  uint64_t platter_loads() const { return platter_loads_; }
-  uint64_t cache_hits() const { return cache_hits_; }
-  uint64_t cache_misses() const { return cache_misses_; }
-  uint64_t worm_remaps() const { return worm_remaps_; }
+  uint64_t platter_loads() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return platter_loads_;
+  }
+  uint64_t cache_hits() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return cache_hits_;
+  }
+  uint64_t cache_misses() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return cache_misses_;
+  }
+  uint64_t worm_remaps() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return worm_remaps_;
+  }
 
  private:
   struct CacheKey {
@@ -162,32 +175,34 @@ class JukeboxDevice final : public DeviceManager {
     }
   };
 
-  uint64_t PhysicalAddress(Oid rel, uint32_t block);
-  void ChargeOpticalIo(uint64_t phys);
+  uint64_t PhysicalAddress(Oid rel, uint32_t block) REQUIRES(mu_);
+  void ChargeOpticalIo(uint64_t phys) REQUIRES(mu_);
   // Touch the staging cache; returns true on hit. On miss inserts and evicts.
-  bool CacheTouch(const CacheKey& key, bool dirty);
+  bool CacheTouch(const CacheKey& key, bool dirty) REQUIRES(mu_);
 
   BlockStore* store_;
   SimClock* clock_;
   JukeboxParams params_;
   std::unique_ptr<DiskModel> cache_disk_;  // cost model for the staging cache
-  std::mutex mu_;
+  mutable Mutex mu_;
 
-  uint64_t next_free_extent_ = 0;
-  std::unordered_map<Oid, std::vector<uint64_t>> extents_;
-  std::unordered_map<Oid, std::unordered_map<uint32_t, int>> rewrite_counts_;
+  uint64_t next_free_extent_ GUARDED_BY(mu_) = 0;
+  std::unordered_map<Oid, std::vector<uint64_t>> extents_ GUARDED_BY(mu_);
+  std::unordered_map<Oid, std::unordered_map<uint32_t, int>> rewrite_counts_
+      GUARDED_BY(mu_);
 
-  int64_t loaded_platter_ = -1;
-  uint64_t last_optical_phys_ = 0;
-  bool has_optical_position_ = false;
-  uint64_t platter_loads_ = 0;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
-  uint64_t worm_remaps_ = 0;
+  int64_t loaded_platter_ GUARDED_BY(mu_) = -1;
+  uint64_t last_optical_phys_ GUARDED_BY(mu_) = 0;
+  bool has_optical_position_ GUARDED_BY(mu_) = false;
+  uint64_t platter_loads_ GUARDED_BY(mu_) = 0;
+  uint64_t cache_hits_ GUARDED_BY(mu_) = 0;
+  uint64_t cache_misses_ GUARDED_BY(mu_) = 0;
+  uint64_t worm_remaps_ GUARDED_BY(mu_) = 0;
 
   // LRU staging cache: list front = most recent.
-  std::vector<CacheKey> lru_;  // small cache; linear maintenance is fine
-  std::unordered_map<CacheKey, bool, CacheKeyHash> cached_;  // value: dirty
+  std::vector<CacheKey> lru_ GUARDED_BY(mu_);  // linear maintenance is fine
+  // Value: dirty.
+  std::unordered_map<CacheKey, bool, CacheKeyHash> cached_ GUARDED_BY(mu_);
 };
 
 // The switch table itself.
@@ -210,9 +225,9 @@ class DeviceSwitch {
   Status SyncAll();
 
  private:
-  mutable std::mutex mu_;
-  std::array<std::unique_ptr<DeviceManager>, kMaxDevices> devices_;
-  std::unordered_map<Oid, DeviceId> bindings_;
+  mutable Mutex mu_;
+  std::array<std::unique_ptr<DeviceManager>, kMaxDevices> devices_ GUARDED_BY(mu_);
+  std::unordered_map<Oid, DeviceId> bindings_ GUARDED_BY(mu_);
 };
 
 }  // namespace invfs

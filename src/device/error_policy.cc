@@ -13,9 +13,17 @@ ErrorPolicyDevice::ErrorPolicyDevice(std::unique_ptr<DeviceManager> inner,
   permanent_errors_ = metrics->GetCounter("device.permanent_errors", label);
 }
 
+namespace {
+// Write-path errors that trip the sticky read-only degradation: a transient
+// error that survived every retry, or a hard I/O error.
+bool TripsReadOnly(const Status& s) {
+  return s.IsTransientIo() || s.code() == ErrorCode::kIoError;
+}
+}  // namespace
+
 template <typename Op>
-Status ErrorPolicyDevice::WithRetries(Op&& op) {
-  Status s = op();
+[[gnu::noinline]] Status ErrorPolicyDevice::RetryTail(Status first, Op&& op) {
+  Status s = std::move(first);
   SimMicros backoff = policy_.backoff_us;
   for (int attempt = 0; attempt < policy_.max_retries && s.IsTransientIo();
        ++attempt) {
@@ -41,22 +49,30 @@ Status ErrorPolicyDevice::TripReadOnly(const Status& cause) {
 }
 
 Status ErrorPolicyDevice::CreateRelation(Oid rel) {
-  if (read_only()) {
+  if (read_only()) [[unlikely]] {
     return ReadOnlyError();
   }
-  Status s = WithRetries([&] { return inner_->CreateRelation(rel); });
-  if (!s.ok() && (s.IsTransientIo() || s.code() == ErrorCode::kIoError)) {
+  Status s = inner_->CreateRelation(rel);
+  if (s.ok()) [[likely]] {
+    return s;
+  }
+  s = RetryTail(std::move(s), [&] { return inner_->CreateRelation(rel); });
+  if (!s.ok() && TripsReadOnly(s)) {
     return TripReadOnly(s);
   }
   return s;
 }
 
 Status ErrorPolicyDevice::DropRelation(Oid rel) {
-  if (read_only()) {
+  if (read_only()) [[unlikely]] {
     return ReadOnlyError();
   }
-  Status s = WithRetries([&] { return inner_->DropRelation(rel); });
-  if (!s.ok() && (s.IsTransientIo() || s.code() == ErrorCode::kIoError)) {
+  Status s = inner_->DropRelation(rel);
+  if (s.ok()) [[likely]] {
+    return s;
+  }
+  s = RetryTail(std::move(s), [&] { return inner_->DropRelation(rel); });
+  if (!s.ok() && TripsReadOnly(s)) {
     return TripReadOnly(s);
   }
   return s;
@@ -66,7 +82,11 @@ Status ErrorPolicyDevice::ReadBlock(Oid rel, uint32_t block,
                                     std::span<std::byte> out) {
   // Reads are served even on a read-only device: that is the entire point of
   // the degradation (queries and recovery outlive a dying write path).
-  Status s = WithRetries([&] { return inner_->ReadBlock(rel, block, out); });
+  Status s = inner_->ReadBlock(rel, block, out);
+  if (s.ok()) [[likely]] {
+    return s;
+  }
+  s = RetryTail(std::move(s), [&] { return inner_->ReadBlock(rel, block, out); });
   if (s.IsTransientIo()) {
     // Out of retries: surface as a hard I/O error so callers do not loop.
     return Status::IoError("read failed after " +
@@ -78,14 +98,18 @@ Status ErrorPolicyDevice::ReadBlock(Oid rel, uint32_t block,
 
 Status ErrorPolicyDevice::WriteBlock(Oid rel, uint32_t block,
                                      std::span<const std::byte> data) {
-  if (read_only()) {
+  if (read_only()) [[unlikely]] {
     return ReadOnlyError();
   }
-  Status s = WithRetries([&] { return inner_->WriteBlock(rel, block, data); });
+  Status s = inner_->WriteBlock(rel, block, data);
+  if (s.ok()) [[likely]] {
+    return s;
+  }
+  s = RetryTail(std::move(s), [&] { return inner_->WriteBlock(rel, block, data); });
   if (s.ok()) {
     return s;
   }
-  if (s.IsTransientIo() || s.code() == ErrorCode::kIoError) {
+  if (TripsReadOnly(s)) {
     return TripReadOnly(s);
   }
   return s;  // logical errors (bad block, missing relation) pass through
@@ -97,8 +121,12 @@ Status ErrorPolicyDevice::Sync() {
     // landed is a no-op rather than an error, so shutdown paths stay clean.
     return Status::Ok();
   }
-  Status s = WithRetries([&] { return inner_->Sync(); });
-  if (!s.ok() && (s.IsTransientIo() || s.code() == ErrorCode::kIoError)) {
+  Status s = inner_->Sync();
+  if (s.ok()) [[likely]] {
+    return s;
+  }
+  s = RetryTail(std::move(s), [&] { return inner_->Sync(); });
+  if (!s.ok() && TripsReadOnly(s)) {
     return TripReadOnly(s);
   }
   return s;

@@ -66,9 +66,12 @@ class ErrorPolicyDevice final : public DeviceManager {
   bool read_only() const { return read_only_.load(std::memory_order_acquire); }
 
  private:
-  // Run `op` with the transient-retry loop. Does not touch read-only state.
+  // Cold continuation of the retry loop: `first` is the already-failed status
+  // of the initial attempt. The hot path calls the inner device directly and
+  // only falls in here on error, so an unarmed production stack pays one
+  // atomic load and one branch per I/O over the bare device.
   template <typename Op>
-  Status WithRetries(Op&& op);
+  Status RetryTail(Status first, Op&& op);
   Status ReadOnlyError() const;
   // Trip read-only (once) and convert `cause` into the kReadOnlyDevice
   // status writers see from now on.

@@ -8,14 +8,14 @@ CrashPointRegistry& CrashPointRegistry::Instance() {
 }
 
 void CrashPointRegistry::StartRecording() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   recording_ = true;
   counts_.clear();
   UpdateActiveLocked();
 }
 
 std::map<std::string, uint64_t> CrashPointRegistry::StopRecording() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   recording_ = false;
   UpdateActiveLocked();
   return std::move(counts_);
@@ -23,7 +23,7 @@ std::map<std::string, uint64_t> CrashPointRegistry::StopRecording() {
 
 void CrashPointRegistry::Arm(std::string point, uint64_t occurrence,
                              std::function<void()> on_crash) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   armed_point_ = std::move(point);
   armed_occurrence_ = occurrence == 0 ? 1 : occurrence;
   armed_hits_ = 0;
@@ -33,7 +33,7 @@ void CrashPointRegistry::Arm(std::string point, uint64_t occurrence,
 }
 
 void CrashPointRegistry::Disarm() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   recording_ = false;
   counts_.clear();
   armed_point_.clear();
@@ -45,7 +45,7 @@ void CrashPointRegistry::Disarm() {
 }
 
 bool CrashPointRegistry::fired() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return fired_;
 }
 
@@ -57,7 +57,7 @@ void CrashPointRegistry::UpdateActiveLocked() {
 void CrashPointRegistry::HitSlow(std::string_view point) {
   std::function<void()> cb;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (recording_) {
       ++counts_[std::string(point)];
     }

@@ -29,9 +29,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "src/util/mutex.h"
 
 namespace invfs {
 
@@ -67,18 +68,18 @@ class CrashPointRegistry {
 
  private:
   CrashPointRegistry() = default;
-  void HitSlow(std::string_view point);
-  void UpdateActiveLocked();
+  void HitSlow(std::string_view point) EXCLUDES(mu_);
+  void UpdateActiveLocked() REQUIRES(mu_);
 
   std::atomic<bool> active_{false};
-  mutable std::mutex mu_;
-  bool recording_ = false;
-  std::map<std::string, uint64_t> counts_;
-  std::string armed_point_;
-  uint64_t armed_occurrence_ = 0;
-  uint64_t armed_hits_ = 0;
-  std::function<void()> on_crash_;
-  bool fired_ = false;
+  mutable Mutex mu_;
+  bool recording_ GUARDED_BY(mu_) = false;
+  std::map<std::string, uint64_t> counts_ GUARDED_BY(mu_);
+  std::string armed_point_ GUARDED_BY(mu_);
+  uint64_t armed_occurrence_ GUARDED_BY(mu_) = 0;
+  uint64_t armed_hits_ GUARDED_BY(mu_) = 0;
+  std::function<void()> on_crash_ GUARDED_BY(mu_);
+  bool fired_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace invfs

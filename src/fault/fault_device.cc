@@ -14,52 +14,71 @@ constexpr size_t kSectorsPerPage = kPageSize / kSectorSize;
 }  // namespace
 
 void FaultInjector::Arm(std::vector<FaultSpec> specs) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   specs_ = std::move(specs);
   consumed_.assign(specs_.size(), false);
-  arm_base_reads_ = reads_;
-  arm_base_writes_ = writes_;
+  pos_reads_ = 0;
+  pos_writes_ = 0;
+  arm_base_reads_ = reads_.load(std::memory_order_relaxed);
+  arm_base_writes_ = writes_.load(std::memory_order_relaxed);
+  if (specs_.empty()) {
+    flags_.fetch_and(static_cast<uint8_t>(~kArmedFlag),
+                     std::memory_order_release);
+  } else {
+    flags_.fetch_or(kArmedFlag, std::memory_order_release);
+  }
 }
 
 void FaultInjector::Disarm() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   specs_.clear();
   consumed_.clear();
+  flags_.fetch_and(static_cast<uint8_t>(~kArmedFlag),
+                   std::memory_order_release);
 }
 
-void FaultInjector::Crash() { crashed_.store(true, std::memory_order_release); }
+void FaultInjector::Crash() {
+  flags_.fetch_or(kCrashedFlag, std::memory_order_release);
+}
 
 uint64_t FaultInjector::total_reads() const {
-  std::lock_guard lock(mu_);
-  return reads_;
+  return reads_.load(std::memory_order_relaxed);
 }
 
 uint64_t FaultInjector::total_writes() const {
-  std::lock_guard lock(mu_);
-  return writes_;
+  return writes_.load(std::memory_order_relaxed);
 }
 
 uint64_t FaultInjector::reads_since_arm() const {
-  std::lock_guard lock(mu_);
-  return reads_ - arm_base_reads_;
+  MutexLock lock(mu_);
+  return reads_.load(std::memory_order_relaxed) - arm_base_reads_;
 }
 
 uint64_t FaultInjector::writes_since_arm() const {
-  std::lock_guard lock(mu_);
-  return writes_ - arm_base_writes_;
+  MutexLock lock(mu_);
+  return writes_.load(std::memory_order_relaxed) - arm_base_writes_;
 }
 
 uint64_t FaultInjector::faults_fired() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return faults_fired_;
 }
 
-FaultInjector::Action FaultInjector::OnOp(FaultSpec::Op op, FaultSpec* spec_out) {
-  std::lock_guard lock(mu_);
-  const uint64_t n = op == FaultSpec::Op::kRead ? ++reads_ : ++writes_;
-  const uint64_t base =
-      op == FaultSpec::Op::kRead ? arm_base_reads_ : arm_base_writes_;
-  const uint64_t since_arm = n - base;
+FaultSpec FaultInjector::TakeCorruptSpec() {
+  MutexLock lock(mu_);
+  return pending_corrupt_;
+}
+
+FaultInjector::Action FaultInjector::OnOpArmed(FaultSpec::Op op) {
+  MutexLock lock(mu_);
+  // While armed, every op lands here, so the mu_-guarded position counter is
+  // this op's exact 1-based position since Arm regardless of how lossy the
+  // stat totals are. The matching total is bumped too so reporting stays
+  // consistent with the unarmed path.
+  BumpStat(op == FaultSpec::Op::kRead ? reads_ : writes_);
+  const uint64_t since_arm =
+      op == FaultSpec::Op::kRead ? ++pos_reads_ : ++pos_writes_;
+  Action action = Action::kPass;
   for (size_t i = 0; i < specs_.size(); ++i) {
     const FaultSpec& s = specs_[i];
     if (s.op != op || s.at != since_arm) {
@@ -74,31 +93,43 @@ FaultInjector::Action FaultInjector::OnOp(FaultSpec::Op op, FaultSpec* spec_out)
       continue;
     }
     ++faults_fired_;
+    consumed_[i] = true;
     switch (s.kind) {
       case FaultSpec::Kind::kTransientError:
-        consumed_[i] = true;
-        return Action::kFailTransient;
+        action = Action::kFailTransient;
+        break;
       case FaultSpec::Kind::kPermanentError:
-        consumed_[i] = true;
-        return Action::kFailPermanent;
+        action = Action::kFailPermanent;
+        break;
       case FaultSpec::Kind::kTornWrite:
       case FaultSpec::Kind::kBitFlip:
-        consumed_[i] = true;
-        *spec_out = s;
-        return Action::kCorrupt;
+        pending_corrupt_ = s;
+        action = Action::kCorrupt;
+        break;
       case FaultSpec::Kind::kCrash:
-        consumed_[i] = true;
-        crashed_.store(true, std::memory_order_release);
-        return Action::kHalt;
+        flags_.fetch_or(kCrashedFlag, std::memory_order_release);
+        action = Action::kHalt;
+        break;
     }
+    break;
   }
-  return Action::kPass;
+  // Once every spec has fired the schedule is spent; drop back to the
+  // lock-free fast path for the rest of the run.
+  bool all_consumed = true;
+  for (bool c : consumed_) {
+    all_consumed = all_consumed && c;
+  }
+  if (all_consumed) {
+    flags_.fetch_and(static_cast<uint8_t>(~kArmedFlag),
+                     std::memory_order_release);
+  }
+  return action;
 }
 
 std::vector<std::byte> FaultInjector::CorruptImage(
     const FaultSpec& spec, std::span<const std::byte> data,
     std::span<const std::byte> old_page) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::byte> image(data.begin(), data.end());
   if (spec.kind == FaultSpec::Kind::kBitFlip) {
     const size_t bit = rng_.Uniform(image.size() * 8);
@@ -171,11 +202,9 @@ Status FaultDevice::Sync() {
 }
 
 Status FaultDevice::ReadBlock(Oid rel, uint32_t block, std::span<std::byte> out) {
-  if (injector_->crashed()) {
-    return HaltedError();
-  }
-  FaultSpec spec;
-  switch (injector_->OnOp(FaultSpec::Op::kRead, &spec)) {
+  // No crashed() pre-check: OnOp folds the halt state into its flags load and
+  // reports it as kHalt.
+  switch (injector_->OnOp(FaultSpec::Op::kRead)) {
     case FaultInjector::Action::kFailTransient:
       return Status::TransientIo(std::string(name()) +
                                  ": injected transient read error");
@@ -193,11 +222,7 @@ Status FaultDevice::ReadBlock(Oid rel, uint32_t block, std::span<std::byte> out)
 
 Status FaultDevice::WriteBlock(Oid rel, uint32_t block,
                                std::span<const std::byte> data) {
-  if (injector_->crashed()) {
-    return HaltedError();
-  }
-  FaultSpec spec;
-  switch (injector_->OnOp(FaultSpec::Op::kWrite, &spec)) {
+  switch (injector_->OnOp(FaultSpec::Op::kWrite)) {
     case FaultInjector::Action::kFailTransient:
       return Status::TransientIo(std::string(name()) +
                                  ": injected transient write error");
@@ -209,6 +234,7 @@ Status FaultDevice::WriteBlock(Oid rel, uint32_t block,
     case FaultInjector::Action::kCorrupt: {
       // Persist a damaged image but report success: the caller believes the
       // write landed, exactly as a disk with a failing head would behave.
+      const FaultSpec spec = injector_->TakeCorruptSpec();
       std::vector<std::byte> old_page(kPageSize, std::byte{0});
       INV_ASSIGN_OR_RETURN(uint32_t nblocks, inner_->NumBlocks(rel));
       if (block < nblocks) {

@@ -29,12 +29,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/device/device.h"
+#include "src/util/mutex.h"
 #include "src/util/random.h"
 #include "src/util/status.h"
 
@@ -72,7 +72,9 @@ class FaultInjector {
   // Crash points call this from their armed callback; kCrash specs call it
   // internally.
   void Crash();
-  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  bool crashed() const {
+    return (flags_.load(std::memory_order_acquire) & kCrashedFlag) != 0;
+  }
 
   // Total operations observed since construction (not reset by Arm).
   uint64_t total_reads() const;
@@ -90,23 +92,70 @@ class FaultInjector {
   // must take; for corruption kinds, fills `spec_out`.
   enum class Action : uint8_t { kPass, kFailTransient, kFailPermanent,
                                 kCorrupt, kHalt };
-  Action OnOp(FaultSpec::Op op, FaultSpec* spec_out);
+  // Unarmed fast path: armed and crashed state share one atomic flags word,
+  // so when nothing is scheduled the whole decision is a single acquire load
+  // plus a lossy stat bump — neither mu_ nor a locked read-modify-write is
+  // touched on the production-shaped path (bench_pr5 gates the stack's
+  // unarmed overhead). kHalt subsumes the old separate crashed() pre-check
+  // in the block paths. No out-parameter: a kCorrupt verdict parks its spec
+  // under mu_ for TakeCorruptSpec, keeping the fast path free of an escaped
+  // stack local.
+  Action OnOp(FaultSpec::Op op) EXCLUDES(mu_) {
+    const uint8_t flags = flags_.load(std::memory_order_acquire);
+    if (flags == 0) [[likely]] {
+      BumpStat(op == FaultSpec::Op::kRead ? reads_ : writes_);
+      return Action::kPass;
+    }
+    if ((flags & kCrashedFlag) != 0) {
+      return Action::kHalt;
+    }
+    return OnOpArmed(op);
+  }
+  // Fetch the spec parked by the kCorrupt verdict just returned to this
+  // caller. mu_ is fine here: corruption delivery is the cold path.
+  FaultSpec TakeCorruptSpec() EXCLUDES(mu_);
+  // Stat totals are deliberately a plain load+store, not fetch_add: an
+  // uncontended locked RMW costs an order of magnitude more than the rest of
+  // the fast path combined, and the totals are reporting-only (concurrent
+  // unarmed bumps may drop a count). Fault *positioning* never relies on
+  // them: while any spec is unconsumed the armed flag routes every operation
+  // through OnOpArmed, whose position counters live under mu_ and are exact.
+  static void BumpStat(std::atomic<uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  Action OnOpArmed(FaultSpec::Op op) EXCLUDES(mu_);
   // Produce the corrupted image for a torn or bit-flipped write. `old_page`
   // is the pre-write content (zero-filled when the write extends).
   std::vector<std::byte> CorruptImage(const FaultSpec& spec,
                                       std::span<const std::byte> data,
-                                      std::span<const std::byte> old_page);
+                                      std::span<const std::byte> old_page)
+      EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  Rng rng_;
-  std::vector<FaultSpec> specs_;
-  std::vector<bool> consumed_;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
-  uint64_t arm_base_reads_ = 0;
-  uint64_t arm_base_writes_ = 0;
-  uint64_t faults_fired_ = 0;
-  std::atomic<bool> crashed_{false};
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  std::vector<FaultSpec> specs_ GUARDED_BY(mu_);
+  std::vector<bool> consumed_ GUARDED_BY(mu_);
+  // Stat totals (lossy under concurrency, see BumpStat); atomics so the
+  // unarmed fast path can bump them without mu_.
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  // Exact 1-based positions of operations since the last Arm call, counted
+  // only while armed (the armed flag routes every op through OnOpArmed, so
+  // no op escapes the count until the schedule is spent). Spec matching uses
+  // these, never the lossy totals.
+  uint64_t pos_reads_ GUARDED_BY(mu_) = 0;
+  uint64_t pos_writes_ GUARDED_BY(mu_) = 0;
+  uint64_t arm_base_reads_ GUARDED_BY(mu_) = 0;
+  uint64_t arm_base_writes_ GUARDED_BY(mu_) = 0;
+  uint64_t faults_fired_ GUARDED_BY(mu_) = 0;
+  // Spec of the most recent kCorrupt verdict, awaiting TakeCorruptSpec.
+  FaultSpec pending_corrupt_ GUARDED_BY(mu_);
+  // kArmedFlag is set while any unconsumed spec remains armed (cleared by
+  // Disarm and by OnOpArmed once the last spec fires); kCrashedFlag is sticky
+  // once a halt triggers.
+  static constexpr uint8_t kArmedFlag = 1;
+  static constexpr uint8_t kCrashedFlag = 2;
+  std::atomic<uint8_t> flags_{0};
 };
 
 class FaultDevice final : public DeviceManager {

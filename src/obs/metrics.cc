@@ -55,23 +55,23 @@ const char* MetricKindName(MetricKind kind) {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name, std::string_view label) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return FindOrCreate(counters_, name, label);
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view label) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return FindOrCreate(gauges_, name, label);
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::string_view label) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return FindOrCreate(histograms_, name, label);
 }
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [key, c] : counters_) {

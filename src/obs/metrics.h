@@ -31,12 +31,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/obs/trace.h"
+#include "src/util/mutex.h"
 
 namespace invfs {
 
@@ -191,15 +191,18 @@ class MetricsRegistry {
   // Find-or-create; the returned pointer is stable for the registry's
   // lifetime, so components look up once and cache. `label` distinguishes
   // instances of the same metric (device name, log level, shard id).
-  Counter* GetCounter(std::string_view name, std::string_view label = "");
-  Gauge* GetGauge(std::string_view name, std::string_view label = "");
-  Histogram* GetHistogram(std::string_view name, std::string_view label = "");
+  Counter* GetCounter(std::string_view name, std::string_view label = "")
+      EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name, std::string_view label = "")
+      EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name, std::string_view label = "")
+      EXCLUDES(mu_);
 
   TraceRing& trace() { return trace_; }
   const TraceRing& trace() const { return trace_; }
 
   // All registered metrics, sorted by (name, label).
-  std::vector<MetricSample> Snapshot() const;
+  std::vector<MetricSample> Snapshot() const EXCLUDES(mu_);
 
   // Human-readable table / machine-readable JSON object of Snapshot().
   std::string DumpText() const;
@@ -211,10 +214,10 @@ class MetricsRegistry {
  private:
   using Key = std::pair<std::string, std::string>;  // (name, label)
 
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
   TraceRing trace_;
 };
 

@@ -14,9 +14,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
 #include "src/sim/cost_params.h"
+#include "src/util/mutex.h"
 #include "src/sim/sim_clock.h"
 
 namespace invfs {
@@ -27,8 +27,8 @@ class DiskModel {
 
   // Charge the cost of transferring one page at `block`, given the previous
   // head position. Thread-safe; the head position is shared state.
-  void ChargePageIo(uint64_t block) {
-    std::lock_guard lock(mu_);
+  void ChargePageIo(uint64_t block) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     SimMicros cost = params_.page_transfer_us;
     if (!has_position_ || block != last_block_ + 1) {
       cost += SeekCost(block) + params_.rotational_us;
@@ -46,8 +46,8 @@ class DiskModel {
   // sequential blocks pay a full rotation, because the next sync write has
   // already missed its sector by the time the caller issues it. This is the
   // cost NFS pays for statelessness when no NVRAM absorbs it.
-  void ChargeSyncPageIo(uint64_t block) {
-    std::lock_guard lock(mu_);
+  void ChargeSyncPageIo(uint64_t block) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     SimMicros cost = params_.page_transfer_us + 2 * params_.rotational_us;
     if (!has_position_ || (block != last_block_ + 1 && block != last_block_)) {
       cost += SeekCost(block);
@@ -59,15 +59,22 @@ class DiskModel {
     ++seeks_;
   }
 
-  uint64_t total_ios() const { return ios_; }
-  uint64_t total_seeks() const { return seeks_; }
-  void ResetStats() {
+  uint64_t total_ios() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return ios_;
+  }
+  uint64_t total_seeks() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return seeks_;
+  }
+  void ResetStats() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     ios_ = 0;
     seeks_ = 0;
   }
 
  private:
-  SimMicros SeekCost(uint64_t block) const {
+  SimMicros SeekCost(uint64_t block) const REQUIRES(mu_) {
     if (!has_position_) {
       return params_.seek_min_us;
     }
@@ -84,11 +91,11 @@ class DiskModel {
 
   SimClock* clock_;
   DiskParams params_;
-  std::mutex mu_;
-  uint64_t last_block_ = 0;
-  bool has_position_ = false;
-  uint64_t ios_ = 0;
-  uint64_t seeks_ = 0;
+  mutable Mutex mu_;
+  uint64_t last_block_ GUARDED_BY(mu_) = 0;
+  bool has_position_ GUARDED_BY(mu_) = false;
+  uint64_t ios_ GUARDED_BY(mu_) = 0;
+  uint64_t seeks_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace invfs

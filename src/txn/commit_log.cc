@@ -30,6 +30,9 @@ Result<std::unique_ptr<CommitLog>> CommitLog::Open(DeviceManager* device,
   if (!device->RelationExists(kCommitLogRelOid)) {
     INV_RETURN_IF_ERROR(device->CreateRelation(kCommitLogRelOid));
   }
+  // Open is single-threaded, but entries_ is guarded and a static member gets
+  // no constructor exemption from the analysis, so hold mu_ for the setup.
+  MutexLock lock(log->mu_);
   INV_RETURN_IF_ERROR(log->LoadFromDevice());
   // The bootstrap transaction is always committed at time zero.
   if (log->entries_.size() <= kBootstrapTxn) {
@@ -138,10 +141,10 @@ uint64_t CommitLog::EnqueueTransition(TxnId xid) {
   return ++enqueue_seq_;
 }
 
-Status CommitLog::WaitPersisted(std::unique_lock<std::mutex>& lock, uint64_t seq) {
+Status CommitLog::WaitPersisted(uint64_t seq) {
   while (sticky_error_.ok() && persisted_seq_ < seq) {
     if (flush_in_progress_) {
-      flush_cv_.wait(lock);
+      flush_cv_.Wait(mu_);
       continue;
     }
     // Leader: snapshot page images for every queued page under mu_, then
@@ -157,7 +160,7 @@ Status CommitLog::WaitPersisted(std::unique_lock<std::mutex>& lock, uint64_t seq
     for (uint32_t b : blocks) {
       images.push_back(BuildPageImage(b));
     }
-    lock.unlock();
+    mu_.unlock();
     CrashPointRegistry::Hit("commitlog.pre_flush");
     const auto flush_start = std::chrono::steady_clock::now();
     Status s = Status::Ok();
@@ -188,7 +191,7 @@ Status CommitLog::WaitPersisted(std::unique_lock<std::mutex>& lock, uint64_t seq
     batch_transitions_->Observe(batch_size);
     metrics_->trace().Record(TraceEvent::kGroupCommitFlush, batch_size,
                              blocks.size(), s.ok() ? 1 : 0);
-    lock.lock();
+    mu_.lock();
     persist_batches_->Add();
     if (s.ok()) {
       // Only a successful flush makes the covered transitions durable (and
@@ -200,7 +203,7 @@ Status CommitLog::WaitPersisted(std::unique_lock<std::mutex>& lock, uint64_t seq
       sticky_error_ = s;
     }
     flush_in_progress_ = false;
-    flush_cv_.notify_all();
+    flush_cv_.NotifyAll();
   }
   return FailStopLocked();
 }
@@ -215,7 +218,7 @@ Status CommitLog::FailStopLocked() const {
 }
 
 bool CommitLog::poisoned() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return !sticky_error_.ok();
 }
 
@@ -231,7 +234,7 @@ TxnStatus CommitLog::VisibleStatus(const Entry& e) const {
 }
 
 Status CommitLog::BeginTxn(TxnId xid) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   if (entries_.size() <= xid) {
     entries_.resize(xid + 1);
   }
@@ -253,11 +256,11 @@ Status CommitLog::BeginTxn(TxnId xid) {
   }
   xid_horizon_ = xid + kXidHorizonBatch;
   dirty_blocks_.insert(0);  // the horizon record lives in log page 0
-  return WaitPersisted(lock, EnqueueTransition(xid));
+  return WaitPersisted(EnqueueTransition(xid));
 }
 
 Status CommitLog::CommitTxn(TxnId xid, Timestamp commit_ts) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   if (xid >= entries_.size() || entries_[xid].status != TxnStatus::kInProgress) {
     return Status::Internal("commit of unknown xid " + std::to_string(xid));
   }
@@ -266,11 +269,11 @@ Status CommitLog::CommitTxn(TxnId xid, Timestamp commit_ts) {
   // (the leader may release mu_ mid-flush, so entries_ is observable before
   // the device write completes).
   entries_[xid] = Entry{TxnStatus::kCommitted, commit_ts, seq};
-  return WaitPersisted(lock, seq);
+  return WaitPersisted(seq);
 }
 
 Status CommitLog::CommitTxnReadOnly(TxnId xid, Timestamp commit_ts) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (xid >= entries_.size() || entries_[xid].status != TxnStatus::kInProgress) {
     return Status::Internal("commit of unknown xid " + std::to_string(xid));
   }
@@ -285,7 +288,7 @@ Status CommitLog::CommitTxnReadOnly(TxnId xid, Timestamp commit_ts) {
 }
 
 Status CommitLog::AbortTxn(TxnId xid) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (xid >= entries_.size() || entries_[xid].status != TxnStatus::kInProgress) {
     return Status::Internal("abort of unknown xid " + std::to_string(xid));
   }
@@ -297,7 +300,7 @@ Status CommitLog::AbortTxn(TxnId xid) {
 }
 
 TxnStatus CommitLog::StatusOf(TxnId xid) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (xid >= entries_.size()) {
     return TxnStatus::kUnused;
   }
@@ -305,7 +308,7 @@ TxnStatus CommitLog::StatusOf(TxnId xid) const {
 }
 
 Timestamp CommitLog::CommitTimeOf(TxnId xid) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (xid >= entries_.size() ||
       VisibleStatus(entries_[xid]) != TxnStatus::kCommitted) {
     return 0;
@@ -314,7 +317,7 @@ Timestamp CommitLog::CommitTimeOf(TxnId xid) const {
 }
 
 bool CommitLog::CommittedBefore(TxnId xid, Timestamp as_of) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (xid >= entries_.size()) {
     return false;
   }
@@ -323,7 +326,7 @@ bool CommitLog::CommittedBefore(TxnId xid, Timestamp as_of) const {
 }
 
 TxnId CommitLog::MaxTxnId() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entries_.empty() ? 0 : static_cast<TxnId>(entries_.size() - 1);
 }
 

@@ -38,15 +38,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "src/device/device.h"
 #include "src/obs/metrics.h"
 #include "src/storage/common.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
 
 namespace invfs {
@@ -139,41 +138,49 @@ class CommitLog {
   // burns at most this many unallocated xids (they recover as aborted).
   static constexpr TxnId kXidHorizonBatch = 1024;
 
-  Status LoadFromDevice();
-  // Serialize the in-memory entries of `block` into an 8 KB page. mu_ held.
-  std::vector<std::byte> BuildPageImage(uint32_t block) const;
+  // Loads entries from the device and persists recovery conversions. Runs
+  // under mu_ even though Open is single-threaded: Open is a static member,
+  // so the analysis grants it no constructor exemption for guarded fields.
+  Status LoadFromDevice() REQUIRES(mu_);
+  // Serialize the in-memory entries of `block` into an 8 KB page.
+  std::vector<std::byte> BuildPageImage(uint32_t block) const REQUIRES(mu_);
   // Write one log page, zero-extending the relation up to it. Called by the
-  // flush leader outside mu_ (flush_in_progress_ keeps leaders exclusive).
+  // flush leader outside mu_ (flush_in_progress_ keeps leaders exclusive);
+  // LoadFromDevice calls it under mu_ before any concurrency exists.
   Status WriteLogBlock(uint32_t block, const std::vector<std::byte>& image);
   // Queue `xid`'s log page for the next group flush and return the flush
-  // sequence that will cover this transition. mu_ held.
-  uint64_t EnqueueTransition(TxnId xid);
+  // sequence that will cover this transition.
+  uint64_t EnqueueTransition(TxnId xid) REQUIRES(mu_);
   // Join (or lead) group flushes until the transition with sequence `seq` is
-  // durable (or the log is poisoned); `lock` holds mu_.
-  Status WaitPersisted(std::unique_lock<std::mutex>& lock, uint64_t seq);
+  // durable (or the log is poisoned). Enters and leaves holding mu_; the
+  // flush leader drops mu_ around its device writes (flush_in_progress_
+  // keeps leaders exclusive while the mutex is down).
+  Status WaitPersisted(uint64_t seq) REQUIRES(mu_);
   // Status as transaction-visibility readers may see it: a committed entry
   // whose covering flush has not landed reads as still in progress, because
-  // a crash right now would recover it as aborted. mu_ held.
-  TxnStatus VisibleStatus(const Entry& e) const;
+  // a crash right now would recover it as aborted.
+  TxnStatus VisibleStatus(const Entry& e) const REQUIRES(mu_);
   // Ok, or the clean fail-stop error once sticky_error_ poisoned the log.
-  // mu_ held.
-  Status FailStopLocked() const;
+  Status FailStopLocked() const REQUIRES(mu_);
 
   DeviceManager* device_;
-  mutable std::mutex mu_;
-  std::condition_variable flush_cv_;
-  std::vector<Entry> entries_;  // indexed by xid
+  mutable Mutex mu_;
+  CondVar flush_cv_;
+  std::vector<Entry> entries_ GUARDED_BY(mu_);  // indexed by xid
   // Durable xid high-water mark (entry 0's timestamp field on disk). Begins
   // at or below it need no device wait; see BeginTxn.
-  TxnId xid_horizon_ = 0;
+  TxnId xid_horizon_ GUARDED_BY(mu_) = 0;
 
-  // Group-commit state (under mu_).
-  std::set<uint32_t> dirty_blocks_;   // log pages awaiting flush
-  uint64_t enqueue_seq_ = 0;          // last persist request enqueued
-  uint64_t persisted_seq_ = 0;        // all requests <= this are durable
-                                      // (advanced only on flush success)
-  bool flush_in_progress_ = false;
-  Status sticky_error_ = Status::Ok();  // first flush failure; poisons the log
+  // Group-commit state.
+  // Log pages awaiting flush.
+  std::set<uint32_t> dirty_blocks_ GUARDED_BY(mu_);
+  // Last persist request enqueued.
+  uint64_t enqueue_seq_ GUARDED_BY(mu_) = 0;
+  // All requests <= this are durable (advanced only on flush success).
+  uint64_t persisted_seq_ GUARDED_BY(mu_) = 0;
+  bool flush_in_progress_ GUARDED_BY(mu_) = false;
+  // First flush failure; poisons the log.
+  Status sticky_error_ GUARDED_BY(mu_) = Status::Ok();
 
   // log.* metrics (cached registry pointers; Counter increments are striped
   // relaxed atomics, safe under or outside mu_).

@@ -21,7 +21,7 @@ LockManager::LockManager(MetricsRegistry* metrics) {
 }
 
 void LockManager::set_debug_invariants(bool on) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   debug_invariants_ = on;
   if (!on) {
     history_.clear();
@@ -31,24 +31,24 @@ void LockManager::set_debug_invariants(bool on) {
 }
 
 bool LockManager::debug_invariants() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return debug_invariants_;
 }
 
 std::vector<LockManager::Acquisition> LockManager::AcquisitionHistory(
     TxnId txn) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = history_.find(txn);
   return it == history_.end() ? std::vector<Acquisition>{} : it->second;
 }
 
 std::vector<std::string> LockManager::violations() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return violations_;
 }
 
 void LockManager::ClearViolations() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   violations_.clear();
 }
 
@@ -82,7 +82,7 @@ std::string LockManager::DumpWaitsForLocked() const {
 }
 
 std::string LockManager::DumpWaitsFor() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return DumpWaitsForLocked();
 }
 
@@ -139,7 +139,7 @@ bool LockManager::WouldDeadlock(TxnId txn, Oid rel) const {
 }
 
 Status LockManager::Acquire(TxnId txn, Oid rel, LockMode mode) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   if (debug_invariants_ && released_.count(txn) != 0) {
     RecordViolation("2PL violation: txn " + std::to_string(txn) +
                     " acquires rel " + std::to_string(rel) +
@@ -191,7 +191,7 @@ Status LockManager::Acquire(TxnId txn, Oid rel, LockMode mode) {
                                mode == LockMode::kExclusive ? 1 : 0);
     }
     waiting_on_[txn] = rel;
-    cv_.wait(lock);
+    cv_.Wait(mu_);
     waiting_on_.erase(txn);
   }
   if (waited) {
@@ -208,7 +208,7 @@ Status LockManager::Acquire(TxnId txn, Oid rel, LockMode mode) {
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   bool held_any = false;
   for (auto it = locks_.begin(); it != locks_.end();) {
     held_any |= it->second.holders.erase(txn) != 0;
@@ -223,11 +223,11 @@ void LockManager::ReleaseAll(TxnId txn) {
     released_.insert(txn);
     history_.erase(txn);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool LockManager::Holds(TxnId txn, Oid rel, LockMode mode) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = locks_.find(rel);
   if (it == locks_.end()) {
     return false;
@@ -240,7 +240,7 @@ bool LockManager::Holds(TxnId txn, Oid rel, LockMode mode) const {
 }
 
 size_t LockManager::NumLockedRelations() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return locks_.size();
 }
 

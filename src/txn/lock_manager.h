@@ -21,15 +21,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/storage/common.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
 
 namespace invfs {
@@ -88,25 +87,24 @@ class LockManager {
   // True if `txn` may be granted `mode` on `state` right now.
   static bool Compatible(const RelLock& state, TxnId txn, LockMode mode);
   // True if a wait by `txn` on the current holders of `rel` would deadlock.
-  bool WouldDeadlock(TxnId txn, Oid rel) const;
-  // Requires mu_ held.
-  void RecordViolation(std::string what);
-  std::string DumpWaitsForLocked() const;
+  bool WouldDeadlock(TxnId txn, Oid rel) const REQUIRES(mu_);
+  void RecordViolation(std::string what) REQUIRES(mu_);
+  std::string DumpWaitsForLocked() const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<Oid, RelLock> locks_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<Oid, RelLock> locks_ GUARDED_BY(mu_);
   // txn -> relation it is currently waiting on (at most one).
-  std::map<TxnId, Oid> waiting_on_;
+  std::map<TxnId, Oid> waiting_on_ GUARDED_BY(mu_);
 
   // Debug-invariants state (all under mu_).
-  bool debug_invariants_ = false;
-  uint64_t next_seq_ = 0;
-  std::map<TxnId, std::vector<Acquisition>> history_;
+  bool debug_invariants_ GUARDED_BY(mu_) = false;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  std::map<TxnId, std::vector<Acquisition>> history_ GUARDED_BY(mu_);
   // Txns that have entered the shrinking phase (ReleaseAll ran). A later
   // Acquire under the same id is a strict-2PL violation.
-  std::set<TxnId> released_;
-  std::vector<std::string> violations_;
+  std::set<TxnId> released_ GUARDED_BY(mu_);
+  std::vector<std::string> violations_ GUARDED_BY(mu_);
 
   // lock.* metrics.
   std::unique_ptr<MetricsRegistry> owned_metrics_;

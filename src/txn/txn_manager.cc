@@ -22,7 +22,7 @@ TxnManager::TxnManager(CommitLog* log, BufferPool* buffers, LockManager* locks,
 Result<TxnId> TxnManager::Begin() {
   TxnId xid;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     xid = next_xid_++;
   }
   // Persist the start record outside mu_: concurrent Begin calls must reach
@@ -31,7 +31,7 @@ Result<TxnId> TxnManager::Begin() {
   // reused by design.)
   INV_RETURN_IF_ERROR(log_->BeginTxn(xid));
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     active_[xid] = {};
   }
   begins_->Add();
@@ -42,7 +42,7 @@ Result<TxnId> TxnManager::Begin() {
 Status TxnManager::Commit(TxnId txn) {
   std::set<Oid> touched;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = active_.find(txn);
     if (it == active_.end()) {
       return Status::TxnAborted("commit of inactive txn " + std::to_string(txn));
@@ -72,7 +72,7 @@ Status TxnManager::Commit(TxnId txn) {
 
 Status TxnManager::Abort(TxnId txn) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = active_.find(txn);
     if (it == active_.end()) {
       return Status::TxnAborted("abort of inactive txn " + std::to_string(txn));
@@ -89,12 +89,12 @@ Status TxnManager::Abort(TxnId txn) {
 }
 
 bool TxnManager::IsActive(TxnId txn) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return active_.contains(txn);
 }
 
 void TxnManager::NoteTouched(TxnId txn, Oid rel) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = active_.find(txn);
   if (it != active_.end()) {
     it->second.insert(rel);

@@ -17,7 +17,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 
 #include "src/buffer/buffer_pool.h"
@@ -25,6 +24,7 @@
 #include "src/txn/commit_log.h"
 #include "src/txn/lock_manager.h"
 #include "src/txn/snapshot.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
 
 namespace invfs {
@@ -60,9 +60,10 @@ class TxnManager {
   LockManager* locks_;
   SimClock* clock_;
 
-  mutable std::mutex mu_;
-  TxnId next_xid_;
-  std::map<TxnId, std::set<Oid>> active_;  // txn -> touched relations
+  mutable Mutex mu_;
+  TxnId next_xid_ GUARDED_BY(mu_);
+  // txn -> touched relations
+  std::map<TxnId, std::set<Oid>> active_ GUARDED_BY(mu_);
 
   // txn.* metrics.
   std::unique_ptr<MetricsRegistry> owned_metrics_;

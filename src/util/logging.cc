@@ -1,9 +1,9 @@
 #include "src/util/logging.h"
 
 #include <atomic>
-#include <mutex>
 
 #include "src/obs/metrics.h"
+#include "src/util/mutex.h"
 
 namespace invfs {
 namespace {
@@ -52,8 +52,8 @@ void LogMessage(LogLevel level, const char* file, int line, const std::string& m
   // Tag with the obs layer's per-thread id so interleaved multi-threaded runs
   // attribute lines, and serialize the write: stderr is unbuffered, so a
   // single unlocked fprintf can interleave mid-line with another thread's.
-  static std::mutex mu;
-  std::lock_guard lock(mu);
+  static Mutex mu;
+  MutexLock lock(mu);
   std::fprintf(stderr, "[%s t%llu %s:%d] %s\n", LevelName(level),
                static_cast<unsigned long long>(ThreadTag()), file, line,
                msg.c_str());

@@ -1,0 +1,82 @@
+// Annotated mutex and condition-variable wrappers.
+//
+// The engine's locking vocabulary: every mutex in src/ is an invfs::Mutex,
+// every scoped acquisition an invfs::MutexLock, every condition wait an
+// invfs::CondVar. The wrappers exist because clang's thread safety analysis
+// tracks *annotated* capabilities, and std::mutex carries no annotations —
+// locking discipline on a naked std::mutex is invisible to the analysis.
+// invfs_lint enforces adoption: outside this header, naming std::mutex (or
+// std::lock_guard / std::unique_lock / std::condition_variable) in src/ is a
+// lint error.
+//
+// Cost: identical to the std types. Mutex is a std::mutex by another name;
+// MutexLock compiles to the same code as std::lock_guard; CondVar::Wait
+// adopts the already-held native handle, so there is no condition_variable_any
+// indirection.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace invfs {
+
+// A std::mutex the thread safety analysis can see.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII scoped acquisition, the annotated std::lock_guard.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to an invfs::Mutex at each wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, waits, and re-acquires `mu` before returning.
+  // Spurious wakeups happen; callers loop on their predicate. The protocol
+  // designates exactly one mutex per wait — holding any other lock across a
+  // Wait is an invfs_lint error (rule cv-wait-extra-lock).
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the caller-held native mutex for the duration of the wait; the
+    // unique_lock is released (not unlocked) afterwards so ownership stays
+    // with the caller's scope, exactly as the annotation promises.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace invfs

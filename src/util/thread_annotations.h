@@ -1,0 +1,85 @@
+// Clang Thread Safety Analysis annotations.
+//
+// Every locking protocol in this engine — the buffer pool's io_mu_-before-
+// shard-mutex ordering, the commit log's group-commit handoff, strict 2PL in
+// the lock manager — was, until this header, enforced only at runtime: TSan
+// and the INVFS_DEBUG_INVARIANTS checks catch exactly the interleavings a
+// test happens to execute. These macros turn the protocols into compile-time
+// contracts: a clang build with -Wthread-safety proves that every GUARDED_BY
+// field is touched only under its mutex and that every REQUIRES precondition
+// is met at every call site, on every path, including the ones no test runs.
+//
+// Under compilers without the attribute (GCC builds, which are the default
+// toolchain here) the macros expand to nothing, so the annotations are
+// zero-cost documentation. scripts/check.sh's `tsa` leg runs the clang gate
+// when clang is installed; tests/compile_fail/ proves the annotations
+// actually reject misuse.
+//
+// The macro set and spellings follow the de-facto standard established by
+// abseil's thread_annotations.h, so the vocabulary matches what the analysis'
+// documentation and diagnostics use.
+
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define INVFS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define INVFS_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Declares a type to be a capability (a lockable resource). `x` names the
+// kind in diagnostics, e.g. CAPABILITY("mutex").
+#define CAPABILITY(x) INVFS_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII type whose constructor acquires and destructor releases a
+// capability (MutexLock).
+#define SCOPED_CAPABILITY INVFS_THREAD_ANNOTATION(scoped_lockable)
+
+// Field may only be read or written while holding the given capability.
+#define GUARDED_BY(x) INVFS_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer field: the *pointee* may only be dereferenced under the capability.
+#define PT_GUARDED_BY(x) INVFS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-ordering declarations. NOTE: clang only enforces these under the
+// opt-in -Wthread-safety-beta group; without it they are checked for
+// well-formedness and serve as machine-readable ordering documentation
+// (invfs_lint enforces the orderings the analysis cannot).
+#define ACQUIRED_BEFORE(...) INVFS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) INVFS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function precondition: the listed capabilities must be held on entry (and
+// are still held on exit).
+#define REQUIRES(...) INVFS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  INVFS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability and holds it past return.
+#define ACQUIRE(...) INVFS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  INVFS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+// Function releases a capability the caller held on entry.
+#define RELEASE(...) INVFS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  INVFS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  INVFS_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+// Function must NOT be called while holding the capability (non-reentrant
+// monitor entry points; prevents self-deadlock).
+#define EXCLUDES(...) INVFS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (tells the analysis so).
+#define ASSERT_CAPABILITY(x) INVFS_THREAD_ANNOTATION(assert_capability(x))
+
+// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) INVFS_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: the function is exempt from analysis. Used only where the
+// analysis cannot express a correct pattern (e.g. acquiring a variable-length
+// set of shard mutexes in a loop); every use carries a justifying comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  INVFS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,31 @@
+// compile-fail case: calling an EXCLUDES(mu_) function while holding mu_
+// (self-deadlock on a non-recursive mutex) must be rejected by
+// -Werror=thread-safety.
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+class Stats {
+ public:
+  uint64_t Total() EXCLUDES(mu_) {
+    invfs::MutexLock lock(mu_);
+    return a_ + b_;
+  }
+
+  uint64_t Deadlock() {
+    invfs::MutexLock lock(mu_);
+    return Total();  // Total EXCLUDES(mu_) but mu_ is held: TSA error
+  }
+
+ private:
+  invfs::Mutex mu_;
+  uint64_t a_ GUARDED_BY(mu_) = 0;
+  uint64_t b_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::Stats s;
+  return static_cast<int>(s.Deadlock());
+}

@@ -1,0 +1,21 @@
+// compile-fail case: reading a GUARDED_BY field without holding its mutex
+// must be rejected by -Werror=thread-safety.
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  int Racy() { return n_; }  // no lock: TSA error
+
+ private:
+  invfs::Mutex mu_;
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::Counter c;
+  return c.Racy();
+}

@@ -1,0 +1,26 @@
+// compile-fail case: locking a mutex and returning without releasing it must
+// be rejected by -Werror=thread-safety (capability held at end of function).
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+class Leaky {
+ public:
+  void LockAndLeak() {
+    mu_.lock();
+    ++n_;
+    // missing mu_.unlock(): TSA error
+  }
+
+ private:
+  invfs::Mutex mu_;
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::Leaky l;
+  l.LockAndLeak();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Positive control: fully annotated, correctly locked code. Must compile
+// cleanly under -Werror=thread-safety — proves the harness flags real
+// violations, not the annotation vocabulary itself.
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Bump() EXCLUDES(mu_) {
+    invfs::MutexLock lock(mu_);
+    BumpLocked();
+  }
+
+  int Get() const EXCLUDES(mu_) {
+    invfs::MutexLock lock(mu_);
+    return n_;
+  }
+
+ private:
+  void BumpLocked() REQUIRES(mu_) { ++n_; }
+
+  mutable invfs::Mutex mu_;
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::Counter c;
+  c.Bump();
+  return c.Get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+// compile-fail case: calling a REQUIRES(mu_) function without holding the
+// mutex must be rejected by -Werror=thread-safety.
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+class Log {
+ public:
+  void Append() { AppendLocked(); }  // caller holds nothing: TSA error
+
+ private:
+  void AppendLocked() REQUIRES(mu_) { ++entries_; }
+
+  invfs::Mutex mu_;
+  int entries_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::Log log;
+  log.Append();
+  return 0;
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Compile-fail harness for the thread safety annotations.
+#
+#   run_case.sh <repo-root> <case.cc> {fail|pass}
+#
+# `fail` cases must die with a -Wthread-safety diagnostic (any other compile
+# error is a broken fixture, reported as failure); `pass` cases must compile
+# clean. The analysis only exists in clang, so without clang++ on PATH every
+# case exits 77 — ctest's skip code — rather than silently passing.
+set -u
+
+root="$1"
+src="$2"
+expect="$3"
+CXX="${INVFS_CLANGXX:-clang++}"
+
+if ! command -v "$CXX" >/dev/null 2>&1; then
+  echo "SKIP: $CXX not found (thread safety analysis requires clang)" >&2
+  exit 77
+fi
+
+out=$("$CXX" -std=c++20 -fsyntax-only -I"$root" \
+      -Wthread-safety -Werror=thread-safety "$src" 2>&1)
+status=$?
+
+case "$expect" in
+  pass)
+    if [ $status -eq 0 ]; then
+      exit 0
+    fi
+    echo "FAIL: expected $src to compile clean:" >&2
+    echo "$out" >&2
+    exit 1
+    ;;
+  fail)
+    if [ $status -ne 0 ] && echo "$out" | grep -q "thread-safety"; then
+      exit 0
+    fi
+    echo "FAIL: expected a thread-safety error from $src (status=$status):" >&2
+    echo "$out" >&2
+    exit 1
+    ;;
+  *)
+    echo "usage: run_case.sh <repo-root> <case.cc> {fail|pass}" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,12 @@
+// invfs_lint fixture: MUST trip [crash-point-placement] twice: the name is
+// not in the catalog AND this file is not a write-boundary file. Never
+// compiled.
+#include "src/fault/crash_points.h"
+
+namespace fixture {
+
+void NotAWriteBoundary() {
+  invfs::CrashPointRegistry::Hit("totally.made_up_point");
+}
+
+}  // namespace fixture

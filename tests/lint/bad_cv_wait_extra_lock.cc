@@ -1,0 +1,22 @@
+// invfs_lint fixture: MUST trip [cv-wait-extra-lock]. Never compiled.
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+class Queue {
+ public:
+  void Bad() {
+    invfs::MutexLock outer(other_mu_);
+    invfs::MutexLock lock(mu_);
+    // Wait releases only mu_; other_mu_ stays held across the sleep, starving
+    // whoever must acquire it to make the predicate true.
+    cv_.Wait(mu_);
+  }
+
+ private:
+  invfs::Mutex other_mu_;
+  invfs::Mutex mu_;
+  invfs::CondVar cv_;
+};
+
+}  // namespace fixture

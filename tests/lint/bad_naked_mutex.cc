@@ -1,0 +1,19 @@
+// invfs_lint fixture: MUST trip [naked-mutex]. Never compiled — this file is
+// input to the linter only (see lint_detects_naked_mutex in tests/CMakeLists).
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;  // invisible to thread safety analysis: forbidden
+  int n_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// invfs_lint fixture: MUST trip [shard-lock-io]. Never compiled.
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+struct Shard {
+  invfs::Mutex mu;
+};
+
+class Pool {
+ public:
+  void Bad(Shard& s) {
+    invfs::MutexLock shard_lock(s.mu);
+    // Device I/O while a shard mutex is held: inverts the io_mu_-before-shard
+    // lock order and blocks the hit path on a disk.
+    WriteBlock(1, 0);
+  }
+
+  void WriteBlock(int rel, int block);
+};
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// invfs_lint fixture: must pass all rules clean (positive control proving the
+// linter does not flag idiomatic code). Never compiled.
+#include "src/util/mutex.h"
+
+namespace fixture {
+
+struct Shard {
+  invfs::Mutex mu;
+  int hits GUARDED_BY(mu) = 0;
+};
+
+class Pool {
+ public:
+  // Shard-locked section touches only in-memory state; I/O happens after the
+  // scope closes.
+  void Good(Shard& s) {
+    {
+      invfs::MutexLock shard_lock(s.mu);
+      ++s.hits;
+    }
+    WriteBlock(1, 0);
+  }
+
+  // Single designated mutex around the wait.
+  void GoodWait() {
+    invfs::MutexLock lock(mu_);
+    cv_.Wait(mu_);
+  }
+
+  void WriteBlock(int rel, int block);
+
+ private:
+  invfs::Mutex mu_;
+  invfs::CondVar cv_;
+};
+
+// The suppression comment waives a rule at a documented site.
+inline void SuppressedIo(Shard& s, Pool& p) {
+  invfs::MutexLock shard_lock(s.mu);
+  p.WriteBlock(2, 1);  // invfs-lint: allow(shard-lock-io)
+}
+
+}  // namespace fixture
