@@ -6,6 +6,7 @@
 #include "src/access/btree.h"
 #include "src/buffer/buffer_pool.h"
 #include "src/harness/worlds.h"
+#include "src/obs/span.h"
 #include "src/util/lzss.h"
 #include "src/util/random.h"
 
@@ -110,6 +111,19 @@ void BM_BufferHit(benchmark::State& state) {
   state.counters["hits"] = static_cast<double>(pool.hits());
 }
 BENCHMARK(BM_BufferHit);
+
+// Raw cost of one span begin/end pair (two TLS reads/writes, a clock read,
+// ten relaxed stores). Not gated — the gated numbers are BM_BufferHit and
+// BM_FileWriteRead — but useful for sizing new instrumentation points.
+void BM_ScopedSpan(benchmark::State& state) {
+  SpanRing ring;
+  for (auto s : state) {
+    ScopedSpan span(&ring, "bench.span", 1, 2);
+    benchmark::DoNotOptimize(span);
+  }
+  state.counters["recorded"] = static_cast<double>(ring.TotalRecorded());
+}
+BENCHMARK(BM_ScopedSpan);
 
 void BM_PostquelParseExecute(benchmark::State& state) {
   WorldOptions options;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/fault/crash_points.h"
+#include "src/obs/span.h"
 
 namespace invfs {
 
@@ -156,6 +157,7 @@ Result<uint32_t> BufferPool::NumBlocks(Oid rel) {
 }
 
 Result<size_t> BufferPool::EvictOne() {
+  ScopedSpan span(&metrics_->spans(), "buffer.evict");
   // Clock sweep with second chance. Two full revolutions clear every
   // reference bit; the third catches frames unpinned mid-sweep. Pin counts
   // are rechecked under the victim's shard mutex, because that mutex is what
@@ -202,6 +204,8 @@ Result<size_t> BufferPool::EvictOne() {
 
 Status BufferPool::WriteFrame(size_t frame) {
   Frame& f = frames_[frame];
+  ScopedSpan span(&metrics_->spans(), "buffer.write_back", f.tag.rel,
+                  f.tag.block);
   INV_ASSIGN_OR_RETURN(DeviceManager * mgr, devices_->ManagerFor(f.tag.rel));
   INV_ASSIGN_OR_RETURN(uint32_t dev_size, mgr->NumBlocks(f.tag.rel));
   // Devices cannot hold holes: if this block extends past the device's
@@ -289,9 +293,11 @@ Result<PageRef> BufferPool::Pin(Oid rel, uint32_t block) {
       return PageRef(this, it->second, f.data.get(), LocalPinCounter());
     }
   }
-  // Misses leave the hot path, so the trace record's cost is invisible.
+  // Misses leave the hot path, so the trace record's cost is invisible. The
+  // span covers the whole miss: io_mu_ queueing, eviction, and the read.
   misses_->Add();
   metrics_->trace().Record(TraceEvent::kPageMiss, rel, block);
+  ScopedSpan span(&metrics_->spans(), "buffer.miss", rel, block);
   MutexLock lock(io_mu_);
   {
     // Another thread may have completed the same miss while we waited.

@@ -18,6 +18,7 @@
 #include "src/catalog/catalog.h"
 #include "src/device/error_policy.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/sim/cost_params.h"
 #include "src/sim/sim_clock.h"
 #include "src/txn/txn_manager.h"
@@ -62,6 +63,14 @@ struct DatabaseOptions {
   // Policy(Instrumented(Fault(real))), so retries are visible to the
   // instrumentation). Caller-owned; must outlive the Database.
   FaultInjector* fault_injector = nullptr;
+  // Capacities of the per-registry event and span rings (rounded up to a
+  // power of two). Sizing is a retention/memory tradeoff only; recording
+  // cost is capacity-independent.
+  size_t trace_ring_capacity = TraceRing::kDefaultCapacity;
+  size_t span_ring_capacity = SpanRing::kDefaultCapacity;
+  // Declared latency objectives, evaluated against the op.latency_us
+  // histograms (invfs_stats --slo, the invfs_slo relation).
+  std::vector<SloTarget> slo_targets = DefaultSloTargets();
 };
 
 class Database {

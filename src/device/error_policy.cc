@@ -2,12 +2,17 @@
 
 #include <algorithm>
 
+#include "src/obs/span.h"
+
 namespace invfs {
 
 ErrorPolicyDevice::ErrorPolicyDevice(std::unique_ptr<DeviceManager> inner,
                                      SimClock* clock, DeviceErrorPolicy policy,
                                      MetricsRegistry* metrics)
-    : inner_(std::move(inner)), clock_(clock), policy_(policy) {
+    : inner_(std::move(inner)),
+      clock_(clock),
+      policy_(policy),
+      metrics_(metrics) {
   const std::string_view label = inner_->name();
   retries_ = metrics->GetCounter("device.retries", label);
   permanent_errors_ = metrics->GetCounter("device.permanent_errors", label);
@@ -23,14 +28,21 @@ bool TripsReadOnly(const Status& s) {
 
 template <typename Op>
 [[gnu::noinline]] Status ErrorPolicyDevice::RetryTail(Status first, Op&& op) {
+  // Retry/backoff stalls land on the request that suffered them: the span
+  // nests under whatever device.* span is open, so --breakdown attributes
+  // fault-layer time instead of mislabeling it as plain device I/O.
+  ScopedSpan span(&metrics_->spans(), "device.retry");
   Status s = std::move(first);
   SimMicros backoff = policy_.backoff_us;
   for (int attempt = 0; attempt < policy_.max_retries && s.IsTransientIo();
        ++attempt) {
     clock_->Advance(backoff);
+    metrics_->trace().Record(TraceEvent::kDeviceRetry,
+                             static_cast<uint64_t>(attempt + 1), backoff);
     backoff = std::min(backoff * 2, policy_.max_backoff_us);
     retries_->Add();
     s = op();
+    span.set_a(static_cast<uint64_t>(attempt + 1));
   }
   return s;
 }
@@ -43,6 +55,8 @@ Status ErrorPolicyDevice::ReadOnlyError() const {
 Status ErrorPolicyDevice::TripReadOnly(const Status& cause) {
   if (!read_only_.exchange(true, std::memory_order_acq_rel)) {
     permanent_errors_->Add();
+    metrics_->trace().Record(TraceEvent::kDeviceReadOnlyTrip,
+                             static_cast<uint64_t>(cause.code()));
   }
   return Status::ReadOnlyDevice("device '" + std::string(name()) +
                                 "' tripped read-only: " + cause.ToString());

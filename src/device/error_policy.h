@@ -81,6 +81,7 @@ class ErrorPolicyDevice final : public DeviceManager {
   SimClock* clock_;
   DeviceErrorPolicy policy_;
   std::atomic<bool> read_only_{false};
+  MetricsRegistry* metrics_;
   Counter* retries_;
   Counter* permanent_errors_;
 };

@@ -36,6 +36,11 @@ class InstrumentedDevice final : public DeviceManager {
     write_bytes_ = metrics->GetCounter("device.write_bytes", label);
     read_us_ = metrics->GetHistogram("device.read_us", label);
     write_us_ = metrics->GetHistogram("device.write_us", label);
+    spans_ = &metrics->spans();
+    read_span_name_ =
+        InternSpanName("device.read." + std::string(label));
+    write_span_name_ =
+        InternSpanName("device.write." + std::string(label));
   }
 
   std::string_view name() const override { return inner_->name(); }
@@ -45,6 +50,7 @@ class InstrumentedDevice final : public DeviceManager {
   Result<uint32_t> NumBlocks(Oid rel) const override { return inner_->NumBlocks(rel); }
 
   Status ReadBlock(Oid rel, uint32_t block, std::span<std::byte> out) override {
+    ScopedSpan span(spans_, read_span_name_, rel, block);
     const SimMicros start = clock_->Peek();
     Status s = inner_->ReadBlock(rel, block, out);
     reads_->Add();
@@ -55,6 +61,7 @@ class InstrumentedDevice final : public DeviceManager {
 
   Status WriteBlock(Oid rel, uint32_t block,
                     std::span<const std::byte> data) override {
+    ScopedSpan span(spans_, write_span_name_, rel, block);
     const SimMicros start = clock_->Peek();
     Status s = inner_->WriteBlock(rel, block, data);
     writes_->Add();
@@ -76,6 +83,9 @@ class InstrumentedDevice final : public DeviceManager {
   Counter* write_bytes_;
   Histogram* read_us_;
   Histogram* write_us_;
+  SpanRing* spans_;
+  const char* read_span_name_;
+  const char* write_span_name_;
 };
 
 }  // namespace invfs

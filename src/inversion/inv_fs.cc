@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/span.h"
 #include "src/util/lzss.h"
 
 namespace invfs {
@@ -80,6 +81,14 @@ InversionFs::InversionFs(Database* db, InvOptions options)
     return vacuum_->VacuumTable(txn, info).status();
   };
   executor_ = std::make_unique<Executor>(db_, &registry_, std::move(hooks));
+  MetricsRegistry& metrics = db_->metrics();
+  spans_ = &metrics.spans();
+  lat_open_ = metrics.GetHistogram("op.latency_us", "p_open");
+  lat_creat_ = metrics.GetHistogram("op.latency_us", "p_creat");
+  lat_read_ = metrics.GetHistogram("op.latency_us", "p_read");
+  lat_write_ = metrics.GetHistogram("op.latency_us", "p_write");
+  lat_commit_ = metrics.GetHistogram("op.latency_us", "p_commit");
+  lat_query_ = metrics.GetHistogram("op.latency_us", "query");
 }
 
 InversionFs::~InversionFs() = default;
@@ -401,8 +410,11 @@ Result<std::vector<std::byte>> InversionFs::ReadWholeFile(Oid file,
 // ------------------------------------------------------------------ services
 
 Result<ResultSet> InversionFs::Query(std::string_view text, InvSession* session) {
+  ScopedSpan span(spans_, "query");
   if (session != nullptr && session->in_txn()) {
-    return executor_->ExecuteQuery(text, session->txn());
+    auto result = executor_->ExecuteQuery(text, session->txn());
+    lat_query_->Observe(span.ElapsedMicros());
+    return result;
   }
   INV_ASSIGN_OR_RETURN(TxnId txn, db_->Begin());
   auto result = executor_->ExecuteQuery(text, txn);
@@ -411,6 +423,7 @@ Result<ResultSet> InversionFs::Query(std::string_view text, InvSession* session)
   } else {
     (void)db_->Abort(txn);
   }
+  lat_query_->Observe(span.ElapsedMicros());
   return result;
 }
 

@@ -185,6 +185,17 @@ class InversionFs {
   Oid root_oid_ = kInvalidOid;
   Oid dir_type_oid_ = kInvalidOid;
   Oid file_type_oid_ = kInvalidOid;
+
+  // Request-tracing plumbing, cached at construction so the p_* entry points
+  // never touch the registry maps: the database's span ring plus one
+  // op.latency_us histogram per op class the SLO module evaluates.
+  SpanRing* spans_ = nullptr;
+  Histogram* lat_open_ = nullptr;
+  Histogram* lat_creat_ = nullptr;
+  Histogram* lat_read_ = nullptr;
+  Histogram* lat_write_ = nullptr;
+  Histogram* lat_commit_ = nullptr;
+  Histogram* lat_query_ = nullptr;
 };
 
 // One client of the file system: at most one open transaction, a table of

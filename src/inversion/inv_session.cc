@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/inversion/inv_fs.h"
+#include "src/obs/span.h"
 #include "src/util/lzss.h"
 
 namespace invfs {
@@ -65,6 +66,7 @@ void InvSession::DiscardVolatile() {
 // ------------------------------------------------------------- transactions
 
 Status InvSession::p_begin() {
+  ScopedSpan span(fs_->spans_, "p_begin");
   if (txn_ != kInvalidTxn) {
     return Status::InvalidArgument(
         "transaction already active (nested transactions are not supported)");
@@ -74,6 +76,7 @@ Status InvSession::p_begin() {
 }
 
 Status InvSession::p_commit() {
+  ScopedSpan span(fs_->spans_, "p_commit");
   if (txn_ == kInvalidTxn) {
     return Status::InvalidArgument("no transaction active");
   }
@@ -84,10 +87,13 @@ Status InvSession::p_commit() {
   }
   const TxnId txn = txn_;
   txn_ = kInvalidTxn;
-  return fs_->db().Commit(txn);
+  Status status = fs_->db().Commit(txn);
+  fs_->lat_commit_->Observe(span.ElapsedMicros());
+  return status;
 }
 
 Status InvSession::p_abort() {
+  ScopedSpan span(fs_->spans_, "p_abort");
   if (txn_ == kInvalidTxn) {
     return Status::InvalidArgument("no transaction active");
   }
@@ -118,7 +124,8 @@ Status InvSession::FlushAllHandles(TxnId txn) {
 // --------------------------------------------------------------------- files
 
 Result<int> InvSession::p_creat(const std::string& path, CreatOptions options) {
-  return WithTxn([&](TxnId txn) -> Result<int> {
+  ScopedSpan span(fs_->spans_, "p_creat");
+  auto result = WithTxn([&](TxnId txn) -> Result<int> {
     const Snapshot snap = fs_->db().SnapshotFor(txn);
     INV_ASSIGN_OR_RETURN(auto split, SplitParentPath(path));
     INV_ASSIGN_OR_RETURN(Oid parent, fs_->ResolvePath(split.first, snap));
@@ -190,11 +197,14 @@ Result<int> InvSession::p_creat(const std::string& path, CreatOptions options) {
     fds_[fd] = std::move(h);
     return fd;
   });
+  fs_->lat_creat_->Observe(span.ElapsedMicros());
+  return result;
 }
 
 Result<int> InvSession::p_open(const std::string& path, OpenMode mode,
                                Timestamp as_of) {
-  return WithTxn([&](TxnId txn) -> Result<int> {
+  ScopedSpan span(fs_->spans_, "p_open");
+  auto result = WithTxn([&](TxnId txn) -> Result<int> {
     const bool historical = as_of != kTimestampNow;
     if (historical && mode == OpenMode::kWrite) {
       // "Historical files may not be opened for writing."
@@ -238,6 +248,8 @@ Result<int> InvSession::p_open(const std::string& path, OpenMode mode,
     fds_[fd] = std::move(h);
     return fd;
   });
+  fs_->lat_open_->Observe(span.ElapsedMicros());
+  return result;
 }
 
 Status InvSession::CloseInternal(int fd, TxnId txn) {
@@ -249,6 +261,7 @@ Status InvSession::CloseInternal(int fd, TxnId txn) {
 }
 
 Status InvSession::p_close(int fd) {
+  ScopedSpan span(fs_->spans_, "p_close");
   return WithTxn([&](TxnId txn) { return CloseInternal(fd, txn); });
 }
 
@@ -295,6 +308,10 @@ int64_t InvSession::ChunkValidBytes(int64_t size, int64_t chunkno) {
 
 Result<std::optional<std::pair<Tid, Blob>>> InvSession::FetchChunk(
     const Handle& h, int64_t chunkno, const Snapshot& snap) {
+  // Covers the whole chunk lookup — index descent, heap fetch, decompression
+  // — so an entry point's self-time shrinks to offset arithmetic.
+  ScopedSpan span(fs_->spans_, "file.fetch_chunk", h.file,
+                  static_cast<uint64_t>(chunkno));
   auto decode = [&](const Row& row, Tid tid)
       -> Result<std::optional<std::pair<Tid, Blob>>> {
     // Self-identifying record check (media corruption defense).
@@ -369,6 +386,8 @@ Status InvSession::FlushChunk(Handle& h, TxnId txn) {
   if (!h.buffer_dirty) {
     return Status::Ok();
   }
+  ScopedSpan span(fs_->spans_, "file.flush_chunk", h.file,
+                  static_cast<uint64_t>(h.buffered_chunk));
   const int64_t chunkno = h.buffered_chunk;
   const int64_t valid = std::max(h.buffer_len, ChunkValidBytes(h.size, chunkno));
   Blob content(h.buffer.begin(), h.buffer.begin() + valid);
@@ -530,8 +549,9 @@ Result<int64_t> InvSession::WriteAt(Handle& h, TxnId txn, int64_t offset,
 }
 
 Result<int64_t> InvSession::p_read(int fd, std::span<std::byte> buf) {
+  ScopedSpan span(fs_->spans_, "p_read");
   INV_ASSIGN_OR_RETURN(Handle * h, GetHandle(fd));
-  return WithTxn([&](TxnId txn) -> Result<int64_t> {
+  auto result = WithTxn([&](TxnId txn) -> Result<int64_t> {
     if (!h->historical) {
       INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, h->chunk_table, LockMode::kShared));
     }
@@ -539,20 +559,26 @@ Result<int64_t> InvSession::p_read(int fd, std::span<std::byte> buf) {
     h->offset += n;
     return n;
   });
+  fs_->lat_read_->Observe(span.ElapsedMicros());
+  return result;
 }
 
 Result<int64_t> InvSession::p_write(int fd, std::span<const std::byte> buf) {
+  ScopedSpan span(fs_->spans_, "p_write");
   INV_ASSIGN_OR_RETURN(Handle * h, GetHandle(fd));
-  return WithTxn([&](TxnId txn) -> Result<int64_t> {
+  auto result = WithTxn([&](TxnId txn) -> Result<int64_t> {
     INV_ASSIGN_OR_RETURN(int64_t n, WriteAt(*h, txn, h->offset, buf));
     h->offset += n;
     return n;
   });
+  fs_->lat_write_->Observe(span.ElapsedMicros());
+  return result;
 }
 
 // ----------------------------------------------------------------- namespace
 
 Status InvSession::mkdir(const std::string& path) {
+  ScopedSpan span(fs_->spans_, "mkdir");
   return WithTxn([&](TxnId txn) -> Status {
     const Snapshot snap = fs_->db().SnapshotFor(txn);
     INV_ASSIGN_OR_RETURN(auto split, SplitParentPath(path));
@@ -587,6 +613,7 @@ Status InvSession::mkdir(const std::string& path) {
 }
 
 Status InvSession::unlink(const std::string& path) {
+  ScopedSpan span(fs_->spans_, "unlink");
   return WithTxn([&](TxnId txn) -> Status {
     const Snapshot snap = fs_->db().SnapshotFor(txn);
     INV_ASSIGN_OR_RETURN(auto split, SplitParentPath(path));
@@ -618,6 +645,7 @@ Status InvSession::unlink(const std::string& path) {
 }
 
 Status InvSession::rename(const std::string& from, const std::string& to) {
+  ScopedSpan span(fs_->spans_, "rename");
   return WithTxn([&](TxnId txn) -> Status {
     const Snapshot snap = fs_->db().SnapshotFor(txn);
     INV_ASSIGN_OR_RETURN(auto from_split, SplitParentPath(from));
@@ -643,6 +671,7 @@ Status InvSession::rename(const std::string& from, const std::string& to) {
 }
 
 Result<FileStat> InvSession::stat(const std::string& path, Timestamp as_of) {
+  ScopedSpan span(fs_->spans_, "stat");
   return WithTxn([&](TxnId txn) -> Result<FileStat> {
     const Snapshot snap = as_of != kTimestampNow ? fs_->db().SnapshotAt(as_of)
                                                  : fs_->db().SnapshotFor(txn);
@@ -652,6 +681,7 @@ Result<FileStat> InvSession::stat(const std::string& path, Timestamp as_of) {
 
 Result<std::vector<DirEntry>> InvSession::readdir(const std::string& path,
                                                   Timestamp as_of) {
+  ScopedSpan span(fs_->spans_, "readdir");
   return WithTxn([&](TxnId txn) -> Result<std::vector<DirEntry>> {
     const Snapshot snap = as_of != kTimestampNow ? fs_->db().SnapshotAt(as_of)
                                                  : fs_->db().SnapshotFor(txn);

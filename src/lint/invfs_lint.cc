@@ -1,7 +1,7 @@
 // invfs_lint: project-specific concurrency-invariant checker.
 //
 // Clang's thread safety analysis proves that guarded fields are accessed
-// under their locks, but four invariants of this engine live outside its
+// under their locks, but five invariants of this engine live outside its
 // vocabulary; this tool enforces them with a token-level scan so the check
 // runs on every toolchain (it needs no clang and no compile database):
 //
@@ -34,6 +34,14 @@
 //                        buffer_pool.cc, heap.cc, btree.cc); a typo'd name
 //                        or a Hit in random code silently shrinks or
 //                        distorts the torture sweep.
+//
+//   span-raii            Outside src/obs/span.{h,cc}, spans begin and end
+//                        only through the ScopedSpan RAII helper. A raw
+//                        RecordSpan() call can publish a record with no
+//                        matching context save/restore, and touching the
+//                        thread-local ids (t_trace_id/t_span_id) directly
+//                        can corrupt the current-span context for every
+//                        span opened later on that thread.
 //
 // Suppression: a comment `invfs-lint: allow(<rule>)` on the same line (or
 // the line above) waives that rule for that line. Fixture mode for the lint
@@ -103,6 +111,13 @@ bool IsMutexWrapperFile(const std::string& path) {
 
 bool IsCrashPointHeader(const std::string& path) {
   return path.find("crash_points.h") != std::string::npos;
+}
+
+// Files exempt from span-raii: the span layer itself, where RecordSpan and
+// the thread-local context are defined and maintained.
+bool IsSpanFile(const std::string& path) {
+  return path.find("obs/span.h") != std::string::npos ||
+         path.find("obs/span.cc") != std::string::npos;
 }
 
 // Scans one file into tokens, recording `invfs-lint: allow(rule)` comment
@@ -379,6 +394,19 @@ class Linter {
                      std::to_string(locks[locks.size() - 2].line) +
                      "); Wait releases only its designated mutex");
         }
+      }
+
+      // --- span-raii -----------------------------------------------------
+      if (t.text == "RecordSpan" && punct(i + 1, "(") && !IsSpanFile(path)) {
+        report(t.line, "span-raii",
+               "RecordSpan() outside src/obs/span.{h,cc}; begin/end spans "
+               "only through the ScopedSpan RAII helper");
+      }
+      if ((t.text == "t_trace_id" || t.text == "t_span_id") &&
+          !IsSpanFile(path)) {
+        report(t.line, "span-raii",
+               t.text + " (the span layer's thread-local context) touched "
+                        "outside src/obs/span.{h,cc}; use ScopedSpan");
       }
 
       // --- crash-point-placement ----------------------------------------

@@ -2,6 +2,8 @@
 
 #include <cerrno>
 
+#include "src/obs/span.h"
+
 namespace invfs {
 
 int NfsErrnoFor(const Status& status) {
@@ -72,6 +74,7 @@ Result<std::pair<std::string, Timestamp>> InvNfsGateway::ParseTimePath(
 
 Result<int> InvNfsGateway::Creat(const std::string& path) {
   CountOp("creat");
+  ScopedSpan span(&metrics_->spans(), "nfs.creat");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   if (parsed.second != kTimestampNow) {
     return Status::ReadOnly("cannot create files in the past");
@@ -81,6 +84,7 @@ Result<int> InvNfsGateway::Creat(const std::string& path) {
 
 Result<int> InvNfsGateway::Open(const std::string& path, bool writable) {
   CountOp("open");
+  ScopedSpan span(&metrics_->spans(), "nfs.open");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   if (parsed.second != kTimestampNow && writable) {
     return Status::ReadOnly("historical names are read-only: " + path);
@@ -92,11 +96,13 @@ Result<int> InvNfsGateway::Open(const std::string& path, bool writable) {
 
 Status InvNfsGateway::Close(int fd) {
   CountOp("close");
+  ScopedSpan span(&metrics_->spans(), "nfs.close");
   return session_->p_close(fd);
 }
 
 Result<int64_t> InvNfsGateway::Read(int fd, std::span<std::byte> buf) {
   CountOp("read");
+  ScopedSpan span(&metrics_->spans(), "nfs.read");
   auto n = session_->p_read(fd, buf);
   if (n.ok() && *n > 0) {
     read_bytes_->Add(static_cast<uint64_t>(*n));
@@ -108,6 +114,7 @@ Result<int64_t> InvNfsGateway::Write(int fd, std::span<const std::byte> buf) {
   // Stateless-NFS semantics: the session has no open transaction, so the
   // write commits (and is forced durable) before returning.
   CountOp("write");
+  ScopedSpan span(&metrics_->spans(), "nfs.write");
   auto n = session_->p_write(fd, buf);
   if (n.ok() && *n > 0) {
     write_bytes_->Add(static_cast<uint64_t>(*n));
@@ -117,17 +124,20 @@ Result<int64_t> InvNfsGateway::Write(int fd, std::span<const std::byte> buf) {
 
 Result<int64_t> InvNfsGateway::Seek(int fd, int64_t offset, Whence whence) {
   CountOp("seek");
+  ScopedSpan span(&metrics_->spans(), "nfs.seek");
   return session_->p_lseek(fd, offset, whence);
 }
 
 Result<FileStat> InvNfsGateway::GetAttr(const std::string& path) {
   CountOp("getattr");
+  ScopedSpan span(&metrics_->spans(), "nfs.getattr");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   return session_->stat(parsed.first, parsed.second);
 }
 
 Status InvNfsGateway::Mkdir(const std::string& path) {
   CountOp("mkdir");
+  ScopedSpan span(&metrics_->spans(), "nfs.mkdir");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   if (parsed.second != kTimestampNow) {
     return Status::ReadOnly("cannot mkdir in the past");
@@ -137,6 +147,7 @@ Status InvNfsGateway::Mkdir(const std::string& path) {
 
 Status InvNfsGateway::Remove(const std::string& path) {
   CountOp("remove");
+  ScopedSpan span(&metrics_->spans(), "nfs.remove");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   if (parsed.second != kTimestampNow) {
     return Status::ReadOnly("cannot remove files from the past");
@@ -146,6 +157,7 @@ Status InvNfsGateway::Remove(const std::string& path) {
 
 Status InvNfsGateway::Rename(const std::string& from, const std::string& to) {
   CountOp("rename");
+  ScopedSpan span(&metrics_->spans(), "nfs.rename");
   INV_ASSIGN_OR_RETURN(auto pf, ParseTimePath(from));
   INV_ASSIGN_OR_RETURN(auto pt, ParseTimePath(to));
   if (pf.second != kTimestampNow || pt.second != kTimestampNow) {
@@ -156,6 +168,7 @@ Status InvNfsGateway::Rename(const std::string& from, const std::string& to) {
 
 Result<std::vector<DirEntry>> InvNfsGateway::Readdir(const std::string& path) {
   CountOp("readdir");
+  ScopedSpan span(&metrics_->spans(), "nfs.readdir");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   return session_->readdir(parsed.first, parsed.second);
 }

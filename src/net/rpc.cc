@@ -1,5 +1,7 @@
 #include "src/net/rpc.h"
 
+#include "src/obs/span.h"
+
 namespace invfs {
 namespace {
 
@@ -163,6 +165,45 @@ const char* RpcOpName(RpcOp op) {
   return "unknown";
 }
 
+// Root-span names: static literals so the dispatch path never interns.
+const char* RpcSpanName(RpcOp op) {
+  switch (op) {
+    case RpcOp::kBegin:
+      return "rpc.begin";
+    case RpcOp::kCommit:
+      return "rpc.commit";
+    case RpcOp::kAbort:
+      return "rpc.abort";
+    case RpcOp::kCreat:
+      return "rpc.creat";
+    case RpcOp::kOpen:
+      return "rpc.open";
+    case RpcOp::kClose:
+      return "rpc.close";
+    case RpcOp::kRead:
+      return "rpc.read";
+    case RpcOp::kWrite:
+      return "rpc.write";
+    case RpcOp::kLseek:
+      return "rpc.lseek";
+    case RpcOp::kFstat:
+      return "rpc.fstat";
+    case RpcOp::kMkdir:
+      return "rpc.mkdir";
+    case RpcOp::kUnlink:
+      return "rpc.unlink";
+    case RpcOp::kRename:
+      return "rpc.rename";
+    case RpcOp::kStat:
+      return "rpc.stat";
+    case RpcOp::kReaddir:
+      return "rpc.readdir";
+    case RpcOp::kQuery:
+      return "rpc.query";
+  }
+  return "rpc.unknown";
+}
+
 }  // namespace
 
 InversionServer::InversionServer(InversionFs* fs) : fs_(fs) {
@@ -181,6 +222,9 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
   // next to the simulated wire costs this layer exists to charge.
   metrics_->GetCounter("rpc.requests", RpcOpName(op))->Add();
   bytes_in_->Add(request.size());
+  // Root of the request's causal trace: every span the handled op opens
+  // below (p_* entry, txn, buffer, device, commit) becomes a descendant.
+  ScopedSpan span(&metrics_->spans(), RpcSpanName(op));
   ByteWriter payload;
   Status status = Status::Ok();
 
@@ -335,6 +379,8 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
   std::vector<std::byte> response =
       status.ok() ? OkResponse(payload) : ErrorResponse(status);
   bytes_out_->Add(response.size());
+  metrics_->GetHistogram("rpc.latency_us", RpcOpName(op))
+      ->Observe(span.ElapsedMicros());
   return response;
 }
 

@@ -42,6 +42,32 @@ void AppendJsonString(std::string& out, const std::string& s) {
 
 }  // namespace
 
+uint64_t Histogram::Percentile(double p) const {
+  const std::array<uint64_t, kBuckets> buckets = Buckets();
+  uint64_t total = 0;
+  for (uint64_t b : buckets) {
+    total += b;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  // Rank of the target observation, 1-based: ceil(p * total), clamped so
+  // p<=0 degenerates to the minimum and p>=1 to the maximum.
+  uint64_t target = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (static_cast<double>(target) < p * static_cast<double>(total)) {
+    ++target;
+  }
+  target = std::clamp<uint64_t>(target, 1, total);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets[i];
+    if (cum >= target) {
+      return BucketUpper(i);
+    }
+  }
+  return BucketUpper(kBuckets - 1);
+}
+
 const char* MetricKindName(MetricKind kind) {
   switch (kind) {
     case MetricKind::kCounter:
@@ -98,6 +124,9 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
     s.count = h->Count();
     s.sum = h->Sum();
     s.value = static_cast<int64_t>(s.count);
+    s.p50 = h->Percentile(0.5);
+    s.p99 = h->Percentile(0.99);
+    s.p999 = h->Percentile(0.999);
     s.buckets = h->Buckets();
     out.push_back(std::move(s));
   }
@@ -116,9 +145,12 @@ std::string MetricsRegistry::DumpText() const {
       id += "{" + s.label + "}";
     }
     if (s.kind == MetricKind::kHistogram) {
-      std::snprintf(buf, sizeof(buf), "%-44s count=%llu sum=%llu mean=%.1f\n",
+      std::snprintf(buf, sizeof(buf),
+                    "%-44s count=%llu p50=%llu p99=%llu p999=%llu mean=%.1f\n",
                     id.c_str(), static_cast<unsigned long long>(s.count),
-                    static_cast<unsigned long long>(s.sum),
+                    static_cast<unsigned long long>(s.p50),
+                    static_cast<unsigned long long>(s.p99),
+                    static_cast<unsigned long long>(s.p999),
                     s.count == 0 ? 0.0
                                  : static_cast<double>(s.sum) /
                                        static_cast<double>(s.count));
@@ -145,24 +177,15 @@ std::string MetricsRegistry::DumpJson() const {
     out += MetricKindName(s.kind);
     out += "\"";
     if (s.kind == MetricKind::kHistogram) {
-      std::snprintf(buf, sizeof(buf), ", \"count\": %llu, \"sum\": %llu",
+      std::snprintf(buf, sizeof(buf),
+                    ", \"count\": %llu, \"sum\": %llu, \"p50\": %llu, "
+                    "\"p99\": %llu, \"p999\": %llu",
                     static_cast<unsigned long long>(s.count),
-                    static_cast<unsigned long long>(s.sum));
+                    static_cast<unsigned long long>(s.sum),
+                    static_cast<unsigned long long>(s.p50),
+                    static_cast<unsigned long long>(s.p99),
+                    static_cast<unsigned long long>(s.p999));
       out += buf;
-      out += ", \"buckets\": [";
-      // Trailing zero buckets are elided to keep dumps readable.
-      size_t last = 0;
-      for (size_t b = 0; b < s.buckets.size(); ++b) {
-        if (s.buckets[b] != 0) {
-          last = b + 1;
-        }
-      }
-      for (size_t b = 0; b < last; ++b) {
-        std::snprintf(buf, sizeof(buf), "%s%llu", b == 0 ? "" : ", ",
-                      static_cast<unsigned long long>(s.buckets[b]));
-        out += buf;
-      }
-      out += "]";
     } else {
       std::snprintf(buf, sizeof(buf), ", \"value\": %lld",
                     static_cast<long long>(s.value));

@@ -35,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/util/mutex.h"
 
@@ -133,6 +134,14 @@ class Histogram {
 
   uint64_t Count() const { return count_.Value(); }
   uint64_t Sum() const { return sum_.Value(); }
+
+  // Value at quantile `p` in (0, 1], e.g. 0.5 / 0.99 / 0.999. Reported as the
+  // inclusive upper bound of the bucket holding the target observation — a
+  // conservative estimate whose error is bounded by the power-of-two bucket
+  // width. Returns 0 when nothing has been observed.
+  uint64_t Percentile(double p) const;
+
+
   double Mean() const {
     const uint64_t n = Count();
     return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
@@ -179,12 +188,18 @@ struct MetricSample {
   int64_t value = 0;   // counter total / gauge value / histogram count
   uint64_t count = 0;  // histogram observation count (0 otherwise)
   uint64_t sum = 0;    // histogram observation sum (0 otherwise)
+  uint64_t p50 = 0;    // histogram percentiles (0 otherwise)
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
   std::array<uint64_t, Histogram::kBuckets> buckets{};  // histogram only
 };
 
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  explicit MetricsRegistry(
+      size_t trace_capacity = TraceRing::kDefaultCapacity,
+      size_t span_capacity = SpanRing::kDefaultCapacity)
+      : trace_(trace_capacity), spans_(span_capacity) {}
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -200,6 +215,9 @@ class MetricsRegistry {
 
   TraceRing& trace() { return trace_; }
   const TraceRing& trace() const { return trace_; }
+
+  SpanRing& spans() { return spans_; }
+  const SpanRing& spans() const { return spans_; }
 
   // All registered metrics, sorted by (name, label).
   std::vector<MetricSample> Snapshot() const EXCLUDES(mu_);
@@ -219,6 +237,7 @@ class MetricsRegistry {
   std::map<Key, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
   std::map<Key, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
   TraceRing trace_;
+  SpanRing spans_;
 };
 
 }  // namespace invfs

@@ -1,0 +1,44 @@
+#include "src/obs/slo.h"
+
+#include "src/obs/metrics.h"
+
+namespace invfs {
+
+std::vector<SloTarget> DefaultSloTargets() {
+  // Wall-clock micros against the simulated device stack. Headroom is
+  // deliberate (~10x a warm release run): these are fired-alarm thresholds,
+  // not regression detectors, and sanitizer builds dilate real time.
+  return {
+      {"p_open", 20000, 100000, 500000},
+      {"p_creat", 20000, 100000, 500000},
+      {"p_read", 500, 5000, 20000},
+      {"p_write", 2000, 20000, 100000},
+      {"p_commit", 20000, 100000, 500000},
+      {"query", 20000, 100000, 500000},
+  };
+}
+
+std::vector<SloReport> EvaluateSlos(MetricsRegistry* metrics,
+                                    const std::vector<SloTarget>& targets) {
+  std::vector<SloReport> out;
+  out.reserve(targets.size());
+  for (const SloTarget& t : targets) {
+    SloReport r;
+    r.op = t.op;
+    r.target = t;
+    Histogram* h = metrics->GetHistogram("op.latency_us", t.op);
+    r.count = h->Count();
+    if (r.count != 0) {
+      r.p50_us = h->Percentile(0.5);
+      r.p99_us = h->Percentile(0.99);
+      r.p999_us = h->Percentile(0.999);
+      r.ok = (t.p50_us == 0 || r.p50_us <= t.p50_us) &&
+             (t.p99_us == 0 || r.p99_us <= t.p99_us) &&
+             (t.p999_us == 0 || r.p999_us <= t.p999_us);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace invfs

@@ -1,0 +1,51 @@
+// Declared latency objectives per operation class, evaluated from the
+// op.latency_us histograms the entry points feed.
+//
+// An SloTarget names an op class (the histogram label: p_read, p_write,
+// query, ...) and caps its p50/p99/p999 in microseconds; a 0 cap means that
+// percentile is unconstrained. EvaluateSlos snapshots the histograms and
+// reports observed-vs-target per class, with an overall pass flag — the same
+// rows surface in `invfs_stats --slo` and the `invfs_slo` relation, so bench
+// and torture runs can assert latency budgets with a SELECT.
+//
+// Targets live in DatabaseOptions (defaults from DefaultSloTargets), so a
+// deployment declares its budgets where it declares its buffer count. The
+// defaults are generous on purpose: sanitizer builds run 10-20x slower than
+// release and must not fail correctness suites on latency.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace invfs {
+
+class MetricsRegistry;
+
+struct SloTarget {
+  std::string op;        // op-class label of the op.latency_us histogram
+  uint64_t p50_us = 0;   // 0 = unconstrained
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
+};
+
+// Baseline targets for the op classes every workload exercises.
+std::vector<SloTarget> DefaultSloTargets();
+
+struct SloReport {
+  std::string op;
+  uint64_t count = 0;    // observations so far
+  uint64_t p50_us = 0;   // observed percentiles
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
+  SloTarget target;
+  bool ok = true;        // every constrained percentile within target
+};
+
+// One report row per target, in target order. Classes with no observations
+// yet report count=0 and ok=true (no evidence of a violation).
+std::vector<SloReport> EvaluateSlos(MetricsRegistry* metrics,
+                                    const std::vector<SloTarget>& targets);
+
+}  // namespace invfs

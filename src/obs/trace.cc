@@ -25,6 +25,12 @@ const char* TraceEventName(TraceEvent event) {
       return "lock.wait";
     case TraceEvent::kGroupCommitFlush:
       return "log.flush";
+    case TraceEvent::kDeviceRetry:
+      return "device.retry";
+    case TraceEvent::kDeviceReadOnlyTrip:
+      return "device.read_only_trip";
+    case TraceEvent::kLogPoisoned:
+      return "log.poisoned";
   }
   return "unknown";
 }
@@ -49,6 +55,20 @@ uint64_t TraceNowMicros() {
           .count());
 }
 
+namespace {
+size_t TraceRoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity)
+    : mask_(TraceRoundUpPow2(capacity < 2 ? 2 : capacity) - 1),
+      slots_(new Slot[mask_ + 1]()) {}
+
 void TraceRing::Record(TraceEvent event, uint64_t a, uint64_t b, uint64_t c) {
 #ifdef INVFS_NO_METRICS
   (void)event;
@@ -57,7 +77,7 @@ void TraceRing::Record(TraceEvent event, uint64_t a, uint64_t b, uint64_t c) {
   (void)c;
 #else
   const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed) + 1;
-  Slot& s = slots_[seq & (kCapacity - 1)];
+  Slot& s = slots_[seq & mask_];
   // Invalidate first: a reader that copies a payload mixing the old and the
   // new record will see seq change (to 0 or to `seq`) on its re-check.
   s.seq.store(0, std::memory_order_release);
@@ -73,8 +93,9 @@ void TraceRing::Record(TraceEvent event, uint64_t a, uint64_t b, uint64_t c) {
 
 std::vector<TraceRecord> TraceRing::Snapshot() const {
   std::vector<TraceRecord> out;
-  out.reserve(kCapacity);
-  for (const Slot& s : slots_) {
+  out.reserve(capacity());
+  for (size_t i = 0; i <= mask_; ++i) {
+    const Slot& s = slots_[i];
     const uint64_t seq = s.seq.load(std::memory_order_acquire);
     if (seq == 0) {
       continue;

@@ -20,9 +20,9 @@
 
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace invfs {
@@ -37,6 +37,9 @@ enum class TraceEvent : uint32_t {
   kPageWriteBack = 6,     // a = rel, b = block
   kLockWait = 7,          // a = txn, b = rel
   kGroupCommitFlush = 8,  // a = pages written, b = transitions covered, c = ok
+  kDeviceRetry = 9,        // a = attempt (1-based), b = backoff micros
+  kDeviceReadOnlyTrip = 10,  // a = error code of the tripping status
+  kLogPoisoned = 11,       // a = error code now sticky on the commit log
 };
 
 const char* TraceEventName(TraceEvent event);
@@ -71,8 +74,14 @@ uint64_t TraceNowMicros();
 
 class TraceRing {
  public:
-  static constexpr size_t kCapacity = 4096;  // power of two
-  static_assert((kCapacity & (kCapacity - 1)) == 0);
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  // Capacity is rounded up to a power of two and fixed for the ring's
+  // lifetime; DatabaseOptions::trace_ring_capacity configures the per-db
+  // registry's ring.
+  explicit TraceRing(size_t capacity = kDefaultCapacity);
+
+  size_t capacity() const { return mask_ + 1; }
 
   void Record(TraceEvent event, uint64_t a = 0, uint64_t b = 0, uint64_t c = 0);
 
@@ -96,7 +105,8 @@ class TraceRing {
     std::atomic<uint64_t> c{0};
   };
 
-  std::array<Slot, kCapacity> slots_{};
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
   std::atomic<uint64_t> next_{0};
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/obs/span.h"
 #include "src/query/parser.h"
 #include "src/query/virtual_tables.h"
 
@@ -129,6 +130,8 @@ Result<ResultSet> Executor::ExecuteQuery(std::string_view text, TxnId txn) {
 }
 
 Result<ResultSet> Executor::Execute(const Statement& stmt, TxnId txn) {
+  ScopedSpan span(&db_->metrics().spans(), "query.exec",
+                  static_cast<uint64_t>(stmt.kind), txn);
   switch (stmt.kind) {
     case StmtKind::kRetrieve:
       return ExecRetrieve(stmt, txn);

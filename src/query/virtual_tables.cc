@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/obs/span.h"
 
 namespace invfs {
 
@@ -13,6 +15,8 @@ namespace {
 // in pg_class, only used so EvalContext bindings have distinct identities.
 constexpr Oid kInvfsStatsOid = 90;
 constexpr Oid kInvfsTraceOid = 91;
+constexpr Oid kInvfsSpansOid = 92;
+constexpr Oid kInvfsSloOid = 93;
 
 TableInfo* StatsTableInfo() {
   static TableInfo* info = [] {
@@ -47,6 +51,44 @@ TableInfo* TraceTableInfo() {
   return info;
 }
 
+TableInfo* SpansTableInfo() {
+  static TableInfo* info = [] {
+    auto* t = new TableInfo();
+    t->oid = kInvfsSpansOid;
+    t->name = "invfs_spans";
+    t->schema = Schema{{"trace", TypeId::kInt8},
+                       {"span", TypeId::kInt8},
+                       {"parent", TypeId::kInt8},
+                       {"name", TypeId::kText},
+                       {"thread", TypeId::kInt8},
+                       {"start", TypeId::kInt8},
+                       {"duration", TypeId::kInt8},
+                       {"a", TypeId::kInt8},
+                       {"b", TypeId::kInt8}};
+    return t;
+  }();
+  return info;
+}
+
+TableInfo* SloTableInfo() {
+  static TableInfo* info = [] {
+    auto* t = new TableInfo();
+    t->oid = kInvfsSloOid;
+    t->name = "invfs_slo";
+    t->schema = Schema{{"op", TypeId::kText},
+                       {"count", TypeId::kInt8},
+                       {"p50", TypeId::kInt8},
+                       {"p99", TypeId::kInt8},
+                       {"p999", TypeId::kInt8},
+                       {"target_p50", TypeId::kInt8},
+                       {"target_p99", TypeId::kInt8},
+                       {"target_p999", TypeId::kInt8},
+                       {"ok", TypeId::kBool}};
+    return t;
+  }();
+  return info;
+}
+
 void AppendStatsRows(const std::vector<MetricSample>& samples,
                      std::set<std::pair<std::string, std::string>>* seen,
                      std::vector<Row>* out) {
@@ -64,11 +106,21 @@ void AppendStatsRows(const std::vector<MetricSample>& samples,
 }  // namespace
 
 bool IsVirtualTable(std::string_view name) {
-  return name == "invfs_stats" || name == "invfs_trace";
+  return name == "invfs_stats" || name == "invfs_trace" ||
+         name == "invfs_spans" || name == "invfs_slo";
 }
 
 TableInfo* VirtualTableInfo(std::string_view name) {
-  return name == "invfs_trace" ? TraceTableInfo() : StatsTableInfo();
+  if (name == "invfs_trace") {
+    return TraceTableInfo();
+  }
+  if (name == "invfs_spans") {
+    return SpansTableInfo();
+  }
+  if (name == "invfs_slo") {
+    return SloTableInfo();
+  }
+  return StatsTableInfo();
 }
 
 std::vector<Row> MaterializeVirtualTable(Database* db, std::string_view name) {
@@ -82,6 +134,35 @@ std::vector<Row> MaterializeVirtualTable(Database* db, std::string_view name) {
                          Value::Int8(static_cast<int64_t>(r.a)),
                          Value::Int8(static_cast<int64_t>(r.b)),
                          Value::Int8(static_cast<int64_t>(r.c))});
+    }
+    return rows;
+  }
+  if (name == "invfs_spans") {
+    for (const SpanRecord& r : db->metrics().spans().Snapshot()) {
+      rows.push_back(Row{Value::Int8(static_cast<int64_t>(r.trace_id)),
+                         Value::Int8(static_cast<int64_t>(r.span_id)),
+                         Value::Int8(static_cast<int64_t>(r.parent_id)),
+                         Value::Text(r.name == nullptr ? "" : r.name),
+                         Value::Int8(static_cast<int64_t>(r.thread)),
+                         Value::Int8(static_cast<int64_t>(r.start_micros)),
+                         Value::Int8(static_cast<int64_t>(r.dur_micros)),
+                         Value::Int8(static_cast<int64_t>(r.a)),
+                         Value::Int8(static_cast<int64_t>(r.b))});
+    }
+    return rows;
+  }
+  if (name == "invfs_slo") {
+    for (const SloReport& r :
+         EvaluateSlos(&db->metrics(), db->options().slo_targets)) {
+      rows.push_back(Row{Value::Text(r.op),
+                         Value::Int8(static_cast<int64_t>(r.count)),
+                         Value::Int8(static_cast<int64_t>(r.p50_us)),
+                         Value::Int8(static_cast<int64_t>(r.p99_us)),
+                         Value::Int8(static_cast<int64_t>(r.p999_us)),
+                         Value::Int8(static_cast<int64_t>(r.target.p50_us)),
+                         Value::Int8(static_cast<int64_t>(r.target.p99_us)),
+                         Value::Int8(static_cast<int64_t>(r.target.p999_us)),
+                         Value::Bool(r.ok)});
     }
     return rows;
   }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <optional>
 
 #include "src/fault/crash_points.h"
+#include "src/obs/span.h"
 #include "src/util/bytes.h"
 
 namespace invfs {
@@ -142,6 +144,10 @@ uint64_t CommitLog::EnqueueTransition(TxnId xid) {
 }
 
 Status CommitLog::WaitPersisted(uint64_t seq) {
+  // One span per waiter: a transition that rides someone else's flush still
+  // spent this wall time blocked on group commit, so the shared flush cost is
+  // attributed to every member of the batch, not just the leader.
+  ScopedSpan wait_span(&metrics_->spans(), "log.flush.wait", seq);
   while (sticky_error_.ok() && persisted_seq_ < seq) {
     if (flush_in_progress_) {
       flush_cv_.Wait(mu_);
@@ -161,6 +167,11 @@ Status CommitLog::WaitPersisted(uint64_t seq) {
       images.push_back(BuildPageImage(b));
     }
     mu_.unlock();
+    // The leader's device-write scope; ends before mu_ is retaken so the span
+    // measures I/O, not lock handoff.
+    std::optional<ScopedSpan> flush_span;
+    flush_span.emplace(&metrics_->spans(), "log.flush", batch_size,
+                       blocks.size());
     CrashPointRegistry::Hit("commitlog.pre_flush");
     const auto flush_start = std::chrono::steady_clock::now();
     Status s = Status::Ok();
@@ -191,6 +202,7 @@ Status CommitLog::WaitPersisted(uint64_t seq) {
     batch_transitions_->Observe(batch_size);
     metrics_->trace().Record(TraceEvent::kGroupCommitFlush, batch_size,
                              blocks.size(), s.ok() ? 1 : 0);
+    flush_span.reset();
     mu_.lock();
     persist_batches_->Add();
     if (s.ok()) {
@@ -201,6 +213,8 @@ Status CommitLog::WaitPersisted(uint64_t seq) {
       persisted_seq_ = std::max(persisted_seq_, covers);
     } else if (sticky_error_.ok()) {
       sticky_error_ = s;
+      metrics_->trace().Record(TraceEvent::kLogPoisoned,
+                               static_cast<uint64_t>(s.code()));
     }
     flush_in_progress_ = false;
     flush_cv_.NotifyAll();

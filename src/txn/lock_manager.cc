@@ -1,8 +1,10 @@
 #include "src/txn/lock_manager.h"
 
 #include <chrono>
+#include <optional>
 
 #include "src/buffer/buffer_pool.h"
+#include "src/obs/span.h"
 
 namespace invfs {
 
@@ -160,6 +162,9 @@ Status LockManager::Acquire(TxnId txn, Oid rel, LockMode mode) {
   bool inversion_reported = false;
   bool waited = false;
   std::chrono::steady_clock::time_point wait_start;
+  // Opened lazily on the first block; ends when Acquire returns (grant or
+  // deadlock), which trails the last wakeup by only a map insert.
+  std::optional<ScopedSpan> wait_span;
   // Note: the RelLock node must be re-fetched after every wait. A pure waiter
   // (no hold of its own on `rel`) sleeps while ReleaseAll may erase the node
   // once its last holder leaves; a reference held across the wait would
@@ -189,6 +194,7 @@ Status LockManager::Acquire(TxnId txn, Oid rel, LockMode mode) {
       waits_->Add();
       metrics_->trace().Record(TraceEvent::kLockWait, txn, rel,
                                mode == LockMode::kExclusive ? 1 : 0);
+      wait_span.emplace(&metrics_->spans(), "lock.wait", txn, rel);
     }
     waiting_on_[txn] = rel;
     cv_.Wait(mu_);

@@ -1,5 +1,7 @@
 #include "src/txn/txn_manager.h"
 
+#include "src/obs/span.h"
+
 namespace invfs {
 
 TxnManager::TxnManager(CommitLog* log, BufferPool* buffers, LockManager* locks,
@@ -20,11 +22,13 @@ TxnManager::TxnManager(CommitLog* log, BufferPool* buffers, LockManager* locks,
 }
 
 Result<TxnId> TxnManager::Begin() {
+  ScopedSpan span(&metrics_->spans(), "txn.begin");
   TxnId xid;
   {
     MutexLock lock(mu_);
     xid = next_xid_++;
   }
+  span.set_a(xid);
   // Persist the start record outside mu_: concurrent Begin calls must reach
   // the commit log together so its group-commit protocol can coalesce their
   // page writes into one flush. (A failed begin burns the xid; ids are not
@@ -40,6 +44,7 @@ Result<TxnId> TxnManager::Begin() {
 }
 
 Status TxnManager::Commit(TxnId txn) {
+  ScopedSpan span(&metrics_->spans(), "txn.commit", txn);
   std::set<Oid> touched;
   {
     MutexLock lock(mu_);
@@ -71,6 +76,7 @@ Status TxnManager::Commit(TxnId txn) {
 }
 
 Status TxnManager::Abort(TxnId txn) {
+  ScopedSpan span(&metrics_->spans(), "txn.abort", txn);
   {
     MutexLock lock(mu_);
     auto it = active_.find(txn);

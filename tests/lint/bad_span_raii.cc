@@ -1,0 +1,15 @@
+// invfs_lint fixture: MUST trip [span-raii] twice: a raw RecordSpan() call
+// and a direct write to the span layer's thread-local context, both outside
+// src/obs/span.{h,cc}. Never compiled.
+#include "src/obs/span.h"
+
+namespace fixture {
+
+void HandRolledSpan(invfs::SpanRing* ring) {
+  invfs::SpanRecord r;
+  r.name = "sneaky.span";
+  ring->RecordSpan(r);
+  invfs::obs_internal::t_trace_id = 42;
+}
+
+}  // namespace fixture

@@ -1,5 +1,6 @@
 // invfs_lint fixture: must pass all rules clean (positive control proving the
 // linter does not flag idiomatic code). Never compiled.
+#include "src/obs/span.h"
 #include "src/util/mutex.h"
 
 namespace fixture {
@@ -38,6 +39,12 @@ class Pool {
 inline void SuppressedIo(Shard& s, Pool& p) {
   invfs::MutexLock shard_lock(s.mu);
   p.WriteBlock(2, 1);  // invfs-lint: allow(shard-lock-io)
+}
+
+// Spans begin and end only through the RAII helper — the span-raii idiom.
+inline void GoodSpan(invfs::SpanRing* ring) {
+  invfs::ScopedSpan span(ring, "fixture.op", 1, 2);
+  span.set_a(3);
 }
 
 }  // namespace fixture

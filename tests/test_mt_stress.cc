@@ -15,6 +15,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -409,7 +410,67 @@ TEST(MetricsStressTest, ConcurrentIncrementAndSnapshot) {
   EXPECT_EQ(reg.trace().TotalRecorded(),
             static_cast<uint64_t>(kThreads) * (kItersPerThread / 16));
   auto snap = reg.trace().Snapshot();
-  EXPECT_EQ(snap.size(), TraceRing::kCapacity);
+  EXPECT_EQ(snap.size(), TraceRing::kDefaultCapacity);
+}
+
+// 8 threads run nested ScopedSpans (each thread its own trace) while a reader
+// concurrently snapshots the span ring. Every published record must be
+// internally consistent: a known name, a duration, and for child spans a
+// parent from the same trace. This is the TSan target for the span layer.
+TEST(MetricsStressTest, SpanStorm) {
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 4000;
+
+  MetricsRegistry reg;
+  SpanRing* spans = &reg.spans();
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const SpanRecord& r : spans->Snapshot()) {
+        // Names are static literals; a torn read would show garbage here.
+        ASSERT_NE(r.name, nullptr);
+        const std::string_view name(r.name);
+        EXPECT_TRUE(name == "storm.root" || name == "storm.child");
+        EXPECT_NE(r.trace_id, 0u);
+        EXPECT_NE(r.span_id, 0u);
+        if (name == "storm.root") {
+          EXPECT_EQ(r.parent_id, 0u);
+        } else {
+          EXPECT_NE(r.parent_id, 0u);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        ScopedSpan root(spans, "storm.root", static_cast<uint64_t>(t));
+        {
+          ScopedSpan child(spans, "storm.child", static_cast<uint64_t>(i));
+          child.set_b(root.span_id());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  // Two spans per iteration, none lost from the total count.
+  EXPECT_EQ(spans->TotalRecorded(),
+            static_cast<uint64_t>(kThreads) * kItersPerThread * 2);
+  // Cross-check parent links in the final quiescent snapshot: every child's
+  // parent is the root span recorded in its b attribute.
+  for (const SpanRecord& r : spans->Snapshot()) {
+    if (std::string_view(r.name) == "storm.child") {
+      EXPECT_EQ(r.parent_id, r.b);
+    }
+  }
 }
 
 }  // namespace

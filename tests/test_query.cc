@@ -432,6 +432,56 @@ TEST_F(ExecutorTest, VirtualTablesRejectTimeTravel) {
   Status s = ExecExpectError(
       "retrieve (s.name) from s in invfs_stats[\"12345\"]");
   EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument) << s.ToString();
+  s = ExecExpectError("retrieve (s.name) from s in invfs_spans[\"12345\"]");
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument) << s.ToString();
+  s = ExecExpectError("retrieve (s.op) from s in invfs_slo[\"12345\"]");
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument) << s.ToString();
+}
+
+TEST_F(ExecutorTest, InvfsSpansShowsQueryExecutionSpans) {
+  // Every Exec() runs through Executor::Execute, which opens a "query.exec"
+  // span; the running query's own span has not ended when rows materialize,
+  // so only completed statements appear. The fixture ran 4.
+  auto rs = Exec(
+      "retrieve (sp.trace, sp.span, sp.duration) from sp in invfs_spans "
+      "where sp.name = \"query.exec\"");
+  EXPECT_GE(rs.rows.size(), 4u);
+  for (const Row& row : rs.rows) {
+    EXPECT_NE(row[0].AsInt8(), 0);  // every span belongs to a trace
+    EXPECT_NE(row[1].AsInt8(), 0);  // and has its own id
+  }
+}
+
+TEST_F(ExecutorTest, InvfsSpansJoinsWithInvfsTraceOnXid) {
+  // txn.begin is recorded twice — a span (a = xid) and a trace event
+  // (a = xid) — so the two observability relations join on that attribute
+  // like any ordinary pair of tables.
+  auto rs = Exec(
+      "retrieve (sp.span, t.seq) from sp in invfs_spans, t in invfs_trace "
+      "where sp.name = \"txn.begin\" and t.event = \"txn.begin\" "
+      "and sp.a = t.a");
+  EXPECT_GE(rs.rows.size(), 4u);  // at least the fixture's transactions
+}
+
+TEST_F(ExecutorTest, InvfsSloReportsEveryDeclaredTarget) {
+  // One row per target declared in DatabaseOptions; this fixture never calls
+  // the file-system entry points, so counts may be zero — but the targets
+  // themselves must surface. Never assert ok here: sanitizer builds are
+  // 10-20x slower and may legitimately breach latency targets.
+  auto rs = Exec(
+      "retrieve (s.op, s.count, s.target_p99, s.ok) from s in invfs_slo");
+  ASSERT_EQ(rs.rows.size(), db_->options().slo_targets.size());
+  for (const Row& row : rs.rows) {
+    EXPECT_FALSE(row[0].AsText().empty());
+    EXPECT_GT(row[2].AsInt8(), 0);  // every default target constrains p99
+  }
+  // An unexercised op class evaluates as ok (vacuously meeting its target).
+  rs = Exec(
+      "retrieve (s.count, s.ok) from s in invfs_slo where s.op = \"p_read\"");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  if (rs.rows[0][0].AsInt8() == 0) {
+    EXPECT_TRUE(rs.rows[0][1].AsBool());
+  }
 }
 
 }  // namespace
