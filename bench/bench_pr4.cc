@@ -133,9 +133,9 @@ int Main(int argc, char** argv) {
     char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "    {\"threads\": %d, \"global_lock_mpins_per_s\": %.3f, "
-                  "\"sharded_mpins_per_s\": %.3f, \"speedup\": %.3f}%s\n",
+                  "\"sharded_mpins_per_s\": %.3f, \"speedup\": %s}%s\n",
                   n, base.mpins_per_s, shard.mpins_per_s,
-                  base.mpins_per_s > 0 ? shard.mpins_per_s / base.mpins_per_s : 0.0,
+                  SpeedupJsonField(base.mpins_per_s, shard.mpins_per_s).c_str(),
                   i + 1 < std::size(kThreads) ? "," : "");
     out += buf;
   }

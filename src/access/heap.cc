@@ -28,10 +28,18 @@ Result<Tid> Heap::InsertRaw(TxnId txn, const Row& row, const TupleMeta& meta) {
     // Also try the true last block if the hint is stale.
     for (uint32_t candidate : {target, nblocks - 1}) {
       INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, candidate));
-      Page page = ref.page();
-      auto slot = page.AddTuple(encoded);
-      if (slot.ok()) {
-        ref.MarkDirty();
+      std::optional<uint16_t> slot;
+      {
+        // Page latch: lock-free snapshot readers may be decoding this page.
+        MutexLock latch(ref.Latch());
+        Page page = ref.page();
+        auto added = page.AddTuple(encoded);
+        if (added.ok()) {
+          slot = *added;
+          ref.MarkDirty();
+        }
+      }
+      if (slot.has_value()) {
         hint_block_.store(candidate, std::memory_order_relaxed);
         return Tid{candidate, *slot};
       }
@@ -42,15 +50,23 @@ Result<Tid> Heap::InsertRaw(TxnId txn, const Row& row, const TupleMeta& meta) {
   }
   uint32_t new_block = 0;
   INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Extend(rel_, &new_block));
-  Page page = ref.page();
-  INV_ASSIGN_OR_RETURN(uint16_t slot, page.AddTuple(encoded));
-  ref.MarkDirty();
+  uint16_t slot = 0;
+  {
+    MutexLock latch(ref.Latch());
+    Page page = ref.page();
+    INV_ASSIGN_OR_RETURN(slot, page.AddTuple(encoded));
+    ref.MarkDirty();
+  }
   hint_block_.store(new_block, std::memory_order_relaxed);
   return Tid{new_block, slot};
 }
 
 Status Heap::Delete(TxnId txn, Tid tid) {
   INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, tid.block));
+  // Page latch across the check-and-stamp: the xmax write is the one
+  // in-place mutation of the no-overwrite scheme, and lock-free readers
+  // decode this tuple's meta with no table lock held.
+  MutexLock latch(ref.Latch());
   Page page = ref.page();
   INV_ASSIGN_OR_RETURN(auto tuple, page.GetMutableTuple(tid.slot));
   if (tuple.empty()) {
@@ -93,6 +109,9 @@ Result<std::optional<Row>> Heap::Fetch(const Snapshot& snap, Tid tid) const {
     return ref_or.status();
   }
   PageRef ref = std::move(*ref_or);
+  // Page latch: a concurrent writer may be stamping xmax or appending a
+  // slot on this page; readers hold no table lock.
+  MutexLock latch(ref.Latch());
   Page page = ref.page();
   if (tid.slot >= page.num_slots()) {
     return std::optional<Row>();  // dangling entry; see above
@@ -120,6 +139,7 @@ Result<std::optional<Value>> Heap::FetchColumn(const Snapshot& snap, Tid tid,
     return ref_or.status();
   }
   PageRef ref = std::move(*ref_or);
+  MutexLock latch(ref.Latch());
   Page page = ref.page();
   if (tid.slot >= page.num_slots()) {
     return std::optional<Value>();
@@ -134,6 +154,7 @@ Result<std::optional<Value>> Heap::FetchColumn(const Snapshot& snap, Tid tid,
 
 Result<std::pair<TupleMeta, Row>> Heap::FetchAny(Tid tid) const {
   INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, tid.block));
+  MutexLock latch(ref.Latch());
   Page page = ref.page();
   INV_ASSIGN_OR_RETURN(auto tuple, page.GetTuple(tid.slot));
   if (tuple.empty()) {
@@ -168,30 +189,38 @@ bool Heap::Iterator::Next() {
       page_ = std::move(*ref);
       slot_ = 0;
     }
-    Page page(page_.data());
-    const uint16_t nslots = page.num_slots();
-    while (slot_ < nslots) {
-      const uint16_t s = slot_++;
-      auto tuple = page.GetTuple(s);
-      if (!tuple.ok()) {
-        status_ = tuple.status();
-        return false;
+    {
+      // Page latch for the slot walk: concurrent in-place writers (xmax
+      // stamps, appends, vacuum compaction) share this page with lock-free
+      // readers. Released before returning a row — row_ is a materialized
+      // copy, and slot numbering is stable across vacuum's Compact, so the
+      // cursor position survives re-acquisition on the next call.
+      MutexLock latch(page_.Latch());
+      Page page(page_.data());
+      const uint16_t nslots = page.num_slots();
+      while (slot_ < nslots) {
+        const uint16_t s = slot_++;
+        auto tuple = page.GetTuple(s);
+        if (!tuple.ok()) {
+          status_ = tuple.status();
+          return false;
+        }
+        if (tuple->empty()) {
+          continue;  // expunged slot
+        }
+        meta_ = GetTupleMeta(*tuple);
+        if (!include_invisible_ && !snap_.IsVisible(meta_)) {
+          continue;
+        }
+        auto row = DecodeTuple(*heap_->schema_, *tuple);
+        if (!row.ok()) {
+          status_ = row.status();
+          return false;
+        }
+        row_ = std::move(*row);
+        tid_ = Tid{block_, s};
+        return true;
       }
-      if (tuple->empty()) {
-        continue;  // expunged slot
-      }
-      meta_ = GetTupleMeta(*tuple);
-      if (!include_invisible_ && !snap_.IsVisible(meta_)) {
-        continue;
-      }
-      auto row = DecodeTuple(*heap_->schema_, *tuple);
-      if (!row.ok()) {
-        status_ = row.status();
-        return false;
-      }
-      row_ = std::move(*row);
-      tid_ = Tid{block_, s};
-      return true;
     }
     page_.Release();
     ++block_;
@@ -201,6 +230,7 @@ bool Heap::Iterator::Next() {
 
 Status Heap::Expunge(Tid tid) {
   INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, tid.block));
+  MutexLock latch(ref.Latch());
   Page page = ref.page();
   INV_RETURN_IF_ERROR(page.KillSlot(tid.slot));
   ref.MarkDirty();
@@ -211,6 +241,10 @@ Status Heap::CompactAllPages() {
   INV_ASSIGN_OR_RETURN(uint32_t nblocks, pool_->NumBlocks(rel_));
   for (uint32_t b = 0; b < nblocks; ++b) {
     INV_ASSIGN_OR_RETURN(PageRef ref, pool_->Pin(rel_, b));
+    // Compact rewrites tuple bytes but preserves slot numbering, so a
+    // lock-free reader parked between two pages resumes correctly; the
+    // latch makes the byte movement invisible to one parked *on* this page.
+    MutexLock latch(ref.Latch());
     Page page = ref.page();
     page.Compact();
     ref.MarkDirty();

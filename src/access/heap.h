@@ -93,7 +93,8 @@ class Heap {
   Iterator Scan(const Snapshot& snap) const { return Iterator(this, snap, false); }
   // Scan every version regardless of visibility (vacuum).
   Iterator ScanAll() const {
-    return Iterator(this, Snapshot{kTimestampNow, kInvalidTxn, nullptr}, true);
+    return Iterator(this, Snapshot{kTimestampNow, kInvalidTxn, nullptr, nullptr},
+                    true);
   }
 
   // Physically remove a dead slot (vacuum only; ordinary deletes never do this).

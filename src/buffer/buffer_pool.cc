@@ -107,6 +107,11 @@ void PageRef::MarkDirty() {
   pool_->frames_[frame_].dirty.store(true, std::memory_order_release);
 }
 
+Mutex& PageRef::Latch() {
+  INV_CHECK(pool_ != nullptr);
+  return pool_->frames_[frame_].latch;
+}
+
 // ----------------------------------------------------------------- BufferPool
 
 BufferPool::BufferPool(DeviceSwitch* devices, size_t num_buffers, SimClock* clock,

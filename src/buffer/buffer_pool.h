@@ -72,6 +72,14 @@ class PageRef {
   // Must be called after modifying page contents. Lock-free: sets the
   // frame's atomic dirty bit without touching any pool mutex.
   void MarkDirty();
+  // The frame's page latch. Snapshot-isolation readers share heap pages with
+  // in-place writers (xmax stamping, slot appends, vacuum compaction) with
+  // no table lock between them; both sides bracket their access to the page
+  // *bytes* with this latch. Leaf-level: holders must not take pool mutexes,
+  // table locks, or another page latch. Flushers deliberately skip it — a
+  // frame being written back is either unpinned (eviction) or belongs to a
+  // relation whose writer already quiesced (commit force under 2PL).
+  Mutex& Latch();
   bool valid() const { return pool_ != nullptr; }
   void Release();
 
@@ -183,6 +191,11 @@ class BufferPool {
     std::atomic<bool> dirty{false};
     std::atomic<bool> ref{false};
     std::atomic<int> pins{0};
+    // Page latch (see PageRef::Latch). Belongs to the frame, not the page:
+    // remapping the frame to a different (rel, block) is fine because a
+    // latch is only ever held by a pin holder, and remapping requires
+    // pins == 0.
+    Mutex latch;
   };
 
   // One mapping shard: tag -> frame index for tags that hash here. Lock

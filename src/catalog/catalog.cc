@@ -173,7 +173,7 @@ Status Catalog::Load() {
   for (const auto& [oid, schema] : fixed) {
     devices_->BindRelation(oid, kDeviceMagneticDisk);
   }
-  const Snapshot snap{kTimestampNow, kInvalidTxn, &txns_->log()};
+  const Snapshot snap{kTimestampNow, kInvalidTxn, &txns_->log(), nullptr};
 
   // Bootstrap TableInfos for catalogs (names refined from pg_class rows).
   INV_ASSIGN_OR_RETURN(pg_class_, MakeCachedTable(kPgClassOid, "pg_class",
@@ -580,7 +580,13 @@ Status Catalog::MigrateTable(TxnId txn, TableInfo* table, DeviceId new_device) {
       INV_RETURN_IF_ERROR(src->ReadBlock(oid, b, buf));
       INV_RETURN_IF_ERROR(dst->WriteBlock(oid, b, buf));
     }
-    pool_->DiscardRelation(oid);
+    // Cached frames are deliberately kept: after the flush above they are
+    // clean and byte-identical to the copy just written, so they remain a
+    // valid cache for the destination device. Dropping them instead would
+    // require pins == 0, which lock-free snapshot readers (who may keep a
+    // scan parked on a pinned page with no table lock) cannot guarantee.
+    // The caller's exclusive table lock keeps writers from re-dirtying
+    // frames between the flush and the rebind.
     INV_RETURN_IF_ERROR(src->DropRelation(oid));
     devices_->BindRelation(oid, new_device);
   }

@@ -117,6 +117,10 @@ class Catalog {
   Result<TableInfo*> CreateArchive(TxnId txn, TableInfo* table);
 
   // Rebind a table to a new device, moving its pages (file migration).
+  // The caller must hold an exclusive table lock on `table`: the move
+  // flushes then copies blocks and depends on no writer dirtying pages in
+  // between. Lock-free snapshot readers are tolerated throughout (cached
+  // frames stay valid across the rebind).
   Status MigrateTable(TxnId txn, TableInfo* table, DeviceId new_device);
 
   // --- lookups -------------------------------------------------------------

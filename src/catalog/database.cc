@@ -65,18 +65,19 @@ Result<std::unique_ptr<Database>> Database::Open(StorageEnv* env,
 
 Database::~Database() = default;
 
-Result<TxnId> Database::Begin() {
+Result<TxnId> Database::Begin(TxnMode mode) {
   if (crashed_) {
     return Status::Internal("database has crashed");
   }
-  if (log_->poisoned()) {
+  if (mode == TxnMode::kReadWrite && log_->poisoned()) {
     // Fail-stop read-only: a permanently failed commit-log flush means no
     // future commit could be made durable, so refuse new transactions
-    // cleanly up front instead of failing at commit time.
+    // cleanly up front instead of failing at commit time. Read-only begins
+    // pass: they need no log record, so degraded devices keep serving reads.
     return Status::ReadOnlyDevice(
         "commit log is poisoned; database is fail-stop read-only");
   }
-  return txns_->Begin();
+  return txns_->Begin(mode);
 }
 
 bool Database::read_only() const { return log_ != nullptr && log_->poisoned(); }
@@ -125,11 +126,23 @@ Result<Tid> Database::ReplaceRow(TxnId txn, TableInfo* table, Tid old_tid,
 }
 
 Status Database::LockTable(TxnId txn, const TableInfo* table, LockMode mode) {
+  if (IsReadOnlyTxn(txn)) {
+    // The read-only promise is structural: these transactions read pinned
+    // snapshots and never enter the lock manager, so writers can never block
+    // them — and an attempt to lock from one is a caller bug, not a wait.
+    return Status::InvalidArgument("read-only txn " + std::to_string(txn) +
+                                   " cannot take table locks");
+  }
   Status s = locks_.Acquire(txn, table->oid, mode);
   if (s.IsDeadlock()) {
     // The victim must abort; surface the deadlock to the caller after
     // cleaning up so the lock graph unwedges immediately.
     (void)Abort(txn);
+  }
+  if (s.ok() && mode == LockMode::kExclusive) {
+    // Write intent: from here on this transaction's reads must see current
+    // state (its re-checks after locking rely on it), so drop the pin.
+    txns_->MarkWritten(txn);
   }
   return s;
 }

@@ -21,6 +21,7 @@
 #include "src/obs/slo.h"
 #include "src/sim/cost_params.h"
 #include "src/sim/sim_clock.h"
+#include "src/txn/reader_gate.h"
 #include "src/txn/txn_manager.h"
 
 namespace invfs {
@@ -85,11 +86,16 @@ class Database {
 
   // --- transactions --------------------------------------------------------
 
-  Result<TxnId> Begin();
+  // Read-only begins are accepted even on a poisoned (fail-stop read-only)
+  // database: they touch neither the commit log nor the lock manager.
+  Result<TxnId> Begin(TxnMode mode = TxnMode::kReadWrite);
   Status Commit(TxnId txn);
   Status Abort(TxnId txn);
   Snapshot SnapshotFor(TxnId txn) const { return txns_->SnapshotFor(txn); }
   Snapshot SnapshotAt(Timestamp t) const { return txns_->SnapshotAt(t); }
+  // The pinned begin-time snapshot while `txn` has not written; the live
+  // snapshot after its first write (or for unknown txns).
+  Snapshot ReadSnapshot(TxnId txn) const { return txns_->ReadSnapshot(txn); }
   Timestamp Now() { return clock_->Now(); }
 
   // --- row operations with index maintenance -------------------------------
@@ -101,7 +107,14 @@ class Database {
                          Oid row_oid = kInvalidOid);
 
   // Two-phase locking entry point (released automatically at commit/abort).
+  // Refused for read-only transactions: they read pinned snapshots and are
+  // promised never to touch the lock manager. An exclusive acquisition marks
+  // the transaction written (its reads switch to live snapshots).
   Status LockTable(TxnId txn, const TableInfo* table, LockMode mode);
+
+  // Gate between lock-free index probes and the maintenance operations that
+  // swap index structures in place (vacuum rebuild, table migration).
+  ReaderGate& probe_gate() { return probe_gate_; }
 
   // --- administration -------------------------------------------------------
 
@@ -147,6 +160,7 @@ class Database {
   std::unique_ptr<CommitLog> log_;
   std::unique_ptr<TxnManager> txns_;
   std::unique_ptr<Catalog> catalog_;
+  ReaderGate probe_gate_;
   bool crashed_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/obs/span.h"
+#include "src/query/parser.h"
 #include "src/util/lzss.h"
 
 namespace invfs {
@@ -416,8 +417,14 @@ Result<ResultSet> InversionFs::Query(std::string_view text, InvSession* session)
     lat_query_->Observe(span.ElapsedMicros());
     return result;
   }
-  INV_ASSIGN_OR_RETURN(TxnId txn, db_->Begin());
-  auto result = executor_->ExecuteQuery(text, txn);
+  // Parse first so a pure retrieve's single-statement transaction can be
+  // read-only: it then runs against a pinned snapshot, takes no data locks,
+  // and writes nothing to the commit log.
+  INV_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(text));
+  const TxnMode mode = stmt.kind == StmtKind::kRetrieve ? TxnMode::kReadOnly
+                                                        : TxnMode::kReadWrite;
+  INV_ASSIGN_OR_RETURN(TxnId txn, db_->Begin(mode));
+  auto result = executor_->Execute(stmt, txn);
   if (result.ok()) {
     INV_RETURN_IF_ERROR(db_->Commit(txn));
   } else {
@@ -480,6 +487,11 @@ Status InversionFs::RegisterMigrationAction() {
     }
     auto chunk_table = db_->catalog().GetTable(ChunkTableName(file));
     if (chunk_table.ok()) {
+      // Exclusive lock before the move: MigrateTable flushes and then copies
+      // the relation block by block, and relies on no writer re-dirtying
+      // pages in between.
+      INV_RETURN_IF_ERROR(
+          db_->LockTable(txn, *chunk_table, LockMode::kExclusive));
       INV_RETURN_IF_ERROR(db_->catalog().MigrateTable(txn, *chunk_table, device));
     }
     // Record the new location in fileatt.

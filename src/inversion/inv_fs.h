@@ -266,8 +266,13 @@ class InvSession {
 
   // Run `body` inside the session transaction, or a fresh single-op
   // transaction when none is open (defined at the bottom of this header).
+  // `mode` applies only to the fresh transaction: read-only entry points
+  // pass kReadOnly so their single-op transactions pin a snapshot and skip
+  // the lock manager and commit log. A session transaction's mode was fixed
+  // at p_begin and is not affected.
   template <typename Fn>
-  auto WithTxn(Fn&& body) -> decltype(body(TxnId{}));
+  auto WithTxn(Fn&& body, TxnMode mode = TxnMode::kReadWrite)
+      -> decltype(body(TxnId{}));
 
   Snapshot SnapFor(const Handle& h, TxnId txn) const;
   Result<Handle*> GetHandle(int fd);
@@ -306,7 +311,7 @@ ErrorCode StatusCodeOf(const Result<T>& r) {
 }  // namespace internal
 
 template <typename Fn>
-auto InvSession::WithTxn(Fn&& body) -> decltype(body(TxnId{})) {
+auto InvSession::WithTxn(Fn&& body, TxnMode mode) -> decltype(body(TxnId{})) {
   if (txn_ != kInvalidTxn) {
     auto result = body(txn_);
     if (internal::StatusCodeOf(result) == ErrorCode::kDeadlock) {
@@ -318,7 +323,7 @@ auto InvSession::WithTxn(Fn&& body) -> decltype(body(TxnId{})) {
     }
     return result;
   }
-  auto txn_or = fs_->db().Begin();
+  auto txn_or = fs_->db().Begin(mode);
   if (!txn_or.ok()) {
     return txn_or.status();
   }
@@ -326,11 +331,16 @@ auto InvSession::WithTxn(Fn&& body) -> decltype(body(TxnId{})) {
   auto result = body(txn);
   if (result.ok()) {
     // Single-op transaction: everything buffered must reach the database now.
-    Status flush = FlushAllHandles(txn);
-    if (!flush.ok()) {
-      (void)fs_->db().Abort(txn);
-      DiscardVolatile();
-      return flush;
+    // Read-only transactions have nothing to flush by construction: dirty
+    // handle buffers only exist inside an open session transaction, and this
+    // path only runs when none is open.
+    if (mode == TxnMode::kReadWrite) {
+      Status flush = FlushAllHandles(txn);
+      if (!flush.ok()) {
+        (void)fs_->db().Abort(txn);
+        DiscardVolatile();
+        return flush;
+      }
     }
     Status commit = fs_->db().Commit(txn);
     if (!commit.ok()) {

@@ -44,7 +44,9 @@ Snapshot InvSession::SnapFor(const Handle& h, TxnId txn) const {
   if (h.historical) {
     return fs_->db().SnapshotAt(h.as_of);
   }
-  return fs_->db().SnapshotFor(txn);
+  // Pinned begin-time snapshot until the transaction writes; reads take no
+  // data locks under it, so writers never block this handle's reads.
+  return fs_->db().ReadSnapshot(txn);
 }
 
 Result<InvSession::Handle*> InvSession::GetHandle(int fd) {
@@ -102,7 +104,7 @@ Status InvSession::p_abort() {
   DiscardVolatile();
   Status status = fs_->db().Abort(txn);
   // Sizes seen through open fds may reflect aborted writes; refresh them.
-  const Snapshot snap{kTimestampNow, kInvalidTxn, &fs_->db().txns().log()};
+  const Snapshot snap{kTimestampNow, kInvalidTxn, &fs_->db().txns().log(), nullptr};
   for (auto& [fd, h] : fds_) {
     if (!h.historical) {
       if (auto att = fs_->FileattLookup(h.file, snap); att.ok() && att->has_value()) {
@@ -211,7 +213,7 @@ Result<int> InvSession::p_open(const std::string& path, OpenMode mode,
       return Status::ReadOnly("cannot open historical state for writing: " + path);
     }
     const Snapshot snap =
-        historical ? fs_->db().SnapshotAt(as_of) : fs_->db().SnapshotFor(txn);
+        historical ? fs_->db().SnapshotAt(as_of) : fs_->db().ReadSnapshot(txn);
     INV_ASSIGN_OR_RETURN(Oid oid, fs_->ResolvePath(path, snap));
     INV_ASSIGN_OR_RETURN(auto att, fs_->FileattLookup(oid, snap));
     if (!att.has_value()) {
@@ -247,7 +249,11 @@ Result<int> InvSession::p_open(const std::string& path, OpenMode mode,
     const int fd = next_fd_++;
     fds_[fd] = std::move(h);
     return fd;
-  });
+  },
+  // A read-mode open never locks; its single-op transaction (when the
+  // session has none) can be read-only, which keeps historical and plain
+  // read opens off the lock manager and the commit log entirely.
+  mode == OpenMode::kWrite ? TxnMode::kReadWrite : TxnMode::kReadOnly);
   fs_->lat_open_->Observe(span.ElapsedMicros());
   return result;
 }
@@ -289,14 +295,16 @@ Result<int64_t> InvSession::p_lseek(int fd, int64_t offset, Whence whence) {
 
 Result<FileStat> InvSession::p_fstat(int fd) {
   INV_ASSIGN_OR_RETURN(Handle * h, GetHandle(fd));
-  return WithTxn([&](TxnId txn) -> Result<FileStat> {
-    INV_ASSIGN_OR_RETURN(FileStat st, fs_->StatOid(h->file, SnapFor(*h, txn)));
-    if (h->meta_dirty) {
-      st.size = h->size;  // uncommitted writes are visible to their author
-      st.mtime = h->pending_mtime;
-    }
-    return st;
-  });
+  return WithTxn(
+      [&](TxnId txn) -> Result<FileStat> {
+        INV_ASSIGN_OR_RETURN(FileStat st, fs_->StatOid(h->file, SnapFor(*h, txn)));
+        if (h->meta_dirty) {
+          st.size = h->size;  // uncommitted writes are visible to their author
+          st.mtime = h->pending_mtime;
+        }
+        return st;
+      },
+      TxnMode::kReadOnly);
 }
 
 // ----------------------------------------------------------------- chunk I/O
@@ -330,9 +338,15 @@ Result<std::optional<std::pair<Tid, Blob>>> InvSession::FetchChunk(
   };
 
   if (h.chunk_index != nullptr) {
-    INV_ASSIGN_OR_RETURN(
-        auto tids,
-        h.chunk_index->btree->Lookup(EncodeInt4Key(static_cast<int32_t>(chunkno))));
+    Result<std::vector<Tid>> tids_or = [&] {
+      // Probe gate: lock-free readers reach this B-tree with no table lock,
+      // so vacuum's index rebuild swaps the btree object under exclusive
+      // entry; the shared entry spans exactly one probe.
+      SharedGateLock gate(fs_->db().probe_gate());
+      return h.chunk_index->btree->Lookup(
+          EncodeInt4Key(static_cast<int32_t>(chunkno)));
+    }();
+    INV_ASSIGN_OR_RETURN(auto tids, std::move(tids_or));
     for (Tid tid : tids) {
       INV_ASSIGN_OR_RETURN(auto row, h.chunk_table->heap->Fetch(snap, tid));
       if (row.has_value()) {
@@ -551,14 +565,16 @@ Result<int64_t> InvSession::WriteAt(Handle& h, TxnId txn, int64_t offset,
 Result<int64_t> InvSession::p_read(int fd, std::span<std::byte> buf) {
   ScopedSpan span(fs_->spans_, "p_read");
   INV_ASSIGN_OR_RETURN(Handle * h, GetHandle(fd));
-  auto result = WithTxn([&](TxnId txn) -> Result<int64_t> {
-    if (!h->historical) {
-      INV_RETURN_IF_ERROR(fs_->db().LockTable(txn, h->chunk_table, LockMode::kShared));
-    }
-    INV_ASSIGN_OR_RETURN(int64_t n, ReadAt(*h, txn, h->offset, buf));
-    h->offset += n;
-    return n;
-  });
+  // No table lock: reads run against the transaction's pinned snapshot
+  // (SnapFor), so a writer's uncommitted chunk versions are invisible and a
+  // writer's exclusive lock never blocks this read.
+  auto result = WithTxn(
+      [&](TxnId txn) -> Result<int64_t> {
+        INV_ASSIGN_OR_RETURN(int64_t n, ReadAt(*h, txn, h->offset, buf));
+        h->offset += n;
+        return n;
+      },
+      TxnMode::kReadOnly);
   fs_->lat_read_->Observe(span.ElapsedMicros());
   return result;
 }
@@ -672,26 +688,32 @@ Status InvSession::rename(const std::string& from, const std::string& to) {
 
 Result<FileStat> InvSession::stat(const std::string& path, Timestamp as_of) {
   ScopedSpan span(fs_->spans_, "stat");
-  return WithTxn([&](TxnId txn) -> Result<FileStat> {
-    const Snapshot snap = as_of != kTimestampNow ? fs_->db().SnapshotAt(as_of)
-                                                 : fs_->db().SnapshotFor(txn);
-    return fs_->StatPath(path, snap);
-  });
+  return WithTxn(
+      [&](TxnId txn) -> Result<FileStat> {
+        const Snapshot snap = as_of != kTimestampNow
+                                  ? fs_->db().SnapshotAt(as_of)
+                                  : fs_->db().ReadSnapshot(txn);
+        return fs_->StatPath(path, snap);
+      },
+      TxnMode::kReadOnly);
 }
 
 Result<std::vector<DirEntry>> InvSession::readdir(const std::string& path,
                                                   Timestamp as_of) {
   ScopedSpan span(fs_->spans_, "readdir");
-  return WithTxn([&](TxnId txn) -> Result<std::vector<DirEntry>> {
-    const Snapshot snap = as_of != kTimestampNow ? fs_->db().SnapshotAt(as_of)
-                                                 : fs_->db().SnapshotFor(txn);
-    INV_ASSIGN_OR_RETURN(Oid dir, fs_->ResolvePath(path, snap));
-    INV_ASSIGN_OR_RETURN(FileStat st, fs_->StatOid(dir, snap));
-    if (!st.is_directory) {
-      return Status::InvalidArgument(path + " is not a directory");
-    }
-    return fs_->ListDirectory(dir, snap);
-  });
+  return WithTxn(
+      [&](TxnId txn) -> Result<std::vector<DirEntry>> {
+        const Snapshot snap = as_of != kTimestampNow
+                                  ? fs_->db().SnapshotAt(as_of)
+                                  : fs_->db().ReadSnapshot(txn);
+        INV_ASSIGN_OR_RETURN(Oid dir, fs_->ResolvePath(path, snap));
+        INV_ASSIGN_OR_RETURN(FileStat st, fs_->StatOid(dir, snap));
+        if (!st.is_directory) {
+          return Status::InvalidArgument(path + " is not a directory");
+        }
+        return fs_->ListDirectory(dir, snap);
+      },
+      TxnMode::kReadOnly);
 }
 
 }  // namespace invfs

@@ -48,8 +48,11 @@ InvNfsGateway::InvNfsGateway(InversionFs* fs) : fs_(fs) {
   write_bytes_ = metrics_->GetCounter("nfs.write_bytes");
 }
 
-void InvNfsGateway::CountOp(const char* op) {
+void InvNfsGateway::CountOp(const char* op, bool read_only) {
   metrics_->GetCounter("nfs.requests", op)->Add();
+  if (read_only) {
+    metrics_->GetCounter("nfs.read_only_requests")->Add();
+  }
 }
 
 Result<std::pair<std::string, Timestamp>> InvNfsGateway::ParseTimePath(
@@ -101,7 +104,7 @@ Status InvNfsGateway::Close(int fd) {
 }
 
 Result<int64_t> InvNfsGateway::Read(int fd, std::span<std::byte> buf) {
-  CountOp("read");
+  CountOp("read", /*read_only=*/true);
   ScopedSpan span(&metrics_->spans(), "nfs.read");
   auto n = session_->p_read(fd, buf);
   if (n.ok() && *n > 0) {
@@ -123,13 +126,13 @@ Result<int64_t> InvNfsGateway::Write(int fd, std::span<const std::byte> buf) {
 }
 
 Result<int64_t> InvNfsGateway::Seek(int fd, int64_t offset, Whence whence) {
-  CountOp("seek");
+  CountOp("seek", /*read_only=*/true);
   ScopedSpan span(&metrics_->spans(), "nfs.seek");
   return session_->p_lseek(fd, offset, whence);
 }
 
 Result<FileStat> InvNfsGateway::GetAttr(const std::string& path) {
-  CountOp("getattr");
+  CountOp("getattr", /*read_only=*/true);
   ScopedSpan span(&metrics_->spans(), "nfs.getattr");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   return session_->stat(parsed.first, parsed.second);
@@ -167,7 +170,7 @@ Status InvNfsGateway::Rename(const std::string& from, const std::string& to) {
 }
 
 Result<std::vector<DirEntry>> InvNfsGateway::Readdir(const std::string& path) {
-  CountOp("readdir");
+  CountOp("readdir", /*read_only=*/true);
   ScopedSpan span(&metrics_->spans(), "nfs.readdir");
   INV_ASSIGN_OR_RETURN(auto parsed, ParseTimePath(path));
   return session_->readdir(parsed.first, parsed.second);

@@ -63,7 +63,11 @@ class InvNfsGateway {
 
  private:
   // Count one nfs.requests{<op>} (cached cold-path lookup per op).
-  void CountOp(const char* op);
+  // `read_only` additionally counts nfs.read_only_requests: such ops run as
+  // read-only single-op transactions (pinned snapshot, no data locks) when
+  // the gateway session has no transaction open — which, NFS being
+  // stateless, is always.
+  void CountOp(const char* op, bool read_only = false);
 
   InversionFs* fs_;
   std::unique_ptr<InvSession> session_;

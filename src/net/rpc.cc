@@ -221,6 +221,9 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
   // Per-op request counter: one registry map lookup per call, which is noise
   // next to the simulated wire costs this layer exists to charge.
   metrics_->GetCounter("rpc.requests", RpcOpName(op))->Add();
+  if (IsReadOnlyRpcOp(op)) {
+    metrics_->GetCounter("rpc.read_only_requests")->Add();
+  }
   bytes_in_->Add(request.size());
   // Root of the request's causal trace: every span the handled op opens
   // below (p_* entry, txn, buffer, device, commit) becomes a descendant.

@@ -43,6 +43,25 @@ enum class RpcOp : uint8_t {
   kQuery,
 };
 
+// Ops that are read-only by construction: outside an explicit client
+// transaction they run as read-only single-op transactions — pinned
+// snapshot, no data locks, no commit-log record — so a writer holding
+// exclusive locks never delays them. kOpen and kQuery are *conditionally*
+// read-only (mode / statement kind decides inside the session layer) and are
+// conservatively classified false here.
+constexpr bool IsReadOnlyRpcOp(RpcOp op) {
+  switch (op) {
+    case RpcOp::kRead:
+    case RpcOp::kLseek:
+    case RpcOp::kFstat:
+    case RpcOp::kStat:
+    case RpcOp::kReaddir:
+      return true;
+    default:
+      return false;
+  }
+}
+
 // Bidirectional message channel with a cost model. RoundTrip sends a request
 // and returns the response.
 class Transport {

@@ -230,7 +230,7 @@ int Breakdown(const std::vector<SpanRecord>& snap, const std::string& op) {
 
 int DumpSlo(Database* db) {
   std::printf("%-10s %8s  %10s %10s %10s  %10s %10s %10s  %s\n", "op", "count",
-              "p50", "p99", "p999", "slo_p50", "slo_p99", "slo_p999", "ok");
+              "p50", "p99", "p999", "slo_p50", "slo_p99", "slo_p999", "verdict");
   for (const SloReport& r :
        EvaluateSlos(&db->metrics(), db->options().slo_targets)) {
     std::printf(
@@ -242,7 +242,7 @@ int DumpSlo(Database* db) {
         static_cast<unsigned long long>(r.target.p50_us),
         static_cast<unsigned long long>(r.target.p99_us),
         static_cast<unsigned long long>(r.target.p999_us),
-        r.ok ? "ok" : "VIOLATED");
+        SloVerdict(r));
   }
   return 0;
 }

@@ -41,4 +41,11 @@ std::vector<SloReport> EvaluateSlos(MetricsRegistry* metrics,
   return out;
 }
 
+const char* SloVerdict(const SloReport& report) {
+  if (report.count == 0) {
+    return "no data";
+  }
+  return report.ok ? "ok" : "VIOLATED";
+}
+
 }  // namespace invfs

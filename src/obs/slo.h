@@ -44,8 +44,16 @@ struct SloReport {
 };
 
 // One report row per target, in target order. Classes with no observations
-// yet report count=0 and ok=true (no evidence of a violation).
+// yet report count=0 and ok=true (no evidence of a violation); present them
+// via SloVerdict, which distinguishes that case from a genuinely passing
+// class — Percentile() returns 0 on an empty histogram, so a count-0 row's
+// zeros are absence of data, not sub-microsecond latency.
 std::vector<SloReport> EvaluateSlos(MetricsRegistry* metrics,
                                     const std::vector<SloTarget>& targets);
+
+// Three-state verdict for one report row: "ok", "VIOLATED", or "no data"
+// (count == 0: the op class was never exercised, so the objective is neither
+// met nor violated). Static strings — safe to hold without the report.
+const char* SloVerdict(const SloReport& report);
 
 }  // namespace invfs

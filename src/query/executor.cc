@@ -202,7 +202,7 @@ Result<ResultSet> Executor::ExecRetrieve(const Statement& stmt, TxnId txn) {
       r.table = VirtualTableInfo(decl.table);
       r.is_virtual = true;
       r.vrows = MaterializeVirtualTable(db_, decl.table);
-      r.snap = db_->SnapshotFor(txn);
+      r.snap = db_->ReadSnapshot(txn);
       ranges.push_back(std::move(r));
       continue;  // no catalog entry, no table lock
     }
@@ -210,10 +210,13 @@ Result<ResultSet> Executor::ExecRetrieve(const Statement& stmt, TxnId txn) {
       r.snap = db_->SnapshotAt(*decl.as_of);
       INV_ASSIGN_OR_RETURN(r.table, db_->catalog().GetTableAt(decl.table, r.snap));
     } else {
-      r.snap = db_->SnapshotFor(txn);
+      r.snap = db_->ReadSnapshot(txn);
       INV_ASSIGN_OR_RETURN(r.table, db_->catalog().GetTable(decl.table));
     }
-    INV_RETURN_IF_ERROR(db_->LockTable(txn, r.table, LockMode::kShared));
+    // No shared table lock: retrieves run against the transaction's pinned
+    // snapshot, so concurrent writers are invisible rather than excluded.
+    // (A transaction that already wrote reads its live snapshot instead and
+    // still holds its own exclusive locks.)
     ranges.push_back(std::move(r));
   }
 
@@ -230,7 +233,7 @@ Result<ResultSet> Executor::ExecRetrieve(const Statement& stmt, TxnId txn) {
   EvalContext ctx;
   ctx.db = db_;
   ctx.txn = txn;
-  ctx.snap = db_->SnapshotFor(txn);
+  ctx.snap = db_->ReadSnapshot(txn);
   ctx.registry = registry_;
 
   // Which conjuncts can be evaluated once variables 0..level are bound?
@@ -369,7 +372,13 @@ Result<ResultSet> Executor::ExecRetrieve(const Statement& stmt, TxnId txn) {
           r.table->schema.column(paths[level].key_column).type;
       INV_ASSIGN_OR_RETURN(Value coerced, CoerceValue(key_val, col_type));
       INV_ASSIGN_OR_RETURN(BtreeKey key, EncodeKey(std::span(&coerced, 1)));
-      INV_ASSIGN_OR_RETURN(auto tids, paths[level].index->btree->Lookup(key));
+      Result<std::vector<Tid>> tids_or = [&] {
+        // Lock-free probe: the gate excludes vacuum's index rebuild (which
+        // replaces the btree object) for the duration of one lookup.
+        SharedGateLock gate(db_->probe_gate());
+        return paths[level].index->btree->Lookup(key);
+      }();
+      INV_ASSIGN_OR_RETURN(auto tids, std::move(tids_or));
       for (Tid tid : tids) {
         INV_ASSIGN_OR_RETURN(auto row, r.table->heap->Fetch(r.snap, tid));
         if (row.has_value()) {

@@ -83,7 +83,11 @@ TableInfo* SloTableInfo() {
                        {"target_p50", TypeId::kInt8},
                        {"target_p99", TypeId::kInt8},
                        {"target_p999", TypeId::kInt8},
-                       {"ok", TypeId::kBool}};
+                       {"ok", TypeId::kBool},
+                       // "ok" / "VIOLATED" / "no data" — distinguishes a
+                       // never-exercised op class (count 0, zeros above are
+                       // absence of data) from a passing one.
+                       {"verdict", TypeId::kText}};
     return t;
   }();
   return info;
@@ -162,7 +166,7 @@ std::vector<Row> MaterializeVirtualTable(Database* db, std::string_view name) {
                          Value::Int8(static_cast<int64_t>(r.target.p50_us)),
                          Value::Int8(static_cast<int64_t>(r.target.p99_us)),
                          Value::Int8(static_cast<int64_t>(r.target.p999_us)),
-                         Value::Bool(r.ok)});
+                         Value::Bool(r.ok), Value::Text(SloVerdict(r))});
     }
     return rows;
   }

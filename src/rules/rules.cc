@@ -34,7 +34,7 @@ Status RuleEngine::Load() {
   if (!table.ok()) {
     return Status::Ok();  // no rules defined yet
   }
-  const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log()};
+  const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log(), nullptr};
   auto it = (*table)->heap->Scan(snap);
   while (it.Next()) {
     const Row& r = it.row();
@@ -116,11 +116,13 @@ Result<int> RuleEngine::ApplyRules(TxnId txn) {
     if (!table.ok()) {
       continue;  // table dropped since the rule was defined
     }
-    INV_RETURN_IF_ERROR(db_->LockTable(txn, *table, LockMode::kShared));
+    // The match scan is lock-free: it runs against the transaction's pinned
+    // (or, once written, live) snapshot. Actions that modify rows take their
+    // own exclusive locks.
     EvalContext ctx;
     ctx.db = db_;
     ctx.txn = txn;
-    ctx.snap = db_->SnapshotFor(txn);
+    ctx.snap = db_->ReadSnapshot(txn);
     ctx.registry = registry_;
 
     // Materialize matches before firing actions (actions may update the

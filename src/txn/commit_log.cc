@@ -256,6 +256,7 @@ Status CommitLog::BeginTxn(TxnId xid) {
     return Status::Internal("xid " + std::to_string(xid) + " reused");
   }
   entries_[xid].status = TxnStatus::kInProgress;
+  unresolved_.insert(xid);
   dirty_blocks_.insert(static_cast<uint32_t>(xid / kEntriesPerPage));
   // The begin record exists to prevent xid reuse after a crash. Persisting
   // one per begin would cost a device write per transaction, so begins are
@@ -283,7 +284,13 @@ Status CommitLog::CommitTxn(TxnId xid, Timestamp commit_ts) {
   // (the leader may release mu_ mid-flush, so entries_ is observable before
   // the device write completes).
   entries_[xid] = Entry{TxnStatus::kCommitted, commit_ts, seq};
-  return WaitPersisted(seq);
+  const Status s = WaitPersisted(seq);
+  if (s.ok()) {
+    // The covering flush landed: the commit is durable and can never again
+    // read as in-progress, so snapshot capture need not track the xid.
+    unresolved_.erase(xid);
+  }
+  return s;
 }
 
 Status CommitLog::CommitTxnReadOnly(TxnId xid, Timestamp commit_ts) {
@@ -297,6 +304,7 @@ Status CommitLog::CommitTxnReadOnly(TxnId xid, Timestamp commit_ts) {
   // FailStopLocked check — read-only commits must keep succeeding after the
   // log has poisoned, or in-flight readers would fail on a degraded device.
   entries_[xid] = Entry{TxnStatus::kCommitted, commit_ts, 0};
+  unresolved_.erase(xid);
   dirty_blocks_.insert(xid / kEntriesPerPage);
   return Status::Ok();
 }
@@ -307,6 +315,11 @@ Status CommitLog::AbortTxn(TxnId xid) {
     return Status::Internal("abort of unknown xid " + std::to_string(xid));
   }
   entries_[xid].status = TxnStatus::kAborted;
+  // Aborted xids leave the unresolved set even though the abort record is
+  // not yet durable: an aborted entry can never become visible, so excluding
+  // it from captured snapshots is always correct (in-view + never-committed
+  // still reads as invisible).
+  unresolved_.erase(xid);
   // No waiting: the abort rides out with the next group flush, and an
   // unpersisted abort reads back as in-progress, which recovery aborts.
   dirty_blocks_.insert(xid / kEntriesPerPage);
@@ -342,6 +355,25 @@ bool CommitLog::CommittedBefore(TxnId xid, Timestamp as_of) const {
 TxnId CommitLog::MaxTxnId() const {
   MutexLock lock(mu_);
   return entries_.empty() ? 0 : static_cast<TxnId>(entries_.size() - 1);
+}
+
+std::shared_ptr<const SnapshotState> CommitLog::CaptureState() {
+  MutexLock lock(mu_);
+  auto state = std::make_shared<SnapshotState>();
+  state->xmax = static_cast<TxnId>(entries_.size());
+  for (auto it = unresolved_.begin(); it != unresolved_.end();) {
+    const TxnId xid = *it;
+    if (xid < entries_.size() &&
+        VisibleStatus(entries_[xid]) == TxnStatus::kInProgress) {
+      state->xip.push_back(xid);  // set order: ascending, as InView expects
+      ++it;
+    } else {
+      // Resolved without passing through an eager erase: prune here so the
+      // set stays proportional to live transactions.
+      it = unresolved_.erase(it);
+    }
+  }
+  return state;
 }
 
 }  // namespace invfs

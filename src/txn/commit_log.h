@@ -37,8 +37,10 @@
 
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -58,6 +60,28 @@ enum class TxnStatus : uint32_t {
   kInProgress = 1,
   kCommitted = 2,
   kAborted = 3,
+};
+
+// A frozen view of which transactions were unresolved at a single instant:
+// the Postgres-style (xmax, xip) pair that makes a snapshot immune to
+// commits landing mid-scan. An xid is *in view* when the capture had already
+// decided its fate — everything at or past `xmax` had not begun, and
+// everything in `xip` was still in flight (in-progress, or committed but not
+// yet durable, which visibility must treat identically because a crash could
+// still take the commit back). A snapshot that carries one of these never
+// changes its mind about any xid, no matter what the live commit log does.
+struct SnapshotState {
+  TxnId xmax = 0;          // first xid beyond the captured log
+  std::vector<TxnId> xip;  // unresolved xids < xmax, ascending
+
+  bool InView(TxnId xid) const {
+    return xid < xmax && !std::binary_search(xip.begin(), xip.end(), xid);
+  }
+
+  // Lowest xid whose commit a snapshot pinned on this state might not see.
+  // Versions whose deleter committed below every active snapshot's horizon
+  // are invisible to all of them: vacuum's reclamation criterion.
+  TxnId HorizonXid() const { return xip.empty() ? xmax : xip.front(); }
 };
 
 class CommitLog {
@@ -101,6 +125,13 @@ class CommitLog {
 
   // Highest xid ever registered (for xid allocation after reopen).
   TxnId MaxTxnId() const;
+
+  // Freeze the set of currently unresolved xids. Snapshots built on the
+  // returned state keep one immutable answer for every xid's visibility even
+  // as transactions commit underneath them. O(active transactions), not
+  // O(log size): the unresolved set is maintained incrementally and pruned
+  // lazily here.
+  std::shared_ptr<const SnapshotState> CaptureState();
 
   // True once a group flush failed permanently. The log refuses durable
   // transitions from then on (fail-stop): callers see kReadOnlyDevice, and
@@ -170,6 +201,12 @@ class CommitLog {
   // Durable xid high-water mark (entry 0's timestamp field on disk). Begins
   // at or below it need no device wait; see BeginTxn.
   TxnId xid_horizon_ GUARDED_BY(mu_) = 0;
+
+  // Xids whose VisibleStatus may still be kInProgress: inserted at BeginTxn,
+  // erased when the transition resolves (commit flush landed, read-only
+  // commit, abort) and pruned lazily by CaptureState. Keeps state capture
+  // proportional to the number of live transactions.
+  std::set<TxnId> unresolved_ GUARDED_BY(mu_);
 
   // Group-commit state.
   // Log pages awaiting flush.

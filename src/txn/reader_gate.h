@@ -1,0 +1,95 @@
+// ReaderGate: a tiny shared/exclusive gate that protects in-memory index
+// structures from the one maintenance operation that rebuilds them in place.
+//
+// Snapshot-isolation readers probe B-trees without holding any table lock,
+// so vacuum's index rebuild (which drops the index relation and replaces the
+// BTree object wholesale) can no longer rely on its exclusive table lock to
+// exclude them. Readers enter the gate shared for the duration of a single
+// probe; vacuum (and catalog table migration, which rebinds a relation's
+// device underneath the pool) enters exclusive for the duration of the swap.
+//
+// This is NOT the lock manager: entries are instantaneous relative to
+// transaction lifetimes (a probe, not a scan), there is no deadlock
+// potential (shared holders never block on anything while inside, and
+// exclusive holders take the gate strictly after every table lock they
+// need), and no fairness machinery is warranted at this granularity.
+
+#pragma once
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace invfs {
+
+class ReaderGate {
+ public:
+  ReaderGate() = default;
+  ReaderGate(const ReaderGate&) = delete;
+  ReaderGate& operator=(const ReaderGate&) = delete;
+
+  void EnterShared() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (exclusive_) {
+      cv_.Wait(mu_);
+    }
+    ++readers_;
+  }
+
+  void ExitShared() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (--readers_ == 0) {
+      cv_.NotifyAll();
+    }
+  }
+
+  void EnterExclusive() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (exclusive_) {
+      cv_.Wait(mu_);
+    }
+    exclusive_ = true;
+    while (readers_ > 0) {
+      cv_.Wait(mu_);
+    }
+  }
+
+  void ExitExclusive() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    exclusive_ = false;
+    cv_.NotifyAll();
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  int readers_ GUARDED_BY(mu_) = 0;
+  bool exclusive_ GUARDED_BY(mu_) = false;
+};
+
+// RAII shared entry (one probe).
+class SharedGateLock {
+ public:
+  explicit SharedGateLock(ReaderGate& gate) : gate_(gate) { gate_.EnterShared(); }
+  ~SharedGateLock() { gate_.ExitShared(); }
+  SharedGateLock(const SharedGateLock&) = delete;
+  SharedGateLock& operator=(const SharedGateLock&) = delete;
+
+ private:
+  ReaderGate& gate_;
+};
+
+// RAII exclusive entry (one structure swap).
+class ExclusiveGateLock {
+ public:
+  explicit ExclusiveGateLock(ReaderGate& gate) : gate_(gate) {
+    gate_.EnterExclusive();
+  }
+  ~ExclusiveGateLock() { gate_.ExitExclusive(); }
+  ExclusiveGateLock(const ExclusiveGateLock&) = delete;
+  ExclusiveGateLock& operator=(const ExclusiveGateLock&) = delete;
+
+ private:
+  ReaderGate& gate_;
+};
+
+}  // namespace invfs

@@ -5,6 +5,8 @@
 
 #pragma once
 
+#include <memory>
+
 #include "src/storage/common.h"
 #include "src/storage/tuple.h"
 #include "src/txn/commit_log.h"
@@ -18,30 +20,50 @@ struct Snapshot {
   // The observing transaction; kInvalidTxn for pure historical reads.
   TxnId self = kInvalidTxn;
   const CommitLog* log = nullptr;
+  // Frozen xid view captured at begin time. Null means a *live* snapshot:
+  // every visibility check consults the commit log afresh, so commits landing
+  // mid-scan become visible mid-scan — the behavior writers need for their
+  // read-modify-write cycles under 2PL. Non-null pins the snapshot: an xid
+  // unresolved at capture stays invisible forever, which is what lets readers
+  // run without data locks while writers commit underneath them.
+  std::shared_ptr<const SnapshotState> frozen;
 
   bool is_historical() const { return as_of != kTimestampNow; }
+  bool is_pinned() const { return frozen != nullptr; }
+
+  // Is `xid`'s effect (insert or delete) visible to this snapshot? The
+  // observer's own uncommitted work is visible to itself; everything else
+  // must have committed before as_of — and, when pinned, have been resolved
+  // at capture time.
+  bool XidVisible(TxnId xid) const {
+    if (self != kInvalidTxn && xid == self && !is_historical()) {
+      return true;
+    }
+    if (frozen != nullptr && !frozen->InView(xid)) {
+      return false;
+    }
+    return log->CommittedBefore(xid, as_of);
+  }
 
   // POSTGRES visibility: a tuple version is visible iff its inserter is
   // in-view (committed before as_of, or is the observer itself) and its
   // deleter is not.
   bool IsVisible(const TupleMeta& meta) const {
-    const bool inserted =
-        (self != kInvalidTxn && meta.xmin == self && !is_historical()) ||
-        log->CommittedBefore(meta.xmin, as_of);
-    if (!inserted) {
+    if (!XidVisible(meta.xmin)) {
       return false;
     }
     if (meta.xmax == kInvalidTxn) {
       return true;
     }
-    const bool deleted =
-        (self != kInvalidTxn && meta.xmax == self && !is_historical()) ||
-        log->CommittedBefore(meta.xmax, as_of);
-    return !deleted;
+    return !XidVisible(meta.xmax);
   }
 
   // True when the tuple version is dead to *every* present and future
   // current-time snapshot (deleter committed): vacuum's archiving criterion.
+  // StatusOf reports through VisibleStatus, so a committed-but-not-yet-
+  // durable deleter still reads kInProgress here and the version survives.
+  // Note: pinned snapshots older than the deleter may still see the version;
+  // vacuum additionally honors TxnManager::OldestActiveXmin before acting.
   bool IsDeadForever(const TupleMeta& meta) const {
     return meta.xmax != kInvalidTxn &&
            log->StatusOf(meta.xmax) == TxnStatus::kCommitted;

@@ -9,6 +9,18 @@
 // tuple stamped with this xid invisible forever; a crash after it finds all
 // the data already on stable storage.
 //
+// Transactions begin in one of two modes:
+//   * kReadWrite — a real xid from the commit log, strict 2PL on every
+//     relation it writes, and a snapshot-isolation view for any reads that
+//     precede its first write (ReadSnapshot degrades to the live snapshot
+//     once the transaction writes, because read-modify-write under an
+//     exclusive lock must see current state).
+//   * kReadOnly — a *virtual* xid (high bit set) that never enters the
+//     commit log: no begin record, no commit record, no log I/O at all, so
+//     pure readers keep working even on a poisoned log. The transaction is
+//     pinned to the SnapshotState captured at begin and acquires no data
+//     locks — writers never block it and it never blocks writers.
+//
 // Neither POSTGRES 4.0.1 nor Inversion supports nested transactions, so one
 // client has at most one transaction open at a time; the Inversion layer
 // enforces that per-session rule.
@@ -29,6 +41,19 @@
 
 namespace invfs {
 
+enum class TxnMode {
+  kReadWrite,
+  kReadOnly,
+};
+
+// Virtual xids for read-only transactions live in the top half of the xid
+// space; real xid allocation never gets near it (the commit log would be
+// 32 TB of entries first). They stamp no tuples, so visibility code only
+// ever sees them as a Snapshot's `self`, where StatusOf answers kUnused.
+inline constexpr TxnId kReadOnlyXidBase = 0x80000000u;
+
+inline bool IsReadOnlyTxn(TxnId xid) { return xid >= kReadOnlyXidBase; }
+
 class TxnManager {
  public:
   // `metrics` receives txn.begins/commits/aborts; nullptr gives the manager
@@ -36,18 +61,36 @@ class TxnManager {
   TxnManager(CommitLog* log, BufferPool* buffers, LockManager* locks,
              SimClock* clock, MetricsRegistry* metrics = nullptr);
 
-  Result<TxnId> Begin();
+  Result<TxnId> Begin(TxnMode mode = TxnMode::kReadWrite);
   Status Commit(TxnId txn);
   Status Abort(TxnId txn);
   bool IsActive(TxnId txn) const;
 
-  // Record that `txn` dirtied `rel`, so commit knows what to force.
+  // Record that `txn` dirtied `rel`, so commit knows what to force. Also
+  // marks the transaction written (see ReadSnapshot).
   void NoteTouched(TxnId txn, Oid rel);
 
-  // Current-state snapshot as seen by `txn` (includes its own writes).
+  // The transaction has acquired write intent (its first exclusive lock):
+  // from here on its reads must observe current state, not the begin-time
+  // pin, or its read-modify-write cycles would resurrect overwritten data.
+  void MarkWritten(TxnId txn);
+
+  // Current-state snapshot as seen by `txn` (includes its own writes). Live:
+  // consults the commit log afresh on every check.
   Snapshot SnapshotFor(TxnId txn) const;
   // Historical snapshot: the transaction-consistent state at time `t`.
+  // Pinned, so in-flight commits can't shift visibility mid-scan.
   Snapshot SnapshotAt(Timestamp t) const;
+  // The snapshot `txn`'s *reads* should use: the begin-time pinned view
+  // while the transaction has not written (always, for read-only mode), the
+  // live SnapshotFor view after its first write.
+  Snapshot ReadSnapshot(TxnId txn) const;
+
+  // Lowest xid whose effects some active pinned snapshot might not see;
+  // kInvalidTxn when no unwritten pinned transactions are active. Vacuum may
+  // only reclaim a version whose deleter committed below this horizon —
+  // anything at or above it may still be visible to a running reader.
+  TxnId OldestActiveXmin() const;
 
   Timestamp Now() { return clock_->Now(); }
 
@@ -55,6 +98,12 @@ class TxnManager {
   CommitLog& log() { return *log_; }
 
  private:
+  struct ActiveTxn {
+    std::set<Oid> touched;  // relations dirtied (commit force set)
+    std::shared_ptr<const SnapshotState> pinned;  // begin-time xid view
+    bool written = false;
+  };
+
   CommitLog* log_;
   BufferPool* buffers_;
   LockManager* locks_;
@@ -62,13 +111,14 @@ class TxnManager {
 
   mutable Mutex mu_;
   TxnId next_xid_ GUARDED_BY(mu_);
-  // txn -> touched relations
-  std::map<TxnId, std::set<Oid>> active_ GUARDED_BY(mu_);
+  TxnId next_read_xid_ GUARDED_BY(mu_) = kReadOnlyXidBase + 1;
+  std::map<TxnId, ActiveTxn> active_ GUARDED_BY(mu_);
 
   // txn.* metrics.
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_ = nullptr;
   Counter* begins_ = nullptr;
+  Counter* ro_begins_ = nullptr;
   Counter* commits_ = nullptr;
   Counter* aborts_ = nullptr;
 };

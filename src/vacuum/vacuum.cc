@@ -6,6 +6,12 @@ Result<VacuumStats> VacuumCleaner::VacuumTable(TxnId txn, TableInfo* table,
                                                bool keep_history) {
   INV_RETURN_IF_ERROR(db_->LockTable(txn, table, LockMode::kExclusive));
   const Snapshot now_snap = db_->SnapshotFor(txn);
+  // Snapshot-isolation readers scan with no table lock, pinned at their
+  // begin time. A version whose deleter committed *after* such a reader
+  // pinned is still visible to it; only versions dead before the oldest
+  // pinned horizon may be physically reclaimed. kInvalidTxn = no pinned
+  // readers, so nothing constrains reclamation.
+  const TxnId horizon = db_->txns().OldestActiveXmin();
   VacuumStats stats;
 
   TableInfo* archive = nullptr;
@@ -35,7 +41,8 @@ Result<VacuumStats> VacuumCleaner::VacuumTable(TxnId txn, TableInfo* table,
         ++stats.live;  // someone is mid-insert; leave alone
         continue;
       }
-      if (now_snap.IsDeadForever(meta)) {
+      if (now_snap.IsDeadForever(meta) &&
+          (horizon == kInvalidTxn || meta.xmax < horizon)) {
         if (keep_history) {
           INV_RETURN_IF_ERROR(
               archive->heap->InsertRaw(txn, it.row(), meta).status());
@@ -84,6 +91,13 @@ Result<VacuumStats> VacuumCleaner::VacuumAll(TxnId txn, bool keep_history) {
 Status VacuumCleaner::RebuildIndex(TableInfo* table, IndexInfo* index) {
   // Recreate the index relation from scratch on its device, then reinsert an
   // entry for every surviving heap version.
+  //
+  // Exclusive gate entry: lock-free readers probe index->btree with no table
+  // lock, and this function both replaces the BTree object wholesale and
+  // leaves the index incomplete until reinsertion finishes. Taken after the
+  // caller's exclusive table lock (gate is always innermost), and shared
+  // holders never block while inside, so this cannot deadlock.
+  ExclusiveGateLock gate(db_->probe_gate());
   INV_ASSIGN_OR_RETURN(DeviceManager * mgr, db_->devices().ManagerFor(index->oid));
   db_->buffers().DiscardRelation(index->oid);
   INV_RETURN_IF_ERROR(mgr->DropRelation(index->oid));

@@ -61,7 +61,7 @@ class CheckTest : public ::testing::Test {
   }
 
   Oid ChunkTableOid(const std::string& path) {
-    const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log()};
+    const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log(), nullptr};
     auto oid = fs_->ResolvePath(path, snap);
     EXPECT_TRUE(oid.ok());
     auto table = db_->catalog().GetTable("inv" + std::to_string(*oid));

@@ -58,7 +58,7 @@ TEST_F(FailureTest, MediaCorruptionDetectedOnRead) {
 
   // Corrupt a byte in the middle of every block of the chunk table on stable
   // storage — the page self-identification check must catch it.
-  const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log()};
+  const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log(), nullptr};
   auto oid = fs_->ResolvePath("/victim.dat", snap);
   ASSERT_TRUE(oid.ok());
   auto* store = static_cast<MemBlockStore*>(env_.disk_store.get());
@@ -79,7 +79,7 @@ TEST_F(FailureTest, ChunkSelfIdentMismatchDetected) {
   // describes), not the page header: flip bytes later in the page.
   MakeFile("/victim2.dat", std::string(1000, 'w'));
   ASSERT_TRUE(db_->FlushCaches().ok());
-  const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log()};
+  const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log(), nullptr};
   auto oid = fs_->ResolvePath("/victim2.dat", snap);
   ASSERT_TRUE(oid.ok());
   auto table = db_->catalog().GetTable("inv" + std::to_string(*oid));
@@ -233,7 +233,7 @@ class CorruptingDiskTest : public ::testing::Test {
     ASSERT_TRUE(
         s_->p_write(*fd, std::as_bytes(std::span(data.data(), data.size()))).ok());
     ASSERT_TRUE(s_->p_close(*fd).ok());
-    const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log()};
+    const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log(), nullptr};
     auto oid = fs_->ResolvePath(path, snap);
     ASSERT_TRUE(oid.ok());
     auto table = db_->catalog().GetTable("inv" + std::to_string(*oid));

@@ -300,7 +300,7 @@ TEST_F(InvPropertyBase, NestedDirectoriesAndDeepPaths) {
   ASSERT_TRUE(st.ok());
   // PathOf reconstructs the full pathname (the paper's pathname construction
   // routine over naming entries).
-  const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log()};
+  const Snapshot snap{kTimestampNow, kInvalidTxn, &db_->txns().log(), nullptr};
   auto full = fs_->PathOf(st->oid, snap);
   ASSERT_TRUE(full.ok());
   EXPECT_EQ(*full, path + "/leaf.txt");

@@ -13,6 +13,7 @@
 #include "src/harness/worlds.h"
 #include "src/net/rpc.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/span.h"
 #include "src/obs/trace.h"
 
@@ -88,6 +89,37 @@ TEST(HistogramTest, PercentileReturnsBucketUpperBounds) {
   // Degenerate p values clamp to the first / last observation's bucket.
   EXPECT_EQ(h.Percentile(0.0), 3u);
   EXPECT_EQ(h.Percentile(1.0), 1023u);
+}
+
+TEST(SloTest, EmptyHistogramYieldsNoDataVerdict) {
+  // An op class with zero observations must not fabricate a passing (or
+  // failing) latency report out of Percentile's empty-histogram 0: the
+  // verdict is "no data", distinct from "ok".
+  MetricsRegistry reg;
+  auto reports = EvaluateSlos(&reg, {{"p_read", 500, 5000, 20000}});
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].count, 0u);
+  EXPECT_EQ(reports[0].p50_us, 0u);
+  EXPECT_EQ(reports[0].p999_us, 0u);
+  EXPECT_TRUE(reports[0].ok) << "no observations is not evidence of violation";
+  EXPECT_STREQ(SloVerdict(reports[0]), "no data");
+}
+
+TEST(SloTest, ExercisedClassYieldsOkOrViolated) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("op.latency_us", "p_read");
+  for (int i = 0; i < 100; ++i) {
+    h->Observe(100);
+  }
+  auto within = EvaluateSlos(&reg, {{"p_read", 500, 5000, 20000}});
+  ASSERT_EQ(within.size(), 1u);
+  EXPECT_GT(within[0].count, 0u);
+  EXPECT_STREQ(SloVerdict(within[0]), "ok");
+
+  auto beyond = EvaluateSlos(&reg, {{"p_read", 10, 10, 10}});
+  ASSERT_EQ(beyond.size(), 1u);
+  EXPECT_FALSE(beyond[0].ok);
+  EXPECT_STREQ(SloVerdict(beyond[0]), "VIOLATED");
 }
 
 TEST(HistogramTest, PercentileOfSingleObservation) {

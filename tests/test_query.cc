@@ -350,7 +350,7 @@ TEST_F(ExecutorTest, UncommittedDmlInvisibleToOthers) {
           .ok());
   // A second transaction must not see dave yet... but it would block on the
   // table lock under strict 2PL, so check via a snapshot directly.
-  Snapshot outsider{kTimestampNow, kInvalidTxn, &db_->txns().log()};
+  Snapshot outsider{kTimestampNow, kInvalidTxn, &db_->txns().log(), nullptr};
   auto table = db_->catalog().GetTable("emp");
   ASSERT_TRUE(table.ok());
   int count = 0;

@@ -76,6 +76,38 @@ TEST(CommitLogFailureTest, UnflushedCommitIsNeverVisible) {
   EXPECT_EQ((*reopened)->StatusOf(xid), TxnStatus::kAborted);
 }
 
+TEST(CommitLogFailureTest, UndurableDeleterIsNotDeadForever) {
+  MemBlockStore store;
+  FailingWriteDevice dev(&store);
+  auto log_or = CommitLog::Open(&dev);
+  ASSERT_TRUE(log_or.ok());
+  CommitLog& log = **log_or;
+
+  // A deleter whose commit decision never reached the device: in memory the
+  // entry may carry kCommitted, but its covering flush failed, so a crash
+  // right now would recover it as aborted — and the deleted version would be
+  // live again.
+  const TxnId deleter = kBootstrapTxn + 1;
+  ASSERT_TRUE(log.BeginTxn(deleter).ok());
+  dev.fail_writes.store(true);
+  EXPECT_FALSE(log.CommitTxn(deleter, 100).ok());
+
+  TupleMeta meta;
+  meta.xmin = kBootstrapTxn;
+  meta.xmax = deleter;
+
+  // Vacuum's archiving criterion must say "not dead": IsDeadForever reads
+  // status through the same durability gate as visibility, so the
+  // committed-but-unflushed delete does not qualify. Archiving here would
+  // destroy a version that crash recovery still needs.
+  Snapshot snap;
+  snap.log = &log;
+  EXPECT_FALSE(snap.IsDeadForever(meta))
+      << "vacuum would archive a version whose deleter's commit is not durable";
+  // The version is still visible, consistently with not-dead.
+  EXPECT_TRUE(snap.IsVisible(meta));
+}
+
 TEST_F(CommitLogTest, LifecycleOfOneTxn) {
   auto log = CommitLog::Open(&dev_);
   ASSERT_TRUE(log.ok());
@@ -234,7 +266,7 @@ TEST_P(VisibilityTest, Matrix) {
   }
 
   TupleMeta meta{0, kIns, c.has_xmax ? kDel : kInvalidTxn};
-  Snapshot snap{c.as_of, kInvalidTxn, log->get()};
+  Snapshot snap{c.as_of, kInvalidTxn, log->get(), nullptr};
   EXPECT_EQ(snap.IsVisible(meta), c.expect_visible) << c.name;
 }
 
@@ -263,9 +295,9 @@ TEST(Snapshot, OwnWritesVisibleOnlyToSelfAndOnlyNow) {
   ASSERT_TRUE((*log)->BeginTxn(7).ok());
   TupleMeta mine{0, 7, kInvalidTxn};
 
-  Snapshot self{kTimestampNow, 7, log->get()};
-  Snapshot other{kTimestampNow, 8, log->get()};
-  Snapshot historical{999999, 7, log->get()};
+  Snapshot self{kTimestampNow, 7, log->get(), nullptr};
+  Snapshot other{kTimestampNow, 8, log->get(), nullptr};
+  Snapshot historical{999999, 7, log->get(), nullptr};
   EXPECT_TRUE(self.IsVisible(mine));
   EXPECT_FALSE(other.IsVisible(mine));
   EXPECT_FALSE(historical.IsVisible(mine)) << "time travel never sees in-flight work";
@@ -280,8 +312,8 @@ TEST(Snapshot, OwnDeleteHidesRowFromSelf) {
   ASSERT_TRUE((*log)->CommitTxn(5, 10).ok());
   ASSERT_TRUE((*log)->BeginTxn(6).ok());
   TupleMeta meta{0, 5, 6};  // I (txn 6) deleted a committed row
-  Snapshot self{kTimestampNow, 6, log->get()};
-  Snapshot other{kTimestampNow, 7, log->get()};
+  Snapshot self{kTimestampNow, 6, log->get(), nullptr};
+  Snapshot other{kTimestampNow, 7, log->get(), nullptr};
   EXPECT_FALSE(self.IsVisible(meta));
   EXPECT_TRUE(other.IsVisible(meta)) << "uncommitted delete invisible to others";
 }
@@ -294,7 +326,7 @@ TEST(Snapshot, DeadForeverMatchesVacuumCriterion) {
   ASSERT_TRUE((*log)->BeginTxn(5).ok());
   ASSERT_TRUE((*log)->CommitTxn(5, 10).ok());
   ASSERT_TRUE((*log)->BeginTxn(6).ok());
-  Snapshot snap{kTimestampNow, kInvalidTxn, log->get()};
+  Snapshot snap{kTimestampNow, kInvalidTxn, log->get(), nullptr};
   EXPECT_FALSE(snap.IsDeadForever(TupleMeta{0, 5, kInvalidTxn}));
   EXPECT_FALSE(snap.IsDeadForever(TupleMeta{0, 5, 6})) << "deleter still running";
   ASSERT_TRUE((*log)->CommitTxn(6, 20).ok());
