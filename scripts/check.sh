@@ -14,6 +14,7 @@
 #   scripts/check.sh tsa        # invfs_lint + clang thread safety analysis
 #   scripts/check.sh metrics    # just the metrics-overhead smoke gate
 #   scripts/check.sh torture    # just the crash-recovery torture sweep (ASan)
+#   scripts/check.sh load       # just the open-loop loadgen SLO smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -185,6 +186,22 @@ run_torture() {
   echo "==> [torture] clean"
 }
 
+run_load() {
+  # Open-loop load observatory smoke: the builtin four-tenant mix at its 1x
+  # size, fixed seed, ~5 sim seconds. --check makes invfs_loadgen exit
+  # non-zero if any per-tenant load objective reports VIOLATED or the span
+  # ring dropped records — so a latency regression in the engine, a broken
+  # tenant behavior, or an undersized default ring all fail this gate. The
+  # baseline mix offers ~0.35 utilization, far from saturation: a VIOLATED
+  # verdict here is a real regression, not load-test noise.
+  local dir="$ROOT/build-load"
+  echo "==> [load] configure+build invfs_loadgen (Release)"
+  cmake -B "$dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target invfs_loadgen -- --no-print-directory
+  echo "==> [load] builtin mix, seed 42, 5 sim seconds, --check"
+  "$dir/src/load/invfs_loadgen" --seconds 5 --seed 42 --check
+}
+
 case "$LEG" in
   asan) run_sanitized asan address ;;
   tsan) run_sanitized tsan thread ;;
@@ -192,6 +209,7 @@ case "$LEG" in
   tsa) run_tsa ;;
   metrics) run_metrics_overhead ;;
   torture) run_torture ;;
+  load) run_load ;;
   all)
     run_sanitized asan address
     run_sanitized tsan thread
@@ -199,9 +217,10 @@ case "$LEG" in
     run_tsa
     run_metrics_overhead
     run_torture
+    run_load
     ;;
   *)
-    echo "unknown leg '$LEG' (want asan, tsan, tidy, tsa, metrics, torture, or all)" >&2
+    echo "unknown leg '$LEG' (want asan, tsan, tidy, tsa, metrics, torture, load, or all)" >&2
     exit 2
     ;;
 esac

@@ -329,6 +329,12 @@ Result<TableInfo*> Catalog::CreateTable(TxnId txn, const std::string& name,
   INV_ASSIGN_OR_RETURN(TableInfo * info,
                        MakeCachedTable(oid, name, schema, device, RelKind::kHeap));
   INV_RETURN_IF_ERROR(InsertTableRows(txn, *info));
+  // Force policy: the new relation's pages (none yet, but any the txn dirties
+  // before its first row insert) must be flushed before this txn's commit
+  // record — its catalog rows commit in the same record, so a catalogued
+  // relation whose storage never reached the device would otherwise be
+  // reachable after recovery.
+  txns_->NoteTouched(txn, oid);
   NoteCreated(txn, oid);
   return info;
 }
@@ -343,6 +349,12 @@ Result<IndexInfo*> Catalog::CreateIndex(TxnId txn, TableInfo* table,
   info->table = table->oid;
   info->key_columns = key_columns;
   INV_ASSIGN_OR_RETURN(info->btree, BTree::Create(oid, pool_));
+  // BTree::Create just dirtied the meta and root pages through the buffer
+  // pool. If this txn commits without a single index insert (an empty file's
+  // chunk index, say), nothing else puts the relation in the commit's flush
+  // set — and the commit record would then catalogue an index whose block 0
+  // never reached the device, which BTree::Open rejects at recovery.
+  txns_->NoteTouched(txn, oid);
 
   // pg_class row (so the relation is discoverable) + pg_index row.
   Row class_row{Value::Text(table->name + "_idx" + std::to_string(oid)),

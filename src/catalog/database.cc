@@ -9,6 +9,8 @@ Database::Database(StorageEnv* env, DatabaseOptions options)
     : options_(options),
       clock_(&env->clock),
       metrics_(options_.trace_ring_capacity, options_.span_ring_capacity) {
+  metrics_.ConfigureTimeseries(options_.timeseries_interval_micros,
+                               options_.timeseries_capacity);
   // Every device goes through the switch stacked as
   // Policy(Instrumented(Fault(real))): the fault injector (when configured)
   // sits closest to the store so corruption lands in the raw image, the

@@ -72,6 +72,12 @@ struct DatabaseOptions {
   // Declared latency objectives, evaluated against the op.latency_us
   // histograms (invfs_stats --slo, the invfs_slo relation).
   std::vector<SloTarget> slo_targets = DefaultSloTargets();
+  // Time-series sampler knobs: minimum sim micros between samples, and how
+  // many points (one per metric per sample) the ring retains. Applied at
+  // Open; the sampler only runs when something calls
+  // metrics().timeseries().Tick() — it has no thread of its own.
+  uint64_t timeseries_interval_micros = 100'000;
+  size_t timeseries_capacity = 4096;
 };
 
 class Database {

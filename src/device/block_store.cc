@@ -68,7 +68,11 @@ Status MemBlockStore::Read(Oid rel, uint32_t block, std::span<std::byte> out) {
     return Status::NotFound("relation " + std::to_string(rel));
   }
   if (block >= it->second.size()) {
-    return Status::InvalidArgument("block " + std::to_string(block) + " past end");
+    return Status::InvalidArgument("block " + std::to_string(block) +
+                                   " past end of relation " +
+                                   std::to_string(rel) + " (" +
+                                   std::to_string(it->second.size()) +
+                                   " blocks)");
   }
   if (out.size() < kPageSize) {
     return Status::InvalidArgument("read buffer too small");

@@ -9,6 +9,7 @@
 #include "src/fault/crash_points.h"
 #include "src/fault/fault_device.h"
 #include "src/harness/worlds.h"
+#include "src/load/loadgen.h"
 #include "src/util/random.h"
 
 namespace invfs {
@@ -50,13 +51,28 @@ std::span<const std::byte> AsBytes(const std::string& s) {
 // regardless of faults: the op stream is derived only from `rng` and the
 // mirrored `pending` state, which evolve the same way until the halt.
 void RunWorkload(const TortureOptions& opt, InversionWorld* world,
-                 FaultInjector* injector, RunOutcome* out) {
+                 FaultInjector* injector, RunOutcome* out,
+                 LoadGen* load = nullptr) {
   InvSession& s = world->session();
   Rng rng(opt.seed * 0x9E3779B9ULL + 17);
   int next_file = 0;
   const auto halted = [&] { return injector->crashed(); };
 
   for (int t = 0; t < opt.transactions; ++t) {
+    // Under-load mode: pump foreign tenant traffic between this session's
+    // transactions (never inside one — the torture transaction's locks are
+    // released here, and every load op is itself transaction-complete, so
+    // the interleaving is deadlock-free by construction). Never pump once
+    // the halt has fired: a commit the halt interrupted died *before*
+    // releasing its table locks (exactly what recovery exists to clean up),
+    // so one more load op against the frozen image would block on them
+    // forever.
+    for (int k = 0; load != nullptr && !halted() && k < opt.load_steps_per_txn;
+         ++k) {
+      if (!load->Step()) {
+        break;
+      }
+    }
     Status bs = s.p_begin();
     if (halted()) {
       // Nothing of this transaction was attempted: recovery must show
@@ -230,6 +246,15 @@ WorldOptions TortureWorldOptions(const TortureOptions& opt,
   return wopt;
 }
 
+LoadGenOptions TortureLoadOptions(const TortureOptions& opt) {
+  LoadGenOptions lopt;
+  lopt.seed = opt.seed;
+  // A horizon far beyond what the sweep pumps, so the driver never runs dry
+  // mid-schedule and every replay pops the identical arrival sequence.
+  lopt.seconds = 600.0;
+  return lopt;
+}
+
 // Run one schedule end to end; returns "" on pass, else the failure line.
 std::string RunSchedule(const TortureOptions& opt, const Schedule& sched,
                         TortureReport* report) {
@@ -240,6 +265,16 @@ std::string RunSchedule(const TortureOptions& opt, const Schedule& sched,
            world_or.status().ToString();
   }
   std::unique_ptr<InversionWorld> world = std::move(*world_or);
+
+  // The load driver's own setup (directories, file pools, migration rule) is
+  // bootstrap traffic too: run it before arming.
+  std::unique_ptr<LoadGen> load;
+  if (opt.under_load) {
+    load = std::make_unique<LoadGen>(&world->fs(), TortureLoadOptions(opt));
+    if (Status ls = load->Setup(); !ls.ok()) {
+      return sched.name + ": loadgen setup failed: " + ls.ToString();
+    }
+  }
 
   // Arm *after* setup so bootstrap traffic is not part of the schedule.
   if (sched.is_point) {
@@ -255,7 +290,7 @@ std::string RunSchedule(const TortureOptions& opt, const Schedule& sched,
   }
 
   RunOutcome out;
-  RunWorkload(opt, world.get(), &injector, &out);
+  RunWorkload(opt, world.get(), &injector, &out, load.get());
   CrashPointRegistry::Instance().Disarm();
   if (!out.error.empty()) {
     return sched.name + ": " + out.error;
@@ -284,6 +319,7 @@ std::string RunSchedule(const TortureOptions& opt, const Schedule& sched,
   // Simulated time continues past the crash; without this, new snapshots in
   // the reopened database would predate already-committed timestamps.
   renv.clock.Advance(world->env().clock.Peek());
+  load.reset();  // its sessions point into the world being destroyed
   world.reset();
 
   // Reopen: recovery is nothing but reading the commit log.
@@ -368,6 +404,9 @@ std::string TortureReport::Summary() const {
                   std::to_string(not_reached) + " not reached), " +
                   std::to_string(recorded_writes) + " recorded writes, " +
                   std::to_string(failures.size()) + " failures";
+  if (load_ops != 0) {
+    s += " [under load: " + std::to_string(load_ops) + " tenant ops/pass]";
+  }
   for (const std::string& f : failures) {
     s += "\n  FAIL " + f;
   }
@@ -383,15 +422,28 @@ Result<TortureReport> RunTorture(const TortureOptions& opt) {
     FaultInjector injector(opt.seed);
     INV_ASSIGN_OR_RETURN(
         auto world, InversionWorld::Create(TortureWorldOptions(opt, &injector)));
+    std::unique_ptr<LoadGen> load;
+    if (opt.under_load) {
+      load = std::make_unique<LoadGen>(&world->fs(), TortureLoadOptions(opt));
+      INV_RETURN_IF_ERROR(load->Setup());
+    }
     CrashPointRegistry::Instance().StartRecording();
     injector.Arm({});  // reset relative counters after bootstrap
     RunOutcome out;
-    RunWorkload(opt, world.get(), &injector, &out);
+    RunWorkload(opt, world.get(), &injector, &out, load.get());
     counts = CrashPointRegistry::Instance().StopRecording();
     if (!out.completed) {
       return Status::Internal("baseline torture workload failed: " + out.error);
     }
     report.recorded_writes = injector.writes_since_arm();
+    if (load != nullptr) {
+      const LoadGenReport lr = load->Report();
+      report.load_ops = lr.ops;
+      if (lr.errors != 0) {
+        return Status::Internal("baseline load traffic saw " +
+                                std::to_string(lr.errors) + " errors");
+      }
+    }
     // The baseline image must verify before any fault is armed — otherwise
     // every schedule would "fail" for reasons unrelated to crashes.
     INV_ASSIGN_OR_RETURN(auto base_check, world->VerifyImage());

@@ -51,6 +51,17 @@ struct TortureOptions {
   uint64_t write_sweep_schedules = 48;
   bool run_crash_points = true;
   bool run_write_sweep = true;
+  // Interleave open-loop multi-tenant load (src/load/loadgen.h, the builtin
+  // profile mix under /load) between torture transactions, in the recording
+  // pass and in every schedule replay alike — so crash/recovery correctness
+  // is proven while mail deliveries, analytics scans, historical audits and
+  // archive migrations share the engine. The oracle still judges only the
+  // torture files in /; the load namespace is exempt (it is not part of the
+  // acked-state contract), but the structural verifier covers the whole
+  // image, load tables included.
+  bool under_load = false;
+  // Load-driver arrivals pumped between consecutive torture transactions.
+  int load_steps_per_txn = 2;
   bool verbose = false;  // one line per schedule to stdout
 };
 
@@ -60,6 +71,7 @@ struct TortureReport {
   uint64_t not_reached = 0;    // armed point never hit (workload completed)
   uint64_t indeterminate = 0;  // crash overlapped an in-flight commit
   uint64_t recorded_writes = 0;   // device writes in the recording pass
+  uint64_t load_ops = 0;          // loadgen arrivals in the recording pass
   std::vector<std::string> crash_points;  // recorded "point x count" lines
   std::vector<std::string> failures;      // empty == the sweep passed
 

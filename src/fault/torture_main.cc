@@ -2,7 +2,13 @@
 //
 // Usage: invfs_torture [--seed N] [--txns N] [--files N] [--buffers N]
 //                      [--occurrences N] [--write-schedules N]
-//                      [--no-points] [--no-write-sweep] [--quick] [--verbose]
+//                      [--no-points] [--no-write-sweep] [--quick]
+//                      [--under-load] [--verbose]
+//
+// --under-load interleaves the open-loop multi-tenant load driver (the
+// builtin mail/analytics/audit/archive mix under /load) between torture
+// transactions in every pass, proving recovery correctness with foreign
+// tenant traffic sharing the engine.
 //
 // Runs the deterministic torture sweep (see src/fault/torture.h): a recording
 // pass discovers every crash point the workload exercises, then each
@@ -48,13 +54,16 @@ int main(int argc, char** argv) {
       opt.transactions = 10;
       opt.occurrences_per_point = 2;
       opt.write_sweep_schedules = 12;
+    } else if (std::strcmp(a, "--under-load") == 0) {
+      opt.under_load = true;
     } else if (std::strcmp(a, "--verbose") == 0) {
       opt.verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: invfs_torture [--seed N] [--txns N] [--files N] "
                    "[--buffers N] [--occurrences N] [--write-schedules N] "
-                   "[--no-points] [--no-write-sweep] [--quick] [--verbose]\n");
+                   "[--no-points] [--no-write-sweep] [--quick] [--under-load] "
+                   "[--verbose]\n");
       return 2;
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/obs/span.h"
+#include "src/obs/tenant.h"
 #include "src/query/parser.h"
 #include "src/util/lzss.h"
 
@@ -414,7 +415,14 @@ Result<ResultSet> InversionFs::Query(std::string_view text, InvSession* session)
   ScopedSpan span(spans_, "query");
   if (session != nullptr && session->in_txn()) {
     auto result = executor_->ExecuteQuery(text, session->txn());
-    lat_query_->Observe(span.ElapsedMicros());
+    const uint64_t us = span.ElapsedMicros();
+    lat_query_->Observe(us);
+    if (TenantBinding* t = CurrentTenant()) {
+      t->ObserveOp(TenantOp::kQuery, us);
+      if (!result.ok()) {
+        t->CountError(TenantOp::kQuery);
+      }
+    }
     return result;
   }
   // Parse first so a pure retrieve's single-statement transaction can be
@@ -430,7 +438,14 @@ Result<ResultSet> InversionFs::Query(std::string_view text, InvSession* session)
   } else {
     (void)db_->Abort(txn);
   }
-  lat_query_->Observe(span.ElapsedMicros());
+  const uint64_t us = span.ElapsedMicros();
+  lat_query_->Observe(us);
+  if (TenantBinding* t = CurrentTenant()) {
+    t->ObserveOp(TenantOp::kQuery, us);
+    if (!result.ok()) {
+      t->CountError(TenantOp::kQuery);
+    }
+  }
   return result;
 }
 

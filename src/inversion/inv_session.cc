@@ -5,10 +5,24 @@
 
 #include "src/inversion/inv_fs.h"
 #include "src/obs/span.h"
+#include "src/obs/tenant.h"
 #include "src/util/lzss.h"
 
 namespace invfs {
 namespace {
+
+// Double-book an entry-point observation into the calling thread's tenant
+// instruments (no-op when untagged). The base op.latency_us histogram keeps
+// the all-tenants aggregate; this adds the "<op>@<tenant>" split the SLO
+// evaluator expands into per-tenant rows.
+void ObserveTenant(TenantOp op, uint64_t micros, bool ok) {
+  if (TenantBinding* t = CurrentTenant()) {
+    t->ObserveOp(op, micros);
+    if (!ok) {
+      t->CountError(op);
+    }
+  }
+}
 
 Result<std::pair<std::string, std::string>> SplitParentPath(const std::string& path) {
   if (path.empty() || path[0] != '/') {
@@ -90,7 +104,9 @@ Status InvSession::p_commit() {
   const TxnId txn = txn_;
   txn_ = kInvalidTxn;
   Status status = fs_->db().Commit(txn);
-  fs_->lat_commit_->Observe(span.ElapsedMicros());
+  const uint64_t us = span.ElapsedMicros();
+  fs_->lat_commit_->Observe(us);
+  ObserveTenant(TenantOp::kCommit, us, status.ok());
   return status;
 }
 
@@ -199,7 +215,9 @@ Result<int> InvSession::p_creat(const std::string& path, CreatOptions options) {
     fds_[fd] = std::move(h);
     return fd;
   });
-  fs_->lat_creat_->Observe(span.ElapsedMicros());
+  const uint64_t us = span.ElapsedMicros();
+  fs_->lat_creat_->Observe(us);
+  ObserveTenant(TenantOp::kCreat, us, result.ok());
   return result;
 }
 
@@ -254,7 +272,9 @@ Result<int> InvSession::p_open(const std::string& path, OpenMode mode,
   // session has none) can be read-only, which keeps historical and plain
   // read opens off the lock manager and the commit log entirely.
   mode == OpenMode::kWrite ? TxnMode::kReadWrite : TxnMode::kReadOnly);
-  fs_->lat_open_->Observe(span.ElapsedMicros());
+  const uint64_t us = span.ElapsedMicros();
+  fs_->lat_open_->Observe(us);
+  ObserveTenant(TenantOp::kOpen, us, result.ok());
   return result;
 }
 
@@ -575,7 +595,14 @@ Result<int64_t> InvSession::p_read(int fd, std::span<std::byte> buf) {
         return n;
       },
       TxnMode::kReadOnly);
-  fs_->lat_read_->Observe(span.ElapsedMicros());
+  const uint64_t us = span.ElapsedMicros();
+  fs_->lat_read_->Observe(us);
+  ObserveTenant(TenantOp::kRead, us, result.ok());
+  if (result.ok()) {
+    if (TenantBinding* t = CurrentTenant()) {
+      t->AddBytesRead(static_cast<uint64_t>(*result));
+    }
+  }
   return result;
 }
 
@@ -587,7 +614,14 @@ Result<int64_t> InvSession::p_write(int fd, std::span<const std::byte> buf) {
     h->offset += n;
     return n;
   });
-  fs_->lat_write_->Observe(span.ElapsedMicros());
+  const uint64_t us = span.ElapsedMicros();
+  fs_->lat_write_->Observe(us);
+  ObserveTenant(TenantOp::kWrite, us, result.ok());
+  if (result.ok()) {
+    if (TenantBinding* t = CurrentTenant()) {
+      t->AddBytesWritten(static_cast<uint64_t>(*result));
+    }
+  }
   return result;
 }
 

@@ -215,8 +215,26 @@ InversionServer::InversionServer(InversionFs* fs) : fs_(fs) {
   bytes_out_ = metrics_->GetCounter("rpc.bytes_out");
 }
 
+TenantBinding* InversionServer::BindTenant(const std::string& tenant) {
+  if (tenant.empty()) {
+    return nullptr;
+  }
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(tenant, std::make_unique<TenantBinding>(metrics_, tenant))
+             .first;
+  }
+  return it->second.get();
+}
+
 std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> request) {
   ByteReader r(request);
+  const std::string tenant = r.Str();
+  // Re-establish the caller's tenant tag before the root span opens so the
+  // whole server-side request tree — and every op.latency_us observation the
+  // session makes — attributes to the remote tenant.
+  ScopedTenantTag tag(BindTenant(tenant));
   const RpcOp op = static_cast<RpcOp>(r.U8());
   // Per-op request counter: one registry map lookup per call, which is noise
   // next to the simulated wire costs this layer exists to charge.
@@ -390,8 +408,12 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
 // -------------------------------------------------------------------- client
 
 Result<std::vector<std::byte>> RemoteFileClient::Call(const ByteWriter& req) {
+  // Frame = tenant prefix + the op-specific request the caller built.
+  ByteWriter framed;
+  framed.Str(tenant_);
+  framed.Bytes(req.data());
   INV_ASSIGN_OR_RETURN(std::vector<std::byte> response,
-                       transport_->RoundTrip(req.data()));
+                       transport_->RoundTrip(framed.data()));
   ByteReader r(response);
   if (r.U8() == 0) {
     const ErrorCode code = static_cast<ErrorCode>(r.U8());

@@ -10,15 +10,27 @@
 // executed on a per-connection InvSession, and the response marshalled back.
 // The wire itself is simulated: LoopbackTransport charges the calibrated TCP
 // cost per message and per byte to the shared SimClock.
+//
+// Request framing: every frame is `Str tenant; u8 op; <op args>`. The tenant
+// prefix carries the client's tenant tag (src/obs/tenant.h) across the wire
+// — attribution must not stop at the transport, or a server running four
+// tenants' RPC mixes would report one blended latency histogram. The server
+// re-establishes the tag (server-side TenantBinding per distinct name)
+// around dispatch, so spans and op.latency_us rows attribute to the remote
+// tenant rather than the server thread. An empty tenant string means
+// untagged and costs two bytes on the wire.
 
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/inversion/inv_fs.h"
 #include "src/obs/metrics.h"
+#include "src/obs/tenant.h"
 #include "src/sim/net_model.h"
 #include "src/util/bytes.h"
 
@@ -81,12 +93,19 @@ class InversionServer {
   std::vector<std::byte> Handle(std::span<const std::byte> request);
 
  private:
+  // Server-side binding for the frame's tenant prefix (nullptr for "").
+  // Bindings are cached per distinct name: tenant cardinality is bounded by
+  // the deployment's client population, and the instruments must be the
+  // same objects across that tenant's requests anyway.
+  TenantBinding* BindTenant(const std::string& tenant);
+
   InversionFs* fs_;
   std::unique_ptr<InvSession> session_;
   // rpc.* metrics (in the served database's registry).
   MetricsRegistry* metrics_;
   Counter* bytes_in_;
   Counter* bytes_out_;
+  std::map<std::string, std::unique_ptr<TenantBinding>> tenants_;
 };
 
 // In-process transport: full marshalling through the server with simulated
@@ -114,6 +133,11 @@ class RemoteFileClient {
  public:
   explicit RemoteFileClient(Transport* transport) : transport_(transport) {}
 
+  // Tenant tag stamped into every subsequent request frame ("" = untagged).
+  // Per-stub state, not per-call: a stub models one client of one tenant.
+  void set_tenant(std::string_view tenant) { tenant_ = tenant; }
+  const std::string& tenant() const { return tenant_; }
+
   Status p_begin();
   Status p_commit();
   Status p_abort();
@@ -134,10 +158,12 @@ class RemoteFileClient {
   Result<ResultSet> Query(const std::string& text);
 
  private:
-  // Send `req`; returns a reader positioned after the status header.
+  // Send `req` (prefixed with the stub's tenant tag); returns a reader
+  // positioned after the status header.
   Result<std::vector<std::byte>> Call(const ByteWriter& req);
 
   Transport* transport_;
+  std::string tenant_;
 };
 
 }  // namespace invfs

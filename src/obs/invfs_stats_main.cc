@@ -11,7 +11,12 @@
 //                                the fraction of OP wall time attributed to
 //                                named child spans
 //   invfs_stats --slo            per-op-class SLO report (p50/p99/p999 vs the
-//                                targets declared in DatabaseOptions)
+//                                targets declared in DatabaseOptions), one
+//                                aggregate row per op class plus per-tenant
+//                                rows with error-budget burn
+//   invfs_stats --timeseries     sampled time-series windows (counter deltas,
+//                                gauge points, histogram window percentiles);
+//                                with --json, a JSON array
 //   invfs_stats --query "retrieve (s.name, s.value) from s in invfs_stats
 //                        where s.name = \"buffer.hits\""
 //
@@ -34,6 +39,8 @@
 #include "src/obs/metrics.h"
 #include "src/obs/slo.h"
 #include "src/obs/span.h"
+#include "src/obs/tenant.h"
+#include "src/obs/timeseries.h"
 
 namespace invfs {
 namespace {
@@ -42,12 +49,21 @@ namespace {
 // enough to light up buffer, log, txn, device and query metrics. Caches are
 // dropped between the write and read phases so the read side is cold: every
 // p_read tree then contains real buffer-miss and device-I/O child spans,
-// which is what --breakdown is for.
+// which is what --breakdown is for. The write phase runs tagged as tenant
+// "writer" and the read phase as "reader", so --slo shows per-tenant rows
+// and --query sees tenant labels; the sampler is ticked on the sim clock
+// throughout, so invfs_timeseries and --timeseries have real windows.
 Status RunWorkload(InversionWorld* world) {
   InvSession& s = world->session();
+  MetricsRegistry& metrics = world->db().metrics();
+  TimeSeriesSampler& sampler = metrics.timeseries();
+  SimClock& clock = world->db().clock();
   INV_RETURN_IF_ERROR(s.mkdir("/demo"));
   std::vector<std::byte> block(8192, std::byte{0x5a});
+  TenantBinding writer(&metrics, "writer");
+  TenantBinding reader(&metrics, "reader");
   for (int i = 0; i < 8; ++i) {
+    ScopedTenantTag tag(&writer);
     const std::string path = "/demo/file" + std::to_string(i);
     INV_RETURN_IF_ERROR(s.p_begin());
     INV_ASSIGN_OR_RETURN(int fd, s.p_creat(path));
@@ -56,9 +72,12 @@ Status RunWorkload(InversionWorld* world) {
     }
     INV_RETURN_IF_ERROR(s.p_close(fd));
     INV_RETURN_IF_ERROR(s.p_commit());
+    clock.Advance(sampler.interval_micros());
+    sampler.Tick(clock.Peek());
   }
   INV_RETURN_IF_ERROR(world->db().FlushCaches());
   for (int i = 0; i < 8; ++i) {
+    ScopedTenantTag tag(&reader);
     const std::string path = "/demo/file" + std::to_string(i);
     INV_ASSIGN_OR_RETURN(int fd, s.p_open(path, OpenMode::kRead));
     std::vector<std::byte> buf(4096);
@@ -69,10 +88,13 @@ Status RunWorkload(InversionWorld* world) {
       }
     }
     INV_RETURN_IF_ERROR(s.p_close(fd));
+    clock.Advance(sampler.interval_micros());
+    sampler.Tick(clock.Peek());
   }
   // An ad-hoc metadata query, the paper's headline feature.
   INV_RETURN_IF_ERROR(
       s.Query("retrieve (f.filename) from f in naming").status());
+  sampler.Sample(clock.Peek());  // final partial window
   return Status::Ok();
 }
 
@@ -229,19 +251,22 @@ int Breakdown(const std::vector<SpanRecord>& snap, const std::string& op) {
 }
 
 int DumpSlo(Database* db) {
-  std::printf("%-10s %8s  %10s %10s %10s  %10s %10s %10s  %s\n", "op", "count",
-              "p50", "p99", "p999", "slo_p50", "slo_p99", "slo_p999", "verdict");
+  std::printf("%-10s %-10s %8s  %10s %10s %10s  %10s %10s %10s  %6s  %s\n",
+              "op", "tenant", "count", "p50", "p99", "p999", "slo_p50",
+              "slo_p99", "slo_p999", "burn", "verdict");
   for (const SloReport& r :
        EvaluateSlos(&db->metrics(), db->options().slo_targets)) {
     std::printf(
-        "%-10s %8llu  %10llu %10llu %10llu  %10llu %10llu %10llu  %s\n",
-        r.op.c_str(), static_cast<unsigned long long>(r.count),
+        "%-10s %-10s %8llu  %10llu %10llu %10llu  %10llu %10llu %10llu  "
+        "%6.2f  %s\n",
+        r.op.c_str(), r.tenant.empty() ? "*" : r.tenant.c_str(),
+        static_cast<unsigned long long>(r.count),
         static_cast<unsigned long long>(r.p50_us),
         static_cast<unsigned long long>(r.p99_us),
         static_cast<unsigned long long>(r.p999_us),
         static_cast<unsigned long long>(r.target.p50_us),
         static_cast<unsigned long long>(r.target.p99_us),
-        static_cast<unsigned long long>(r.target.p999_us),
+        static_cast<unsigned long long>(r.target.p999_us), r.burn,
         SloVerdict(r));
   }
   return 0;
@@ -249,8 +274,9 @@ int DumpSlo(Database* db) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: invfs_stats [--json | --trace | --spans | --slowest N |"
-               " --breakdown <op> | --slo | --query <postquel>]\n");
+               "usage: invfs_stats [--json] [--trace | --spans | --slowest N |"
+               " --breakdown <op> | --slo | --timeseries |"
+               " --query <postquel>]\n");
   return 2;
 }
 
@@ -259,6 +285,7 @@ int Run(int argc, char** argv) {
   bool trace = false;
   bool spans = false;
   bool slo = false;
+  bool timeseries = false;
   int slowest = 0;
   std::string breakdown;
   std::string query;
@@ -271,6 +298,8 @@ int Run(int argc, char** argv) {
       spans = true;
     } else if (std::strcmp(argv[i], "--slo") == 0) {
       slo = true;
+    } else if (std::strcmp(argv[i], "--timeseries") == 0) {
+      timeseries = true;
     } else if (std::strcmp(argv[i], "--slowest") == 0 && i + 1 < argc) {
       slowest = std::atoi(argv[++i]);
       if (slowest <= 0) {
@@ -329,6 +358,12 @@ int Run(int argc, char** argv) {
   }
   if (slo) {
     return DumpSlo(&world.db());
+  }
+  if (timeseries) {
+    TimeSeriesSampler& sampler = world.db().metrics().timeseries();
+    std::fputs(json ? sampler.DumpJson().c_str() : sampler.DumpText().c_str(),
+               stdout);
+    return 0;
   }
   std::fputs(json ? world.db().metrics().DumpJson().c_str()
                   : world.db().metrics().DumpText().c_str(),

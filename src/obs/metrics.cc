@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <tuple>
 
+#include "src/obs/timeseries.h"
+
 namespace invfs {
 
 namespace {
@@ -43,7 +45,11 @@ void AppendJsonString(std::string& out, const std::string& s) {
 }  // namespace
 
 uint64_t Histogram::Percentile(double p) const {
-  const std::array<uint64_t, kBuckets> buckets = Buckets();
+  return PercentileOf(Buckets(), p);
+}
+
+uint64_t Histogram::PercentileOf(const std::array<uint64_t, kBuckets>& buckets,
+                                 double p) {
   uint64_t total = 0;
   for (uint64_t b : buckets) {
     total += b;
@@ -178,10 +184,13 @@ std::string MetricsRegistry::DumpJson() const {
     out += "\"";
     if (s.kind == MetricKind::kHistogram) {
       std::snprintf(buf, sizeof(buf),
-                    ", \"count\": %llu, \"sum\": %llu, \"p50\": %llu, "
-                    "\"p99\": %llu, \"p999\": %llu",
+                    ", \"count\": %llu, \"sum\": %llu, \"mean\": %.3f, "
+                    "\"p50\": %llu, \"p99\": %llu, \"p999\": %llu",
                     static_cast<unsigned long long>(s.count),
                     static_cast<unsigned long long>(s.sum),
+                    s.count == 0 ? 0.0
+                                 : static_cast<double>(s.sum) /
+                                       static_cast<double>(s.count),
                     static_cast<unsigned long long>(s.p50),
                     static_cast<unsigned long long>(s.p99),
                     static_cast<unsigned long long>(s.p999));
@@ -195,6 +204,29 @@ std::string MetricsRegistry::DumpJson() const {
   }
   out += "  ]\n}\n";
   return out;
+}
+
+MetricsRegistry::MetricsRegistry(size_t trace_capacity, size_t span_capacity)
+    : trace_(trace_capacity), spans_(span_capacity) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+TimeSeriesSampler& MetricsRegistry::timeseries() {
+  MutexLock lock(mu_);
+  if (timeseries_ == nullptr) {
+    timeseries_ = std::make_unique<TimeSeriesSampler>(this);
+  }
+  return *timeseries_;
+}
+
+void MetricsRegistry::ConfigureTimeseries(uint64_t interval_micros,
+                                          size_t capacity) {
+  MutexLock lock(mu_);
+  if (timeseries_ != nullptr && timeseries_->SamplesTaken() > 0) {
+    return;  // window semantics are frozen once points exist
+  }
+  timeseries_ =
+      std::make_unique<TimeSeriesSampler>(this, interval_micros, capacity);
 }
 
 MetricsRegistry& MetricsRegistry::Default() {

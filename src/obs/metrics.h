@@ -41,6 +41,8 @@
 
 namespace invfs {
 
+class TimeSeriesSampler;
+
 #ifdef INVFS_NO_METRICS
 inline constexpr bool kMetricsEnabled = false;
 #else
@@ -141,6 +143,12 @@ class Histogram {
   // width. Returns 0 when nothing has been observed.
   uint64_t Percentile(double p) const;
 
+  // Percentile over an explicit bucket array (same semantics as Percentile).
+  // Static so consumers holding bucket *deltas* — the timeseries sampler's
+  // per-window distributions — reuse the one implementation.
+  static uint64_t PercentileOf(const std::array<uint64_t, kBuckets>& buckets,
+                               double p);
+
 
   double Mean() const {
     const uint64_t n = Count();
@@ -196,10 +204,10 @@ struct MetricSample {
 
 class MetricsRegistry {
  public:
-  explicit MetricsRegistry(
-      size_t trace_capacity = TraceRing::kDefaultCapacity,
-      size_t span_capacity = SpanRing::kDefaultCapacity)
-      : trace_(trace_capacity), spans_(span_capacity) {}
+  // Ctor and dtor out of line: timeseries_ points at an incomplete type here.
+  explicit MetricsRegistry(size_t trace_capacity = TraceRing::kDefaultCapacity,
+                           size_t span_capacity = SpanRing::kDefaultCapacity);
+  ~MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -219,6 +227,15 @@ class MetricsRegistry {
   SpanRing& spans() { return spans_; }
   const SpanRing& spans() const { return spans_; }
 
+  // The registry's time-series sampler (src/obs/timeseries.h), created
+  // lazily with defaults on first use. Call ConfigureTimeseries before the
+  // first timeseries() to override interval/capacity — reconfiguring after
+  // points exist would silently change window semantics, so a sampler that
+  // has already sampled is left alone.
+  TimeSeriesSampler& timeseries() EXCLUDES(mu_);
+  void ConfigureTimeseries(uint64_t interval_micros, size_t capacity)
+      EXCLUDES(mu_);
+
   // All registered metrics, sorted by (name, label).
   std::vector<MetricSample> Snapshot() const EXCLUDES(mu_);
 
@@ -236,6 +253,7 @@ class MetricsRegistry {
   std::map<Key, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
   std::map<Key, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
   std::map<Key, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
+  std::unique_ptr<TimeSeriesSampler> timeseries_ GUARDED_BY(mu_);
   TraceRing trace_;
   SpanRing spans_;
 };

@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 
+#include "src/obs/metrics.h"
 #include "src/util/mutex.h"
 
 namespace invfs {
@@ -26,6 +27,7 @@ namespace obs_internal {
 
 constinit thread_local uint64_t t_trace_id = 0;
 constinit thread_local uint64_t t_span_id = 0;
+constinit thread_local const char* t_tenant = nullptr;
 
 uint64_t NextTraceId() {
   static std::atomic<uint64_t> next{0};
@@ -62,11 +64,15 @@ void SpanRing::RecordSpan(const SpanRecord& r) {
   Slot& s = slots_[seq & mask_];
   // Same seqlock protocol as TraceRing::Record: invalidate, payload with
   // relaxed stores, publish seq last.
+  if (s.seq.load(std::memory_order_relaxed) != 0) {
+    CountDrop();  // a published span is about to be overwritten unread
+  }
   s.seq.store(0, std::memory_order_release);
   s.trace_id.store(r.trace_id, std::memory_order_relaxed);
   s.span_id.store(r.span_id, std::memory_order_relaxed);
   s.parent_id.store(r.parent_id, std::memory_order_relaxed);
   s.name.store(r.name, std::memory_order_relaxed);
+  s.tenant.store(r.tenant, std::memory_order_relaxed);
   s.thread.store(r.thread, std::memory_order_relaxed);
   s.start_micros.store(r.start_micros, std::memory_order_relaxed);
   s.dur_micros.store(r.dur_micros, std::memory_order_relaxed);
@@ -90,6 +96,7 @@ std::vector<SpanRecord> SpanRing::Snapshot() const {
     r.span_id = s.span_id.load(std::memory_order_relaxed);
     r.parent_id = s.parent_id.load(std::memory_order_relaxed);
     r.name = s.name.load(std::memory_order_relaxed);
+    r.tenant = s.tenant.load(std::memory_order_relaxed);
     r.thread = s.thread.load(std::memory_order_relaxed);
     r.start_micros = s.start_micros.load(std::memory_order_relaxed);
     r.dur_micros = s.dur_micros.load(std::memory_order_relaxed);
@@ -105,6 +112,18 @@ std::vector<SpanRecord> SpanRing::Snapshot() const {
   return out;
 }
 
+void SpanRing::CountDrop() {
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  Counter* c = drop_counter_.load(std::memory_order_acquire);
+  if (c == nullptr) {
+    // Resolved on first drop, never at construction (see TraceRing::CountDrop
+    // for the Default()-recursion hazard). Racing resolvers are benign.
+    c = MetricsRegistry::Default().GetCounter("span.dropped");
+    drop_counter_.store(c, std::memory_order_release);
+  }
+  c->Add();
+}
+
 void ScopedSpan::End() {
   obs_internal::t_trace_id = parent_trace_;
   obs_internal::t_span_id = parent_span_;
@@ -113,6 +132,7 @@ void ScopedSpan::End() {
   r.span_id = span_id_;
   r.parent_id = parent_span_;
   r.name = name_;
+  r.tenant = tenant_;
   r.thread = ThreadTag();
   r.start_micros = start_;
   r.dur_micros = TraceNowMicros() - start_;

@@ -53,6 +53,7 @@ struct SpanRecord {
   uint64_t span_id = 0;       // unique per span, process-wide
   uint64_t parent_id = 0;     // 0 = root span of its trace
   const char* name = nullptr; // interned or string literal (stable storage)
+  const char* tenant = nullptr;  // interned tenant tag; nullptr = untagged
   uint64_t thread = 0;        // recording thread's tag (see ThreadTag())
   uint64_t start_micros = 0;  // wall micros since process start
   uint64_t dur_micros = 0;
@@ -65,6 +66,11 @@ namespace obs_internal {
 // ScopedSpan; nothing else may read or write these (lint: span-raii).
 extern constinit thread_local uint64_t t_trace_id;
 extern constinit thread_local uint64_t t_span_id;
+// Current tenant tag of this thread (interned name; nullptr = untagged).
+// Owned by ScopedTenantTag (src/obs/tenant.h) — every span opened while a
+// tag is installed carries it, which is how one tenant's request tree stays
+// attributable through txn/buffer/log/device layers it shares with others.
+extern constinit thread_local const char* t_tenant;
 uint64_t NextTraceId();
 uint64_t NextSpanId();
 }  // namespace obs_internal
@@ -91,6 +97,14 @@ class SpanRing {
     return next_.load(std::memory_order_relaxed);
   }
 
+  // Published spans overwritten before any snapshot could have read them;
+  // mirrored into the process-wide `span.dropped` counter of
+  // MetricsRegistry::Default() so storms that outrun the ring are visible
+  // (scripts/check.sh's load leg gates on it staying zero).
+  uint64_t TotalDropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Slot {
     std::atomic<uint64_t> seq{0};  // 0 = empty/in-flight; published last
@@ -98,6 +112,7 @@ class SpanRing {
     std::atomic<uint64_t> span_id{0};
     std::atomic<uint64_t> parent_id{0};
     std::atomic<const char*> name{nullptr};
+    std::atomic<const char*> tenant{nullptr};
     std::atomic<uint64_t> thread{0};
     std::atomic<uint64_t> start_micros{0};
     std::atomic<uint64_t> dur_micros{0};
@@ -105,9 +120,16 @@ class SpanRing {
     std::atomic<uint64_t> b{0};
   };
 
+  // Count one overwrite of a published span (span.cc).
+  void CountDrop();
+
   size_t mask_;
   std::unique_ptr<Slot[]> slots_;
   std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> dropped_{0};
+  // Lazily resolved `span.dropped` cell of the default registry (see
+  // TraceRing::drop_counter_ for why this cannot be done at construction).
+  std::atomic<Counter*> drop_counter_{nullptr};
 };
 
 // RAII span: construction opens the span and makes it the thread's current
@@ -126,6 +148,7 @@ class ScopedSpan {
       }
       ring_ = ring;
       name_ = name;
+      tenant_ = obs_internal::t_tenant;
       a_ = a;
       b_ = b;
       start_ = TraceNowMicros();
@@ -188,6 +211,7 @@ class ScopedSpan {
 
   SpanRing* ring_ = nullptr;
   const char* name_ = nullptr;
+  const char* tenant_ = nullptr;
   uint64_t trace_id_ = 0;
   uint64_t span_id_ = 0;
   uint64_t parent_trace_ = 0;

@@ -1,0 +1,83 @@
+#include "src/obs/tenant.h"
+
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+
+namespace invfs {
+
+namespace {
+constinit thread_local TenantBinding* t_binding = nullptr;
+}  // namespace
+
+const char* TenantOpLabel(TenantOp op) {
+  switch (op) {
+    case TenantOp::kOpen:
+      return "p_open";
+    case TenantOp::kCreat:
+      return "p_creat";
+    case TenantOp::kRead:
+      return "p_read";
+    case TenantOp::kWrite:
+      return "p_write";
+    case TenantOp::kCommit:
+      return "p_commit";
+    case TenantOp::kQuery:
+      return "query";
+    case TenantOp::kOpCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::string TenantLabel(std::string_view op, std::string_view tenant) {
+  std::string label;
+  label.reserve(op.size() + 1 + tenant.size());
+  label.append(op);
+  label.push_back(kTenantLabelSep);
+  label.append(tenant);
+  return label;
+}
+
+TenantBinding::TenantBinding(MetricsRegistry* registry, std::string_view tenant)
+    : name_(InternSpanName(tenant)) {
+  for (size_t i = 0; i < kTenantOpCount; ++i) {
+    latency_[i] = registry->GetHistogram(
+        "op.latency_us", TenantLabel(TenantOpLabel(static_cast<TenantOp>(i)),
+                                     tenant));
+  }
+  ops_ = registry->GetCounter("tenant.ops", tenant);
+  errors_ = registry->GetCounter("tenant.errors", tenant);
+  bytes_read_ = registry->GetCounter("tenant.bytes_read", tenant);
+  bytes_written_ = registry->GetCounter("tenant.bytes_written", tenant);
+}
+
+void TenantBinding::ObserveOp(TenantOp op, uint64_t micros) {
+  latency_[static_cast<size_t>(op)]->Observe(micros);
+  ops_->Add();
+}
+
+void TenantBinding::CountError(TenantOp op) {
+  (void)op;  // per-op error split has not earned its registry entries yet
+  errors_->Add();
+}
+
+void TenantBinding::AddBytesRead(uint64_t n) { bytes_read_->Add(n); }
+
+void TenantBinding::AddBytesWritten(uint64_t n) { bytes_written_->Add(n); }
+
+TenantBinding* CurrentTenant() { return t_binding; }
+
+ScopedTenantTag::ScopedTenantTag(TenantBinding* binding)
+    : prev_binding_(t_binding), prev_name_(obs_internal::t_tenant) {
+  if (binding != nullptr) {
+    t_binding = binding;
+    obs_internal::t_tenant = binding->name();
+  }
+}
+
+ScopedTenantTag::~ScopedTenantTag() {
+  t_binding = prev_binding_;
+  obs_internal::t_tenant = prev_name_;
+}
+
+}  // namespace invfs

@@ -1,0 +1,119 @@
+// Per-tenant attribution: a thread-scoped tenant tag plus the cached
+// per-tenant instruments it routes observations into.
+//
+// The load observatory (src/load) drives thousands of simulated clients from
+// several tenant profiles against one database; without attribution every
+// histogram and counter is an average over all of them, and an SLO report
+// cannot say *whose* p99 blew up. The tag solves this end to end:
+//
+//   * ScopedTenantTag installs an interned tenant name into the thread's
+//     trace context — every ScopedSpan opened while the tag is active
+//     carries it (the `tenant` column of `invfs_spans`), and the RPC layer
+//     forwards the caller's tag inside the request frame so server-side
+//     spans attribute to the remote tenant, not the server thread.
+//   * TenantBinding caches one instrument per op class per tenant under the
+//     same metric names the untagged paths use, with the label extended to
+//     "<op>@<tenant>" (e.g. op.latency_us{p_read@mail}). The SLO evaluator
+//     recognizes that label shape and emits per-tenant rows with their own
+//     verdicts and error-budget burn rates; the timeseries sampler picks the
+//     labeled histograms up automatically, which is where per-tenant
+//     p99-over-time curves come from.
+//
+// Cost model: binding construction is the cold path (registry mutex, string
+// concatenation) and is done once per (registry, tenant); tagged observation
+// is one thread-local load plus the usual striped-counter increments.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace invfs {
+
+class MetricsRegistry;
+class Counter;
+class Histogram;
+
+// Op classes the per-tenant instruments cover; mirrors the op.latency_us
+// labels the SLO module evaluates.
+enum class TenantOp : size_t {
+  kOpen = 0,
+  kCreat,
+  kRead,
+  kWrite,
+  kCommit,
+  kQuery,
+  kOpCount,
+};
+
+inline constexpr size_t kTenantOpCount =
+    static_cast<size_t>(TenantOp::kOpCount);
+
+// The op-class label ("p_open", "p_creat", ...); stable static storage.
+const char* TenantOpLabel(TenantOp op);
+
+// Label separator between op class and tenant in per-tenant metric labels:
+// op.latency_us{p_read@mail}. The SLO evaluator splits on the last '@'.
+inline constexpr char kTenantLabelSep = '@';
+
+// Builds "<op>@<tenant>".
+std::string TenantLabel(std::string_view op, std::string_view tenant);
+
+// Cached per-(registry, tenant) instruments. Construct once per tenant (cold
+// path), observe from entry points without touching the registry maps.
+class TenantBinding {
+ public:
+  TenantBinding(MetricsRegistry* registry, std::string_view tenant);
+
+  // Interned tenant name, stable for the process lifetime (the same pointer
+  // spans carry, so span rows and metric labels agree by identity).
+  const char* name() const { return name_; }
+
+  // One op of class `op` completed in `micros` (op.latency_us{<op>@<tenant>}
+  // + tenant.ops{<tenant>}).
+  void ObserveOp(TenantOp op, uint64_t micros);
+  // One op of class `op` failed (tenant.errors{<tenant>}).
+  void CountError(TenantOp op);
+  void AddBytesRead(uint64_t n);
+  void AddBytesWritten(uint64_t n);
+
+  Histogram* op_latency(TenantOp op) const {
+    return latency_[static_cast<size_t>(op)];
+  }
+  Counter* ops() const { return ops_; }
+  Counter* errors() const { return errors_; }
+
+ private:
+  const char* name_;
+  std::array<Histogram*, kTenantOpCount> latency_{};
+  Counter* ops_;
+  Counter* errors_;
+  Counter* bytes_read_;
+  Counter* bytes_written_;
+};
+
+// The calling thread's current tenant binding (nullptr = untagged). Entry
+// points read this once per op to double-book their latency/bytes/errors
+// into the tenant's instruments.
+TenantBinding* CurrentTenant();
+
+// RAII tenant tag: installs `binding` as the thread's current tenant (and
+// its interned name into the span trace context) for the enclosing scope,
+// restoring the previous tag on destruction so nested tags compose the same
+// way nested spans do. A null binding is inert.
+class ScopedTenantTag {
+ public:
+  explicit ScopedTenantTag(TenantBinding* binding);
+  ~ScopedTenantTag();
+
+  ScopedTenantTag(const ScopedTenantTag&) = delete;
+  ScopedTenantTag& operator=(const ScopedTenantTag&) = delete;
+
+ private:
+  TenantBinding* prev_binding_;
+  const char* prev_name_;
+};
+
+}  // namespace invfs

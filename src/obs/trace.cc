@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/obs/metrics.h"
+
 namespace invfs {
 
 const char* TraceEventName(TraceEvent event) {
@@ -80,6 +82,9 @@ void TraceRing::Record(TraceEvent event, uint64_t a, uint64_t b, uint64_t c) {
   Slot& s = slots_[seq & mask_];
   // Invalidate first: a reader that copies a payload mixing the old and the
   // new record will see seq change (to 0 or to `seq`) on its re-check.
+  if (s.seq.load(std::memory_order_relaxed) != 0) {
+    CountDrop();  // a published record is about to be overwritten unread
+  }
   s.seq.store(0, std::memory_order_release);
   s.micros.store(TraceNowMicros(), std::memory_order_relaxed);
   s.thread.store(ThreadTag(), std::memory_order_relaxed);
@@ -89,6 +94,20 @@ void TraceRing::Record(TraceEvent event, uint64_t a, uint64_t b, uint64_t c) {
   s.c.store(c, std::memory_order_relaxed);
   s.seq.store(seq, std::memory_order_release);
 #endif
+}
+
+void TraceRing::CountDrop() {
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  Counter* c = drop_counter_.load(std::memory_order_acquire);
+  if (c == nullptr) {
+    // First drop of this ring: resolve the shared default-registry counter.
+    // Racing resolvers get the same pointer back (find-or-create), and this
+    // can never run during MetricsRegistry::Default()'s own construction —
+    // no record is written to a ring before its registry finishes building.
+    c = MetricsRegistry::Default().GetCounter("trace.dropped");
+    drop_counter_.store(c, std::memory_order_release);
+  }
+  c->Add();
 }
 
 std::vector<TraceRecord> TraceRing::Snapshot() const {

@@ -27,6 +27,8 @@
 
 namespace invfs {
 
+class Counter;
+
 enum class TraceEvent : uint32_t {
   kNone = 0,
   kTxnBegin = 1,          // a = xid
@@ -94,6 +96,15 @@ class TraceRing {
     return next_.load(std::memory_order_relaxed);
   }
 
+  // Published records overwritten before any snapshot could have read them.
+  // Loss is by design (the ring is bounded), but silent loss is not: the
+  // count also feeds the process-wide `trace.dropped` counter in
+  // MetricsRegistry::Default(), so a load storm that outruns the ring shows
+  // up in `invfs_stats` instead of quietly truncating history.
+  uint64_t TotalDropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Slot {
     std::atomic<uint64_t> seq{0};  // 0 = empty/in-flight; published last
@@ -105,9 +116,17 @@ class TraceRing {
     std::atomic<uint64_t> c{0};
   };
 
+  // Count one overwrite of a published record (trace.cc).
+  void CountDrop();
+
   size_t mask_;
   std::unique_ptr<Slot[]> slots_;
   std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> dropped_{0};
+  // Cached `trace.dropped` cell of the default registry. Resolved lazily on
+  // the first drop — never in the constructor, which would recurse while the
+  // default registry (whose own ring this may be) is still being built.
+  std::atomic<Counter*> drop_counter_{nullptr};
 };
 
 }  // namespace invfs

@@ -6,6 +6,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/slo.h"
 #include "src/obs/span.h"
+#include "src/obs/timeseries.h"
 
 namespace invfs {
 
@@ -17,6 +18,7 @@ constexpr Oid kInvfsStatsOid = 90;
 constexpr Oid kInvfsTraceOid = 91;
 constexpr Oid kInvfsSpansOid = 92;
 constexpr Oid kInvfsSloOid = 93;
+constexpr Oid kInvfsTimeseriesOid = 94;
 
 TableInfo* StatsTableInfo() {
   static TableInfo* info = [] {
@@ -60,6 +62,10 @@ TableInfo* SpansTableInfo() {
                        {"span", TypeId::kInt8},
                        {"parent", TypeId::kInt8},
                        {"name", TypeId::kText},
+                       // Tenant tag active when the span opened ("" =
+                       // untagged): the join key between a request tree and
+                       // the per-tenant invfs_slo rows.
+                       {"tenant", TypeId::kText},
                        {"thread", TypeId::kInt8},
                        {"start", TypeId::kInt8},
                        {"duration", TypeId::kInt8},
@@ -76,6 +82,9 @@ TableInfo* SloTableInfo() {
     t->oid = kInvfsSloOid;
     t->name = "invfs_slo";
     t->schema = Schema{{"op", TypeId::kText},
+                       // "" = the all-tenants aggregate row; otherwise one
+                       // row per tenant observed for this op class.
+                       {"tenant", TypeId::kText},
                        {"count", TypeId::kInt8},
                        {"p50", TypeId::kInt8},
                        {"p99", TypeId::kInt8},
@@ -87,7 +96,33 @@ TableInfo* SloTableInfo() {
                        // "ok" / "VIOLATED" / "no data" — distinguishes a
                        // never-exercised op class (count 0, zeros above are
                        // absence of data) from a passing one.
-                       {"verdict", TypeId::kText}};
+                       {"verdict", TypeId::kText},
+                       // Error-budget burn against the p99 target (1.0 =
+                       // budget spent exactly; see kSloErrorBudget).
+                       {"burn", TypeId::kFloat8}};
+    return t;
+  }();
+  return info;
+}
+
+TableInfo* TimeseriesTableInfo() {
+  static TableInfo* info = [] {
+    auto* t = new TableInfo();
+    t->oid = kInvfsTimeseriesOid;
+    t->name = "invfs_timeseries";
+    t->schema = Schema{{"sample", TypeId::kInt8},
+                       {"micros", TypeId::kInt8},
+                       {"name", TypeId::kText},
+                       {"label", TypeId::kText},
+                       {"kind", TypeId::kText},
+                       // Counter delta over the window / gauge point value /
+                       // histogram observations in the window.
+                       {"value", TypeId::kInt8},
+                       {"count", TypeId::kInt8},
+                       // Windowed percentiles (histograms; 0 otherwise).
+                       {"p50", TypeId::kInt8},
+                       {"p99", TypeId::kInt8},
+                       {"p999", TypeId::kInt8}};
     return t;
   }();
   return info;
@@ -111,7 +146,8 @@ void AppendStatsRows(const std::vector<MetricSample>& samples,
 
 bool IsVirtualTable(std::string_view name) {
   return name == "invfs_stats" || name == "invfs_trace" ||
-         name == "invfs_spans" || name == "invfs_slo";
+         name == "invfs_spans" || name == "invfs_slo" ||
+         name == "invfs_timeseries";
 }
 
 TableInfo* VirtualTableInfo(std::string_view name) {
@@ -123,6 +159,9 @@ TableInfo* VirtualTableInfo(std::string_view name) {
   }
   if (name == "invfs_slo") {
     return SloTableInfo();
+  }
+  if (name == "invfs_timeseries") {
+    return TimeseriesTableInfo();
   }
   return StatsTableInfo();
 }
@@ -147,6 +186,7 @@ std::vector<Row> MaterializeVirtualTable(Database* db, std::string_view name) {
                          Value::Int8(static_cast<int64_t>(r.span_id)),
                          Value::Int8(static_cast<int64_t>(r.parent_id)),
                          Value::Text(r.name == nullptr ? "" : r.name),
+                         Value::Text(r.tenant == nullptr ? "" : r.tenant),
                          Value::Int8(static_cast<int64_t>(r.thread)),
                          Value::Int8(static_cast<int64_t>(r.start_micros)),
                          Value::Int8(static_cast<int64_t>(r.dur_micros)),
@@ -158,7 +198,7 @@ std::vector<Row> MaterializeVirtualTable(Database* db, std::string_view name) {
   if (name == "invfs_slo") {
     for (const SloReport& r :
          EvaluateSlos(&db->metrics(), db->options().slo_targets)) {
-      rows.push_back(Row{Value::Text(r.op),
+      rows.push_back(Row{Value::Text(r.op), Value::Text(r.tenant),
                          Value::Int8(static_cast<int64_t>(r.count)),
                          Value::Int8(static_cast<int64_t>(r.p50_us)),
                          Value::Int8(static_cast<int64_t>(r.p99_us)),
@@ -166,7 +206,22 @@ std::vector<Row> MaterializeVirtualTable(Database* db, std::string_view name) {
                          Value::Int8(static_cast<int64_t>(r.target.p50_us)),
                          Value::Int8(static_cast<int64_t>(r.target.p99_us)),
                          Value::Int8(static_cast<int64_t>(r.target.p999_us)),
-                         Value::Bool(r.ok), Value::Text(SloVerdict(r))});
+                         Value::Bool(r.ok), Value::Text(SloVerdict(r)),
+                         Value::Float8(r.burn)});
+    }
+    return rows;
+  }
+  if (name == "invfs_timeseries") {
+    for (const TimeSeriesPoint& pt : db->metrics().timeseries().Snapshot()) {
+      rows.push_back(Row{Value::Int8(static_cast<int64_t>(pt.sample)),
+                         Value::Int8(static_cast<int64_t>(pt.at_micros)),
+                         Value::Text(pt.name), Value::Text(pt.label),
+                         Value::Text(MetricKindName(pt.kind)),
+                         Value::Int8(pt.value),
+                         Value::Int8(static_cast<int64_t>(pt.count)),
+                         Value::Int8(static_cast<int64_t>(pt.p50)),
+                         Value::Int8(static_cast<int64_t>(pt.p99)),
+                         Value::Int8(static_cast<int64_t>(pt.p999))});
     }
     return rows;
   }

@@ -25,8 +25,8 @@
 namespace invfs {
 
 // True for names the executor must bind to a virtual relation
-// ("invfs_stats", "invfs_trace", "invfs_spans", "invfs_slo") instead of the
-// catalog.
+// ("invfs_stats", "invfs_trace", "invfs_spans", "invfs_slo",
+// "invfs_timeseries") instead of the catalog.
 bool IsVirtualTable(std::string_view name);
 
 // Schema-only TableInfo for a virtual relation (static storage; heap is

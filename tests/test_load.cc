@@ -1,0 +1,227 @@
+// Tests for the open-loop multi-tenant load driver: profile parsing and
+// scaling, the builtin mix end to end, per-tenant metric attribution, the
+// coordinated-omission contract (a stalled server must be charged for every
+// arrival it queued), and the invfs_timeseries virtual relation the sampler
+// feeds.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/harness/worlds.h"
+#include "src/load/loadgen.h"
+#include "src/obs/metrics.h"
+
+namespace invfs {
+namespace {
+
+TEST(ParseProfileSpecTest, BareBuiltinNamesParse) {
+  for (const char* name : {"mail", "analytics", "audit", "archive"}) {
+    auto p = ParseProfileSpec(name);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    EXPECT_EQ(p->name, name);
+    EXPECT_GE(p->clients, 1u);
+    EXPECT_GT(p->ops_per_sec, 0.0);
+  }
+}
+
+TEST(ParseProfileSpecTest, KeyValueOverridesApply) {
+  auto p = ParseProfileSpec("mail:clients=500,rate=2.5,arrival=bursty,burst=8,bytes=4096,p99=123456");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->clients, 500u);
+  EXPECT_DOUBLE_EQ(p->ops_per_sec, 2.5);
+  EXPECT_EQ(p->arrival, ArrivalKind::kBursty);
+  EXPECT_EQ(p->burst, 8u);
+  EXPECT_EQ(p->bytes_per_op, 4096u);
+  EXPECT_EQ(p->load_slo.p99_us, 123456u);
+  // The objective row is labeled with the tenant name.
+  EXPECT_EQ(p->load_slo.op, "mail");
+}
+
+TEST(ParseProfileSpecTest, RejectsUnknownNamesKeysAndBadValues) {
+  EXPECT_FALSE(ParseProfileSpec("smtp").ok());
+  EXPECT_FALSE(ParseProfileSpec("mail:color=red").ok());
+  EXPECT_FALSE(ParseProfileSpec("mail:clients=zero").ok());
+  EXPECT_FALSE(ParseProfileSpec("mail:rate=0").ok());
+  EXPECT_FALSE(ParseProfileSpec("mail:arrival=sometimes").ok());
+}
+
+TEST(ScaleProfilesTest, HitsExactTotalsAndPreservesMix) {
+  for (size_t total : {22u, 100u, 1000u, 5000u}) {
+    auto profiles = BuiltinProfiles();
+    ScaleProfiles(&profiles, total);
+    size_t sum = 0;
+    for (const TenantProfile& p : profiles) {
+      EXPECT_GE(p.clients, 1u) << p.name;
+      sum += p.clients;
+    }
+    EXPECT_EQ(sum, total);
+  }
+  // Mail is the largest builtin tenant and must stay the largest at scale.
+  auto profiles = BuiltinProfiles();
+  ScaleProfiles(&profiles, 1000);
+  size_t mail = 0;
+  size_t largest = 0;
+  for (const TenantProfile& p : profiles) {
+    largest = std::max(largest, p.clients);
+    if (p.name == "mail") {
+      mail = p.clients;
+    }
+  }
+  EXPECT_EQ(mail, largest);
+}
+
+TEST(ScaleProfilesTest, EveryProfileKeepsAClientWhenShrunk) {
+  auto profiles = BuiltinProfiles();
+  ScaleProfiles(&profiles, 4);
+  size_t sum = 0;
+  for (const TenantProfile& p : profiles) {
+    EXPECT_EQ(p.clients, 1u) << p.name;
+    sum += p.clients;
+  }
+  EXPECT_EQ(sum, 4u);
+}
+
+TEST(LoadGenTest, BuiltinMixRunsCleanAcrossAllTenants) {
+  auto world_or = InversionWorld::Create();
+  ASSERT_TRUE(world_or.ok());
+  InversionWorld& world = **world_or;
+
+  LoadGenOptions opt;
+  opt.seed = 42;
+  opt.seconds = 4.0;
+  LoadGen load(&world.fs(), opt);
+  ASSERT_TRUE(load.Run().ok());
+
+  const LoadGenReport report = load.Report();
+  ASSERT_GE(report.tenants.size(), 3u) << "mix must span several profiles";
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.span_drops, 0u);
+  EXPECT_GT(report.samples, 0u) << "the pump must tick the sampler";
+  for (const TenantLoadStats& t : report.tenants) {
+    EXPECT_GT(t.ops, 0u) << t.tenant << " never ran an op";
+    EXPECT_EQ(t.errors, 0u) << t.tenant;
+  }
+  // At builtin 1x the offered load is far below saturation, so the per-
+  // tenant load objectives must hold.
+  EXPECT_TRUE(report.AllOk()) << report.DumpText();
+}
+
+TEST(LoadGenTest, PerTenantLatencyLabelsAreIsolated) {
+  auto world_or = InversionWorld::Create();
+  ASSERT_TRUE(world_or.ok());
+  InversionWorld& world = **world_or;
+
+  LoadGenOptions opt;
+  opt.seed = 7;
+  opt.seconds = 3.0;
+  LoadGen load(&world.fs(), opt);
+  ASSERT_TRUE(load.Run().ok());
+
+  // The registry's load.latency_us{tenant} histogram must hold exactly that
+  // tenant's observations — attribution, not aggregation.
+  MetricsRegistry& metrics = world.db().metrics();
+  const LoadGenReport report = load.Report();
+  uint64_t total = 0;
+  for (const TenantLoadStats& t : report.tenants) {
+    Histogram* h = metrics.GetHistogram("load.latency_us", t.tenant);
+    EXPECT_EQ(h->Count(), t.ops) << t.tenant;
+    total += h->Count();
+  }
+  EXPECT_EQ(total, report.ops);
+  // Entry-point wall-clock histograms carry the tenant tag too: mail commits
+  // explicitly, and nobody else's label may absorb those observations.
+  Histogram* mail_commit = metrics.GetHistogram("op.latency_us", "p_commit@mail");
+  EXPECT_GT(mail_commit->Count(), 0u);
+  Histogram* audit_commit = metrics.GetHistogram("op.latency_us", "p_commit@audit");
+  EXPECT_EQ(audit_commit->Count(), 0u)
+      << "auditors are read-only and never p_commit";
+}
+
+// The coordinated-omission contract: freeze the server mid-run and every
+// arrival that was *intended* during the freeze must be charged the wait.
+// A closed-loop driver records only the ops it issued (all fast) and its
+// p99 barely moves; an open-loop one sees the stall dominate the tail.
+TEST(LoadGenTest, StalledServerDominatesTailLatency) {
+  constexpr SimMicros kStall = 30'000'000;  // 30 sim seconds
+
+  auto baseline_p99 = [](SimMicros stall) -> uint64_t {
+    auto world_or = InversionWorld::Create();
+    EXPECT_TRUE(world_or.ok());
+    InversionWorld& world = **world_or;
+    LoadGenOptions opt;
+    opt.seed = 42;
+    opt.seconds = 4.0;
+    opt.stall_at = 1'000'000;  // 1s into the arrival horizon
+    opt.stall_for = stall;
+    LoadGen load(&world.fs(), opt);
+    EXPECT_TRUE(load.Run().ok());
+    uint64_t worst = 0;
+    for (const TenantLoadStats& t : load.Report().tenants) {
+      worst = std::max(worst, t.slo.p99_us);
+    }
+    return worst;
+  };
+
+  const uint64_t calm = baseline_p99(0);
+  const uint64_t stalled = baseline_p99(kStall);
+  // Arrivals intended during the 30s freeze waited up to 30s; with 3 s of
+  // post-stall horizon still to drain, the p99 must be stall-scale — not
+  // service-time-scale. (Histogram percentiles are power-of-two upper
+  // bounds, so compare against half the stall.)
+  EXPECT_GE(stalled, kStall / 2)
+      << "stall was not charged to queued arrivals";
+  EXPECT_GE(stalled, 8 * calm) << "calm=" << calm << " stalled=" << stalled;
+}
+
+TEST(LoadGenTest, TimeseriesRelationServesSampledWindows) {
+  auto world_or = InversionWorld::Create();
+  ASSERT_TRUE(world_or.ok());
+  InversionWorld& world = **world_or;
+
+  LoadGenOptions opt;
+  opt.seed = 42;
+  opt.seconds = 3.0;
+  LoadGen load(&world.fs(), opt);
+  ASSERT_TRUE(load.Run().ok());
+  ASSERT_GT(load.Report().samples, 0u);
+
+  // Exact column check: txn.commits is a counter, so each row's value is the
+  // per-window delta and the deltas sum to at most the live total.
+  auto rs = world.session().Query(
+      "retrieve (t.sample, t.micros, t.name, t.kind, t.value) "
+      "from t in invfs_timeseries where t.name = \"txn.commits\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_GT(rs->rows.size(), 0u);
+  int64_t delta_sum = 0;
+  int64_t last_sample = 0;
+  for (const Row& row : rs->rows) {
+    EXPECT_GT(row[0].AsInt8(), last_sample) << "sample ids must ascend";
+    last_sample = row[0].AsInt8();
+    EXPECT_GT(row[1].AsInt8(), 0);  // micros
+    EXPECT_EQ(row[2].AsText(), "txn.commits");
+    EXPECT_EQ(row[3].AsText(), "counter");
+    EXPECT_GE(row[4].AsInt8(), 0);
+    delta_sum += row[4].AsInt8();
+  }
+  EXPECT_GT(delta_sum, 0) << "the load ran commits; some window saw them";
+
+  // Per-tenant histogram series surface under their tenant label.
+  rs = world.session().Query(
+      "retrieve (t.label, t.count, t.p99) from t in invfs_timeseries "
+      "where t.name = \"load.latency_us\" and t.label = \"mail\"");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_GT(rs->rows.size(), 0u);
+
+  // Like every virtual relation, the series is now-only: it materializes
+  // live ring state, so historical reads are a contract error, not empty.
+  auto tt = world.session().Query(
+      "retrieve (t.name) from t in invfs_timeseries[\"12345\"]");
+  ASSERT_FALSE(tt.ok());
+  EXPECT_EQ(tt.status().code(), ErrorCode::kInvalidArgument)
+      << tt.status().ToString();
+}
+
+}  // namespace
+}  // namespace invfs

@@ -210,6 +210,20 @@ TEST(TraceRingTest, WrapKeepsOnlyTheNewest) {
   }
 }
 
+TEST(TraceRingTest, WrapCountsDrops) {
+  TraceRing ring(128);
+  for (size_t i = 0; i < 128; ++i) {
+    ring.Record(TraceEvent::kPageMiss, i);
+  }
+  // Exactly full: nothing has been overwritten yet.
+  EXPECT_EQ(ring.TotalDropped(), 0u);
+  for (size_t i = 0; i < 50; ++i) {
+    ring.Record(TraceEvent::kPageMiss, 128 + i);
+  }
+  EXPECT_EQ(ring.TotalDropped(), 50u);
+  EXPECT_EQ(ring.TotalRecorded(), 178u);
+}
+
 TEST(TraceRingTest, CapacityIsConfigurableAndRoundedToPow2) {
   TraceRing ring(100);
   EXPECT_EQ(ring.capacity(), 128u);
@@ -247,6 +261,9 @@ TEST(MetricsRegistryTest, DumpsRenderHistogramPercentiles) {
   EXPECT_NE(json.find("\"p50\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"p99\": 1023"), std::string::npos);
   EXPECT_NE(json.find("\"p999\": 1023"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": "), std::string::npos);
+  EXPECT_NE(json.find("\"mean\": "), std::string::npos);
 }
 
 TEST(SpanRingTest, RecordsAndWraps) {
@@ -272,6 +289,24 @@ TEST(SpanRingTest, RecordsAndWraps) {
   for (size_t i = 1; i < snap.size(); ++i) {
     EXPECT_LT(snap[i - 1].seq, snap[i].seq);
   }
+}
+
+TEST(SpanRingTest, WrapCountsDrops) {
+  SpanRing ring(64);
+  SpanRecord r;
+  r.trace_id = 1;
+  r.name = "test.span";
+  for (uint64_t i = 0; i < 64; ++i) {
+    r.span_id = i + 1;
+    ring.RecordSpan(r);
+  }
+  EXPECT_EQ(ring.TotalDropped(), 0u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    r.span_id = 100 + i;
+    ring.RecordSpan(r);
+  }
+  EXPECT_EQ(ring.TotalDropped(), 10u);
+  EXPECT_EQ(ring.TotalRecorded(), 74u);
 }
 
 TEST(ScopedSpanTest, NestingLinksParentAndRestoresContext) {
@@ -438,6 +473,12 @@ TEST(SpanShapeTest, RpcWriteTreeLinksBufferMissAndCommitFlush) {
   EXPECT_TRUE(saw_miss) << "cold-cache RPC write recorded no buffer.miss span";
   EXPECT_TRUE(saw_flush_wait)
       << "auto-committed RPC write recorded no log.flush.wait span";
+
+  // The shape assertions above only hold if nothing was overwritten: a
+  // wrapped ring would silently detach children from evicted parents.
+  EXPECT_EQ(world.db().metrics().spans().TotalDropped(), 0u)
+      << "span ring wrapped mid-test; the tree walked above is incomplete";
+  EXPECT_EQ(world.db().metrics().trace().TotalDropped(), 0u);
 }
 
 }  // namespace
