@@ -1,0 +1,169 @@
+// Emits BENCH_PR10.json: the unreliable-network fault-domain numbers.
+//
+// The builtin four-tenant mix (1x, 22 clients, fixed seed) runs entirely over
+// the marshalled RPC path — every arrival is a RemoteFileClient call priced
+// by the NetModel and stamped with the at-most-once header — at three frame
+// loss rates: 0%, 0.1%, and 1% (split evenly between request and response
+// legs). Per rate the file embeds the full loadgen report plus the resilience
+// stats: goodput (acked ops per sim second), retries per op, the DRC hit
+// rate (what fraction of re-sends were answered from the server's
+// duplicate-request cache rather than re-executed), and the hard invariant
+// that zero op errors leaked through the retry + DRC machinery.
+//
+// The summary also prices the at-most-once header itself: client id (8) +
+// seq (8) + epoch (4) = 20 bytes on every request frame, charged at the
+// NetModel's per-kilobyte rate. Against the unfaulted run's total simulated
+// time that framing overhead must stay under 5% — the protocol's insurance
+// premium is paid in retry behavior, not in steady-state throughput.
+//
+// Usage: bench_pr10 [output.json]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/catalog/database.h"
+#include "src/load/loadgen.h"
+
+namespace invfs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Request-frame bytes added by the at-most-once substrate.
+constexpr uint64_t kAtMostOnceHeaderBytes = 8 + 8 + 4;
+constexpr double kFramingBudgetPct = 5.0;
+
+struct SweepPoint {
+  double drop = 0.0;
+  double wall_ms = 0.0;
+  LoadGenReport report;
+};
+
+Result<SweepPoint> RunPoint(double drop, double seconds) {
+  StorageEnv env;
+  DatabaseOptions dbo;
+  dbo.buffers = kBerkeleyBuffers;
+  dbo.span_ring_capacity = 1 << 17;
+  INV_ASSIGN_OR_RETURN(auto db, Database::Open(&env, dbo));
+  InversionFs fs(db.get());
+  INV_RETURN_IF_ERROR(fs.Mount());
+
+  LoadGenOptions opts;
+  opts.seed = 42;
+  opts.seconds = seconds;
+  opts.transport = LoadTransport::kRpc;
+  opts.net_faults.drop_request = drop / 2;
+  opts.net_faults.drop_response = drop / 2;
+
+  const auto t0 = Clock::now();
+  LoadGen gen(&fs, opts);
+  INV_RETURN_IF_ERROR(gen.Run());
+  SweepPoint p;
+  p.drop = drop;
+  p.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  p.report = gen.Report();
+  return p;
+}
+
+int Run(const char* out_path) {
+  const std::vector<double> drops = {0.0, 0.001, 0.01};
+  const double seconds = 5.0;
+  std::vector<SweepPoint> points;
+  for (double drop : drops) {
+    auto p = RunPoint(drop, seconds);
+    if (!p.ok()) {
+      std::fprintf(stderr, "drop %.3f: %s\n", drop,
+                   p.status().ToString().c_str());
+      return 1;
+    }
+    const LoadGenReport& r = p->report;
+    std::fprintf(stderr,
+                 "drop %.1f%% ops=%llu errors=%llu goodput=%.2f/s "
+                 "exchanges=%llu retries=%llu drc_hits=%llu wall=%.0fms\n",
+                 drop * 100, static_cast<unsigned long long>(r.ops),
+                 static_cast<unsigned long long>(r.errors),
+                 r.sim_seconds > 0 ? static_cast<double>(r.ops) / r.sim_seconds
+                                   : 0.0,
+                 static_cast<unsigned long long>(r.rpc_exchanges),
+                 static_cast<unsigned long long>(r.rpc_retries),
+                 static_cast<unsigned long long>(r.rpc_drc_hits), p->wall_ms);
+    if (r.errors != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu op errors leaked through retry + DRC at "
+                   "drop %.3f\n",
+                   static_cast<unsigned long long>(r.errors), drop);
+      return 1;
+    }
+    points.push_back(std::move(*p));
+  }
+
+  // Price the 20-byte at-most-once header against the unfaulted run: every
+  // request frame pays kAtMostOnceHeaderBytes at the NetModel per-KB rate.
+  const LoadGenReport& base = points[0].report;
+  const NetParams net{};
+  const double header_us =
+      static_cast<double>(base.rpc_exchanges) *
+      (static_cast<double>(kAtMostOnceHeaderBytes * net.per_kilobyte_us) /
+       1024.0);
+  const double total_us = base.sim_seconds * 1e6;
+  const double framing_pct = total_us > 0 ? header_us / total_us * 100 : 0.0;
+  std::fprintf(stderr,
+               "framing: %llu frames x %llu header bytes = %.0fus of %.0fus "
+               "sim (%.3f%%, budget %.1f%%)\n",
+               static_cast<unsigned long long>(base.rpc_exchanges),
+               static_cast<unsigned long long>(kAtMostOnceHeaderBytes),
+               header_us, total_us, framing_pct, kFramingBudgetPct);
+  if (framing_pct > kFramingBudgetPct) {
+    std::fprintf(stderr, "FAIL: at-most-once framing overhead over budget\n");
+    return 1;
+  }
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "open %s failed\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n\"bench\": \"pr10_network_fault_domain\",\n"
+               "\"scenario\": \"builtin four-tenant mix (22 clients, seed 42) "
+               "over the rpc transport; frame loss split request/response; "
+               "retry + duplicate-request cache must absorb every fault\",\n"
+               "\"sweep\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    const LoadGenReport& r = p.report;
+    const double goodput =
+        r.sim_seconds > 0 ? static_cast<double>(r.ops) / r.sim_seconds : 0.0;
+    const double retries_per_op =
+        r.ops > 0 ? static_cast<double>(r.rpc_retries) / r.ops : 0.0;
+    const double drc_hit_rate =
+        r.rpc_retries > 0
+            ? static_cast<double>(r.rpc_drc_hits) / r.rpc_retries
+            : 0.0;
+    std::fprintf(f,
+                 "{\"drop_rate\": %.4f, \"wall_ms\": %.3f, "
+                 "\"goodput_ops_per_sec\": %.3f, \"retries_per_op\": %.4f, "
+                 "\"drc_hit_rate\": %.4f, \"report\":\n",
+                 p.drop, p.wall_ms, goodput, retries_per_op, drc_hit_rate);
+    std::fputs(r.DumpJson().c_str(), f);
+    std::fprintf(f, "}%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "],\n\"framing\": {\"header_bytes_per_request\": %llu, "
+               "\"overhead_pct\": %.4f, \"budget_pct\": %.1f}\n}\n",
+               static_cast<unsigned long long>(kAtMostOnceHeaderBytes),
+               framing_pct, kFramingBudgetPct);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace invfs
+
+int main(int argc, char** argv) {
+  return invfs::Run(argc > 1 ? argv[1] : "BENCH_PR10.json");
+}

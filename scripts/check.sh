@@ -15,6 +15,7 @@
 #   scripts/check.sh metrics    # just the metrics-overhead smoke gate
 #   scripts/check.sh torture    # just the crash-recovery torture sweep (ASan)
 #   scripts/check.sh load       # just the open-loop loadgen SLO smoke
+#   scripts/check.sh net        # the network-fault sweep + faulted rpc load
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -202,6 +203,36 @@ run_load() {
   "$dir/src/load/invfs_loadgen" --seconds 5 --seed 42 --check
 }
 
+run_net() {
+  # Unreliable-network gate, two halves:
+  #
+  #   1. invfs_torture --net-faults — the at-most-once sweep: every wire
+  #      fault kind (request/response drop, duplicate delivery, response
+  #      truncation, connection reset) crossed with occurrence positions over
+  #      a recorded RPC workload. Each schedule must leave acked ops applied
+  #      exactly once, failed ops invisible, and no orphaned locks or
+  #      transactions. Deterministic: a failure replays by its printed name.
+  #
+  #   2. invfs_loadgen --transport rpc --net-drop 0.01 --check — the builtin
+  #      four-tenant fleet on the priced wire with 1% frame loss. --check
+  #      fails on any op error (a wire fault leaking through retry + DRC),
+  #      any SLO violation, or span-ring drops. The p99 overrides account for
+  #      the RPC protocol cost plus retry timeouts — the builtin targets are
+  #      calibrated for the in-process path.
+  local dir="$ROOT/build-load"
+  echo "==> [net] configure+build invfs_torture + invfs_loadgen (Release)"
+  cmake -B "$dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target invfs_torture invfs_loadgen \
+        -- --no-print-directory
+  echo "==> [net] at-most-once sweep (seed 4242)"
+  "$dir/src/fault/invfs_torture" --net-faults --seed 4242
+  echo "==> [net] rpc fleet with 1% drop, seed 42, 5 sim seconds, --check"
+  "$dir/src/load/invfs_loadgen" --transport rpc --net-drop 0.01 \
+      --seconds 5 --seed 42 --check \
+      --profile mail:p99=4000000 --profile analytics:p99=5000000 \
+      --profile audit:p99=3000000 --profile archive:p99=6000000
+}
+
 case "$LEG" in
   asan) run_sanitized asan address ;;
   tsan) run_sanitized tsan thread ;;
@@ -210,6 +241,7 @@ case "$LEG" in
   metrics) run_metrics_overhead ;;
   torture) run_torture ;;
   load) run_load ;;
+  net) run_net ;;
   all)
     run_sanitized asan address
     run_sanitized tsan thread
@@ -218,9 +250,10 @@ case "$LEG" in
     run_metrics_overhead
     run_torture
     run_load
+    run_net
     ;;
   *)
-    echo "unknown leg '$LEG' (want asan, tsan, tidy, tsa, metrics, torture, load, or all)" >&2
+    echo "unknown leg '$LEG' (want asan, tsan, tidy, tsa, metrics, torture, load, net, or all)" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,180 @@
+#include "src/fault/faulty_transport.h"
+
+#include <algorithm>
+
+namespace invfs {
+
+namespace {
+
+// Sim cost of learning the connection died: one failed delivery attempt's
+// worth of protocol processing, far below any sane timeout.
+constexpr SimMicros kResetLatencyMicros = 1000;
+
+}  // namespace
+
+const char* NetFaultKindName(NetFaultSpec::Kind kind) {
+  switch (kind) {
+    case NetFaultSpec::Kind::kDropRequest:
+      return "drop_request";
+    case NetFaultSpec::Kind::kDropResponse:
+      return "drop_response";
+    case NetFaultSpec::Kind::kDuplicateRequest:
+      return "duplicate_request";
+    case NetFaultSpec::Kind::kTruncateResponse:
+      return "truncate_response";
+    case NetFaultSpec::Kind::kReset:
+      return "reset";
+    case NetFaultSpec::Kind::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+FaultyTransport::FaultyTransport(Transport* inner, SimClock* clock,
+                                 uint64_t seed, MetricsRegistry* metrics)
+    : inner_(inner), clock_(clock), rng_(seed) {
+  if (metrics != nullptr) {
+    injected_ = metrics->GetCounter("rpc.net.faults_injected");
+  }
+}
+
+void FaultyTransport::Arm(std::vector<NetFaultSpec> specs) {
+  MutexLock lock(mu_);
+  specs_ = std::move(specs);
+  consumed_.assign(specs_.size(), false);
+  rates_armed_ = false;
+  arm_base_ = exchanges_;
+}
+
+void FaultyTransport::ArmRates(NetFaultRates rates) {
+  MutexLock lock(mu_);
+  specs_.clear();
+  consumed_.clear();
+  rates_ = rates;
+  rates_armed_ = rates.any();
+  arm_base_ = exchanges_;
+}
+
+void FaultyTransport::Disarm() {
+  MutexLock lock(mu_);
+  specs_.clear();
+  consumed_.clear();
+  rates_armed_ = false;
+}
+
+uint64_t FaultyTransport::total_exchanges() const {
+  MutexLock lock(mu_);
+  return exchanges_;
+}
+
+uint64_t FaultyTransport::exchanges_since_arm() const {
+  MutexLock lock(mu_);
+  return exchanges_ - arm_base_;
+}
+
+uint64_t FaultyTransport::faults_fired() const {
+  MutexLock lock(mu_);
+  return faults_fired_;
+}
+
+FaultyTransport::Verdict FaultyTransport::Decide() {
+  MutexLock lock(mu_);
+  ++exchanges_;
+  const uint64_t pos = exchanges_ - arm_base_;
+  Verdict v;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (!consumed_[i] && specs_[i].at == pos) {
+      consumed_[i] = true;
+      ++faults_fired_;
+      v.faulted = true;
+      v.spec = specs_[i];
+      return v;
+    }
+  }
+  if (rates_armed_) {
+    auto draw = [&](double p, NetFaultSpec::Kind kind) {
+      if (p > 0 && rng_.NextDouble() < p) {
+        v.faulted = true;
+        v.spec.kind = kind;
+        return true;
+      }
+      return false;
+    };
+    const bool fired = draw(rates_.drop_request, NetFaultSpec::Kind::kDropRequest) ||
+                       draw(rates_.drop_response, NetFaultSpec::Kind::kDropResponse) ||
+                       draw(rates_.duplicate, NetFaultSpec::Kind::kDuplicateRequest) ||
+                       draw(rates_.truncate, NetFaultSpec::Kind::kTruncateResponse) ||
+                       draw(rates_.reset, NetFaultSpec::Kind::kReset);
+    if (fired) {
+      ++faults_fired_;
+    }
+  }
+  return v;
+}
+
+uint64_t FaultyTransport::TruncatedLength(size_t full) {
+  MutexLock lock(mu_);
+  // [0, full): a truncated frame is strictly shorter; empty is allowed.
+  return full == 0 ? 0 : rng_.Uniform(full);
+}
+
+void FaultyTransport::ChargeTimeout(SimMicros started, SimMicros timeout_us) {
+  const SimMicros deadline = started + timeout_us;
+  const SimMicros now = clock_->Peek();
+  if (now < deadline) {
+    clock_->Advance(deadline - now);
+  }
+}
+
+Result<std::vector<std::byte>> FaultyTransport::RoundTrip(
+    std::span<const std::byte> request, SimMicros timeout_us) {
+  const Verdict v = Decide();
+  if (!v.faulted) {
+    return inner_->RoundTrip(request, timeout_us);
+  }
+  if (injected_ != nullptr) {
+    injected_->Add();
+  }
+  const SimMicros started = clock_->Peek();
+  switch (v.spec.kind) {
+    case NetFaultSpec::Kind::kDropRequest: {
+      // The server never sees the frame: nothing executes, the client's
+      // whole deadline elapses waiting for a reply that will never come.
+      ChargeTimeout(started, timeout_us);
+      return Status::TransientIo("rpc timeout (request dropped)");
+    }
+    case NetFaultSpec::Kind::kDropResponse: {
+      // The server executes in full — this is the path that proves the
+      // duplicate-request cache: the retried op was already applied.
+      (void)inner_->RoundTrip(request, timeout_us);
+      ChargeTimeout(started, timeout_us);
+      return Status::TransientIo("rpc timeout (response dropped)");
+    }
+    case NetFaultSpec::Kind::kDuplicateRequest: {
+      // Retransmit racing the original: both deliveries reach the server
+      // back to back; the caller sees the second reply. The server's DRC
+      // must make the second delivery a replay, not a re-execution.
+      (void)inner_->RoundTrip(request, timeout_us);
+      return inner_->RoundTrip(request, timeout_us);
+    }
+    case NetFaultSpec::Kind::kTruncateResponse: {
+      auto response = inner_->RoundTrip(request, timeout_us);
+      if (!response.ok()) {
+        return response;
+      }
+      response->resize(TruncatedLength(response->size()));
+      return response;
+    }
+    case NetFaultSpec::Kind::kReset: {
+      clock_->Advance(kResetLatencyMicros);
+      return Status::IoError("connection reset");
+    }
+    case NetFaultSpec::Kind::kDelay: {
+      clock_->Advance(v.spec.delay_us);
+      return inner_->RoundTrip(request, timeout_us);
+    }
+  }
+  return Status::Internal("unreachable net fault kind");
+}
+
+}  // namespace invfs

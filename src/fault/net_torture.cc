@@ -1,0 +1,450 @@
+#include "src/fault/net_torture.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/fault/faulty_transport.h"
+#include "src/harness/worlds.h"
+#include "src/net/rpc.h"
+#include "src/util/random.h"
+
+namespace invfs {
+namespace {
+
+constexpr char kRoot[] = "/nt";
+constexpr uint64_t kWorkloadClientId = 11;
+constexpr uint64_t kOracleClientId = 12;
+
+std::string FileName(int i) { return std::string(kRoot) + "/f" + std::to_string(i); }
+
+// Distinctive payloads: a duplicated append of the same chunk is content the
+// oracle can see, so the fill must at least vary per (tag, position).
+std::vector<std::byte> Payload(uint64_t tag, uint32_t len) {
+  std::vector<std::byte> out(len);
+  uint64_t x = tag | 1;
+  for (uint32_t i = 0; i < len; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    out[i] = static_cast<std::byte>(x >> 33);
+  }
+  return out;
+}
+
+std::string PayloadStr(uint64_t tag, uint32_t len) {
+  auto raw = Payload(tag, len);
+  return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+}
+
+struct PlannedOp {
+  enum Kind : uint8_t { kCreate, kAppend, kOverwrite, kRename, kUnlink, kTxnBatch };
+  Kind kind = kCreate;
+  int a = 0;  // primary file index
+  int b = 0;  // rename target / batch append target
+  uint32_t len = 128;
+  uint64_t tag = 0;
+  uint64_t off = 0;  // overwrite offset selector
+};
+
+// Deterministic op plan over a small file-index pool. The planning model
+// tracks which names exist so most ops are well-formed; runtime failures
+// (fault-induced) simply make later ops fail gracefully.
+std::vector<PlannedOp> MakePlan(const NetTortureOptions& opt) {
+  Rng rng(opt.seed ^ 0x9E3779B97F4A7C15ULL);
+  std::set<int> exists;
+  auto pick_existing = [&]() {
+    auto it = exists.begin();
+    std::advance(it, static_cast<long>(rng.Uniform(exists.size())));
+    return *it;
+  };
+  auto pick_absent = [&]() -> int {
+    std::vector<int> absent;
+    for (int i = 0; i < opt.max_files; ++i) {
+      if (exists.count(i) == 0) {
+        absent.push_back(i);
+      }
+    }
+    if (absent.empty()) {
+      return -1;
+    }
+    return absent[rng.Uniform(absent.size())];
+  };
+  std::vector<PlannedOp> plan;
+  plan.reserve(static_cast<size_t>(opt.operations));
+  for (int i = 0; i < opt.operations; ++i) {
+    PlannedOp op;
+    op.len = 64 + static_cast<uint32_t>(rng.Uniform(192));
+    op.tag = rng.Next();
+    op.off = rng.Next();
+    const uint64_t roll = exists.empty() ? 0 : rng.Uniform(10);
+    const int absent = pick_absent();
+    if (exists.empty() || (roll <= 1 && absent >= 0)) {
+      op.kind = PlannedOp::kCreate;
+      op.a = absent;
+      exists.insert(op.a);
+    } else if (roll <= 4 || (roll <= 1 && absent < 0)) {
+      op.kind = PlannedOp::kAppend;
+      op.a = pick_existing();
+    } else if (roll == 5) {
+      op.kind = PlannedOp::kOverwrite;
+      op.a = pick_existing();
+    } else if (roll == 6 && absent >= 0) {
+      op.kind = PlannedOp::kRename;
+      op.a = pick_existing();
+      op.b = absent;
+      exists.erase(op.a);
+      exists.insert(op.b);
+    } else if (roll == 7 && exists.size() > 1) {
+      op.kind = PlannedOp::kUnlink;
+      op.a = pick_existing();
+      exists.erase(op.a);
+    } else if (absent >= 0) {
+      op.kind = PlannedOp::kTxnBatch;
+      op.a = absent;
+      op.b = pick_existing();
+      exists.insert(op.a);
+    } else {
+      op.kind = PlannedOp::kAppend;
+      op.a = pick_existing();
+    }
+    plan.push_back(op);
+  }
+  return plan;
+}
+
+// Executes the plan through one retrying client, maintaining the acked-state
+// mirror: a mutation enters the mirror exactly when the client sees its call
+// (or, for transaction batches, the commit) acked.
+class NetWorkload {
+ public:
+  explicit NetWorkload(RemoteFileClient* client) : c_(client) {}
+
+  void Run(const std::vector<PlannedOp>& plan) {
+    for (const PlannedOp& op : plan) {
+      const Status st = RunOne(op);
+      if (st.ok()) {
+        ++acked_;
+      } else {
+        ++failed_;
+      }
+    }
+  }
+
+  const std::map<std::string, std::string>& mirror() const { return mirror_; }
+  uint64_t acked() const { return acked_; }
+  uint64_t failed() const { return failed_; }
+
+ private:
+  Status RunOne(const PlannedOp& op) {
+    switch (op.kind) {
+      case PlannedOp::kCreate:
+        return DoCreate(FileName(op.a), op.tag, op.len);
+      case PlannedOp::kAppend:
+        return DoAppend(FileName(op.a), op.tag, op.len);
+      case PlannedOp::kOverwrite:
+        return DoOverwrite(FileName(op.a), op.tag, op.len, op.off);
+      case PlannedOp::kRename: {
+        const std::string from = FileName(op.a);
+        const std::string to = FileName(op.b);
+        INV_RETURN_IF_ERROR(c_->rename(from, to));
+        auto it = mirror_.find(from);
+        if (it != mirror_.end()) {
+          mirror_[to] = std::move(it->second);
+          mirror_.erase(it);
+        }
+        return Status::Ok();
+      }
+      case PlannedOp::kUnlink: {
+        const std::string path = FileName(op.a);
+        INV_RETURN_IF_ERROR(c_->unlink(path));
+        mirror_.erase(path);
+        return Status::Ok();
+      }
+      case PlannedOp::kTxnBatch:
+        return DoTxnBatch(op);
+    }
+    return Status::Internal("unreachable plan kind");
+  }
+
+  Status DoCreate(const std::string& path, uint64_t tag, uint32_t len) {
+    INV_ASSIGN_OR_RETURN(int fd, c_->p_creat(path));
+    mirror_[path];  // creat acked: the (empty) file exists
+    auto n = c_->p_write(fd, Payload(tag, len));
+    if (n.ok()) {
+      mirror_[path] += PayloadStr(tag, len);
+    }
+    const Status close = c_->p_close(fd);
+    INV_RETURN_IF_ERROR(n.status());
+    return close;
+  }
+
+  Status DoAppend(const std::string& path, uint64_t tag, uint32_t len) {
+    INV_ASSIGN_OR_RETURN(int fd, c_->p_open(path, OpenMode::kWrite));
+    auto end = c_->p_lseek(fd, 0, Whence::kEnd);
+    if (!end.ok()) {
+      (void)c_->p_close(fd);
+      return end.status();
+    }
+    auto n = c_->p_write(fd, Payload(tag, len));
+    if (n.ok()) {
+      mirror_[path] += PayloadStr(tag, len);
+    }
+    const Status close = c_->p_close(fd);
+    INV_RETURN_IF_ERROR(n.status());
+    return close;
+  }
+
+  Status DoOverwrite(const std::string& path, uint64_t tag, uint32_t len,
+                     uint64_t off_sel) {
+    auto it = mirror_.find(path);
+    const uint64_t off =
+        it == mirror_.end() ? 0 : off_sel % (it->second.size() + 1);
+    INV_ASSIGN_OR_RETURN(int fd, c_->p_open(path, OpenMode::kWrite));
+    auto pos = c_->p_lseek(fd, static_cast<int64_t>(off), Whence::kSet);
+    if (!pos.ok()) {
+      (void)c_->p_close(fd);
+      return pos.status();
+    }
+    auto n = c_->p_write(fd, Payload(tag, len));
+    if (n.ok() && it != mirror_.end()) {
+      std::string& content = it->second;
+      const std::string chunk = PayloadStr(tag, len);
+      if (content.size() < off + chunk.size()) {
+        content.resize(off + chunk.size());
+      }
+      content.replace(off, chunk.size(), chunk);
+    }
+    const Status close = c_->p_close(fd);
+    INV_RETURN_IF_ERROR(n.status());
+    return close;
+  }
+
+  Status DoTxnBatch(const PlannedOp& op) {
+    // All-or-nothing: effects enter the mirror only when the commit acks.
+    INV_RETURN_IF_ERROR(c_->p_begin());
+    std::map<std::string, std::string> staged = mirror_;
+    const Status body = [&]() -> Status {
+      const std::string fresh = FileName(op.a);
+      INV_ASSIGN_OR_RETURN(int fd, c_->p_creat(fresh));
+      staged[fresh];
+      INV_ASSIGN_OR_RETURN(int64_t n, c_->p_write(fd, Payload(op.tag, op.len)));
+      (void)n;
+      staged[fresh] += PayloadStr(op.tag, op.len);
+      INV_RETURN_IF_ERROR(c_->p_close(fd));
+      const std::string target = FileName(op.b);
+      INV_ASSIGN_OR_RETURN(int fd2, c_->p_open(target, OpenMode::kWrite));
+      INV_ASSIGN_OR_RETURN(int64_t end, c_->p_lseek(fd2, 0, Whence::kEnd));
+      (void)end;
+      INV_ASSIGN_OR_RETURN(int64_t n2,
+                           c_->p_write(fd2, Payload(op.tag + 1, op.len)));
+      (void)n2;
+      staged[target] += PayloadStr(op.tag + 1, op.len);
+      return c_->p_close(fd2);
+    }();
+    if (!body.ok()) {
+      (void)c_->p_abort();
+      return body;
+    }
+    const Status commit = c_->p_commit();
+    if (commit.ok()) {
+      mirror_ = std::move(staged);
+    } else {
+      (void)c_->p_abort();
+    }
+    return commit;
+  }
+
+  RemoteFileClient* c_;
+  std::map<std::string, std::string> mirror_;
+  uint64_t acked_ = 0;
+  uint64_t failed_ = 0;
+};
+
+// One world per run: the full client/server stack with the faulty wire in
+// the middle.
+struct NetRun {
+  std::unique_ptr<InversionWorld> world;
+  std::unique_ptr<InversionServer> server;
+  std::unique_ptr<NetModel> net;
+  std::unique_ptr<LoopbackTransport> loop;
+  std::unique_ptr<FaultyTransport> wire;
+  std::unique_ptr<RemoteFileClient> client;
+};
+
+Result<NetRun> OpenRun(const NetTortureOptions& opt) {
+  NetRun run;
+  INV_ASSIGN_OR_RETURN(run.world, InversionWorld::Create());
+  run.server = std::make_unique<InversionServer>(&run.world->fs());
+  run.net = std::make_unique<NetModel>(&run.world->clock(), NetParams{});
+  run.loop = std::make_unique<LoopbackTransport>(run.server.get(), run.net.get());
+  run.wire = std::make_unique<FaultyTransport>(run.loop.get(),
+                                               &run.world->clock(), opt.seed,
+                                               &run.world->db().metrics());
+  RpcClientOptions copts;
+  copts.client_id = kWorkloadClientId;
+  copts.clock = &run.world->clock();
+  copts.metrics = &run.world->db().metrics();
+  run.client = std::make_unique<RemoteFileClient>(run.wire.get(), copts);
+  INV_RETURN_IF_ERROR(run.client->mkdir(kRoot));
+  return run;
+}
+
+// The oracle: through a *fresh* client on the unfaulted wire, the namespace
+// and every byte of every file must equal the acked-state mirror, and the
+// engine must be quiescent (no orphaned transactions or locks).
+Status VerifyOracle(NetRun& run, const std::map<std::string, std::string>& mirror) {
+  RpcClientOptions copts;
+  copts.client_id = kOracleClientId;
+  copts.clock = &run.world->clock();
+  RemoteFileClient check(run.loop.get(), copts);
+  INV_ASSIGN_OR_RETURN(auto entries, check.readdir(kRoot));
+  std::set<std::string> actual;
+  for (const DirEntry& e : entries) {
+    actual.insert(std::string(kRoot) + "/" + e.name);
+  }
+  std::set<std::string> expected;
+  for (const auto& [path, content] : mirror) {
+    expected.insert(path);
+  }
+  if (actual != expected) {
+    std::string diff = "namespace mismatch; actual={";
+    for (const std::string& p : actual) {
+      diff += p + ",";
+    }
+    diff += "} expected={";
+    for (const std::string& p : expected) {
+      diff += p + ",";
+    }
+    diff += "}";
+    return Status::Corruption(diff);
+  }
+  for (const auto& [path, content] : mirror) {
+    INV_ASSIGN_OR_RETURN(int fd, check.p_open(path, OpenMode::kRead));
+    std::vector<std::byte> buf(content.size() + 256);
+    auto n = check.p_read(fd, buf);
+    const Status close = check.p_close(fd);
+    INV_RETURN_IF_ERROR(n.status());
+    INV_RETURN_IF_ERROR(close);
+    if (static_cast<size_t>(*n) != content.size() ||
+        std::memcmp(buf.data(), content.data(), content.size()) != 0) {
+      return Status::Corruption(
+          path + ": content mismatch (actual " + std::to_string(*n) +
+          " bytes, acked mirror " + std::to_string(content.size()) +
+          " bytes) — an acked op is missing or applied twice");
+    }
+  }
+  const size_t locked = run.world->db().locks().NumLockedRelations();
+  if (locked != 0) {
+    return Status::Corruption("orphaned locks: " + std::to_string(locked) +
+                              " relations still locked after quiesce");
+  }
+  const size_t active = run.world->db().txns().ActiveTxnCount();
+  if (active != 0) {
+    return Status::Corruption("orphaned transactions: " +
+                              std::to_string(active) + " still active");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string NetTortureReport::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "net torture: %llu schedules, %llu faults fired, %llu not "
+                "reached, %llu exchanges recorded, %llu retries, "
+                "%llu acked / %llu failed ops, %zu failures -> %s",
+                static_cast<unsigned long long>(schedules),
+                static_cast<unsigned long long>(faults_fired),
+                static_cast<unsigned long long>(not_reached),
+                static_cast<unsigned long long>(recorded_exchanges),
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(acked_ops),
+                static_cast<unsigned long long>(failed_ops),
+                failures.size(), ok() ? "PASS" : "FAIL");
+  return buf;
+}
+
+Result<NetTortureReport> RunNetTorture(const NetTortureOptions& options) {
+  NetTortureReport report;
+  const std::vector<PlannedOp> plan = MakePlan(options);
+
+  // Recording pass: unfaulted, counts exchanges, and proves the mirror model
+  // itself (a modeling bug here would indict every schedule).
+  {
+    INV_ASSIGN_OR_RETURN(NetRun run, OpenRun(options));
+    const uint64_t before = run.wire->total_exchanges();
+    NetWorkload workload(run.client.get());
+    workload.Run(plan);
+    report.recorded_exchanges = run.wire->total_exchanges() - before;
+    if (workload.failed() != 0) {
+      return Status::Internal("recording pass had " +
+                              std::to_string(workload.failed()) +
+                              " failed ops on an unfaulted wire");
+    }
+    Status oracle = VerifyOracle(run, workload.mirror());
+    if (!oracle.ok()) {
+      return Status::Internal("recording pass oracle: " + oracle.message());
+    }
+  }
+  if (report.recorded_exchanges == 0) {
+    return Status::Internal("recording pass made no rpc exchanges");
+  }
+
+  static constexpr NetFaultSpec::Kind kKinds[] = {
+      NetFaultSpec::Kind::kDropRequest, NetFaultSpec::Kind::kDropResponse,
+      NetFaultSpec::Kind::kDuplicateRequest,
+      NetFaultSpec::Kind::kTruncateResponse, NetFaultSpec::Kind::kReset,
+  };
+  // Occurrence positions spread evenly over the recorded exchange count.
+  std::vector<uint64_t> positions;
+  const uint64_t n =
+      std::min<uint64_t>(options.schedules_per_kind, report.recorded_exchanges);
+  for (uint64_t j = 0; j < n; ++j) {
+    const uint64_t pos = 1 + (j * report.recorded_exchanges) / n;
+    if (positions.empty() || positions.back() != pos) {
+      positions.push_back(pos);
+    }
+  }
+
+  for (const NetFaultSpec::Kind kind : kKinds) {
+    for (const uint64_t pos : positions) {
+      const std::string name =
+          std::string(NetFaultKindName(kind)) + "@" + std::to_string(pos);
+      ++report.schedules;
+      INV_ASSIGN_OR_RETURN(NetRun run, OpenRun(options));
+      NetFaultSpec spec;
+      spec.kind = kind;
+      spec.at = pos;
+      run.wire->ArmOne(spec);
+      NetWorkload workload(run.client.get());
+      workload.Run(plan);
+      run.wire->Disarm();
+      report.acked_ops += workload.acked();
+      report.failed_ops += workload.failed();
+      report.retries += run.client->retries();
+      if (run.wire->faults_fired() == 0) {
+        ++report.not_reached;
+        continue;
+      }
+      ++report.faults_fired;
+      const Status oracle = VerifyOracle(run, workload.mirror());
+      if (!oracle.ok()) {
+        report.failures.push_back(name + ": " + oracle.message());
+      }
+      if (options.verbose) {
+        std::printf("net schedule %-24s acked=%llu failed=%llu retries=%llu %s\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(workload.acked()),
+                    static_cast<unsigned long long>(workload.failed()),
+                    static_cast<unsigned long long>(run.client->retries()),
+                    oracle.ok() ? "ok" : oracle.message().c_str());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace invfs

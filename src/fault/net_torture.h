@@ -1,0 +1,67 @@
+// Network-fault torture sweep: the at-most-once proof obligation.
+//
+// The crash torture harness (torture.h) proves the acked/unacked oracle
+// against a dying *device*; this sweep proves the same contract against a
+// dying *wire*. A deterministic RPC workload (creates, appends, strided
+// overwrites, renames, unlinks, explicit transaction batches) runs through a
+// retrying RemoteFileClient over a FaultyTransport:
+//
+//   1. Recording pass: run the workload unfaulted, count the round-trip
+//      exchanges it makes, and verify the mirror oracle holds with no faults.
+//   2. Schedule enumeration: every fault kind (request drop, response drop,
+//      duplicate delivery, response truncation, connection reset) crossed
+//      with occurrence positions spread evenly over the recorded exchange
+//      count — both request-path and response-path losses are in the set.
+//   3. For each schedule: fresh world, arm exactly that fault, run the
+//      identical workload plan with the client retrying through it, then
+//      check the oracle:
+//        * every operation the client saw acked is applied exactly once —
+//          final file contents equal the acked-state mirror byte for byte
+//          (a duplicated append or replayed rename shows up immediately);
+//        * every operation the client saw fail is invisible;
+//        * no orphaned state — zero active transactions and zero locked
+//          relations once the workload's sessions quiesce, even after a
+//          reset tore a session down mid-transaction.
+//
+// All randomness flows from NetTortureOptions::seed; a failing schedule
+// replays exactly (same plan, same fault position, same truncation prefix).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace invfs {
+
+struct NetTortureOptions {
+  uint64_t seed = 0xF1BE;
+  // Operations per workload run (each one creat/append/overwrite/rename/
+  // unlink or a multi-op transaction batch).
+  int operations = 36;
+  int max_files = 6;
+  // At most this many occurrence positions per fault kind, spread evenly
+  // across the recorded exchange count.
+  uint64_t schedules_per_kind = 12;
+  bool verbose = false;  // one line per schedule to stdout
+};
+
+struct NetTortureReport {
+  uint64_t schedules = 0;      // schedules enumerated and run
+  uint64_t faults_fired = 0;   // schedules whose fault actually fired
+  uint64_t not_reached = 0;    // armed position past the replay's exchanges
+  uint64_t recorded_exchanges = 0;  // round trips in the recording pass
+  uint64_t retries = 0;        // client retries summed over all schedules
+  uint64_t acked_ops = 0;      // workload ops acked, summed over schedules
+  uint64_t failed_ops = 0;     // workload ops that surfaced an error
+  std::vector<std::string> failures;  // empty == the sweep passed
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+Result<NetTortureReport> RunNetTorture(const NetTortureOptions& options);
+
+}  // namespace invfs

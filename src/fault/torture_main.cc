@@ -3,12 +3,22 @@
 // Usage: invfs_torture [--seed N] [--txns N] [--files N] [--buffers N]
 //                      [--occurrences N] [--write-schedules N]
 //                      [--no-points] [--no-write-sweep] [--quick]
-//                      [--under-load] [--verbose]
+//                      [--under-load] [--net-faults] [--net-schedules N]
+//                      [--verbose]
 //
 // --under-load interleaves the open-loop multi-tenant load driver (the
 // builtin mail/analytics/audit/archive mix under /load) between torture
 // transactions in every pass, proving recovery correctness with foreign
 // tenant traffic sharing the engine.
+//
+// --net-faults switches to the network fault-domain sweep (see
+// src/fault/net_torture.h): a (fault kind x occurrence position) schedule
+// matrix over the at-most-once RPC stack — request/response drops, duplicate
+// deliveries, truncated replies, and connection resets injected under a
+// retrying client, with the acked-visible / never-acked-invisible oracle and
+// a no-orphaned-locks/transactions quiescence check after every schedule.
+// --seed, --txns (operations), --files, and --verbose carry over;
+// --net-schedules bounds the occurrence positions per fault kind.
 //
 // Runs the deterministic torture sweep (see src/fault/torture.h): a recording
 // pass discovers every crash point the workload exercises, then each
@@ -21,10 +31,31 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/fault/net_torture.h"
 #include "src/fault/torture.h"
+
+namespace {
+
+int RunNetMode(const invfs::NetTortureOptions& opt) {
+  auto report = invfs::RunNetTorture(opt);
+  if (!report.ok()) {
+    std::fprintf(stderr, "invfs_torture: %s\n",
+                 report.status().message().c_str());
+    return 2;
+  }
+  for (const std::string& line : report->failures) {
+    std::printf("net failure: %s\n", line.c_str());
+  }
+  std::printf("%s\n", report->Summary().c_str());
+  return report->ok() ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   invfs::TortureOptions opt;
+  invfs::NetTortureOptions net_opt;
+  bool net_mode = false;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     auto next = [&]() -> const char* {
@@ -36,16 +67,23 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(a, "--seed") == 0) {
       opt.seed = std::strtoull(next(), nullptr, 0);
+      net_opt.seed = opt.seed;
     } else if (std::strcmp(a, "--txns") == 0) {
       opt.transactions = std::atoi(next());
+      net_opt.operations = opt.transactions;
     } else if (std::strcmp(a, "--files") == 0) {
       opt.max_files = std::atoi(next());
+      net_opt.max_files = opt.max_files;
     } else if (std::strcmp(a, "--buffers") == 0) {
       opt.buffers = static_cast<size_t>(std::atoi(next()));
     } else if (std::strcmp(a, "--occurrences") == 0) {
       opt.occurrences_per_point = std::strtoull(next(), nullptr, 0);
     } else if (std::strcmp(a, "--write-schedules") == 0) {
       opt.write_sweep_schedules = std::strtoull(next(), nullptr, 0);
+    } else if (std::strcmp(a, "--net-faults") == 0) {
+      net_mode = true;
+    } else if (std::strcmp(a, "--net-schedules") == 0) {
+      net_opt.schedules_per_kind = std::strtoull(next(), nullptr, 0);
     } else if (std::strcmp(a, "--no-points") == 0) {
       opt.run_crash_points = false;
     } else if (std::strcmp(a, "--no-write-sweep") == 0) {
@@ -54,18 +92,25 @@ int main(int argc, char** argv) {
       opt.transactions = 10;
       opt.occurrences_per_point = 2;
       opt.write_sweep_schedules = 12;
+      net_opt.operations = 20;
+      net_opt.schedules_per_kind = 6;
     } else if (std::strcmp(a, "--under-load") == 0) {
       opt.under_load = true;
     } else if (std::strcmp(a, "--verbose") == 0) {
       opt.verbose = true;
+      net_opt.verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: invfs_torture [--seed N] [--txns N] [--files N] "
                    "[--buffers N] [--occurrences N] [--write-schedules N] "
                    "[--no-points] [--no-write-sweep] [--quick] [--under-load] "
-                   "[--verbose]\n");
+                   "[--net-faults] [--net-schedules N] [--verbose]\n");
       return 2;
     }
+  }
+
+  if (net_mode) {
+    return RunNetMode(net_opt);
   }
 
   auto report = invfs::RunTorture(opt);

@@ -120,7 +120,11 @@ Result<std::unique_ptr<InversionWorld>> InversionWorld::Create(WorldOptions opti
       std::make_unique<NetModel>(&world->env_.clock, options.inversion_net);
   world->transport_ = std::make_unique<LoopbackTransport>(world->server_.get(),
                                                           world->net_.get());
-  world->client_ = std::make_unique<RemoteFileClient>(world->transport_.get());
+  RpcClientOptions client_options;
+  client_options.clock = &world->env_.clock;
+  client_options.metrics = &world->db_->metrics();
+  world->client_ =
+      std::make_unique<RemoteFileClient>(world->transport_.get(), client_options);
   world->local_api_ = std::make_unique<LocalInversionApi>(
       world.get(), world->session_.get(), world->db_.get());
   world->remote_api_ =

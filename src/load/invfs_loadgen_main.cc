@@ -8,8 +8,17 @@
 //                                         replace the mix (flag repeats)
 //   invfs_loadgen --json                  machine-readable report
 //   invfs_loadgen --timeseries [--json]   also dump the sampled time series
-//   invfs_loadgen --check                 exit 1 on any SLO violation or any
-//                                         span-ring drop (scripts/check.sh)
+//   invfs_loadgen --check                 exit 1 on any SLO violation, any
+//                                         span-ring drop, or (rpc transport)
+//                                         any op error (scripts/check.sh)
+//   invfs_loadgen --transport rpc         every client is a RemoteFileClient:
+//                                         marshalled frames, NetModel pricing,
+//                                         at-most-once ids on every request
+//   invfs_loadgen --transport rpc --net-drop 0.01
+//                                         1% of exchanges lose a frame; the
+//                                         retry/DRC machinery must absorb it
+//                                         (also --net-dup, --net-truncate,
+//                                         --net-reset)
 //
 // The world is simulated: arrivals, service and latency all run on the
 // SimClock, so a "2 second" run finishes in a fraction of that wall time and
@@ -33,9 +42,15 @@ int Usage() {
                "usage: invfs_loadgen [--clients N] [--seconds S] [--seed N]\n"
                "                     [--profile name[:k=v,...]]... [--json]\n"
                "                     [--timeseries] [--check] [--span-ring N]\n"
+               "                     [--transport inprocess|rpc]\n"
+               "                     [--net-drop P] [--net-dup P]\n"
+               "                     [--net-truncate P] [--net-reset P]\n"
                "  profiles: mail, analytics, audit, archive; keys: clients,\n"
                "  rate, arrival=poisson|uniform|bursty, burst, bytes, files,\n"
-               "  p50, p99, p999 (load-SLO caps, sim micros)\n");
+               "  p50, p99, p999 (load-SLO caps, sim micros)\n"
+               "  --net-* rates are per-exchange probabilities in [0,1) and\n"
+               "  need --transport rpc (drop applies to request and response\n"
+               "  each at P/2)\n");
   return 2;
 }
 
@@ -66,6 +81,25 @@ int Run(int argc, char** argv) {
         return 2;
       }
       profiles.push_back(std::move(*p));
+    } else if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc) {
+      const char* v = argv[++i];
+      if (std::strcmp(v, "rpc") == 0) {
+        opts.transport = LoadTransport::kRpc;
+      } else if (std::strcmp(v, "inprocess") == 0) {
+        opts.transport = LoadTransport::kInProcess;
+      } else {
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--net-drop") == 0 && i + 1 < argc) {
+      const double p = std::atof(argv[++i]);
+      opts.net_faults.drop_request = p / 2;
+      opts.net_faults.drop_response = p / 2;
+    } else if (std::strcmp(argv[i], "--net-dup") == 0 && i + 1 < argc) {
+      opts.net_faults.duplicate = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--net-truncate") == 0 && i + 1 < argc) {
+      opts.net_faults.truncate = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--net-reset") == 0 && i + 1 < argc) {
+      opts.net_faults.reset = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--timeseries") == 0) {
@@ -75,6 +109,10 @@ int Run(int argc, char** argv) {
     } else {
       return Usage();
     }
+  }
+  if (opts.net_faults.any() && opts.transport != LoadTransport::kRpc) {
+    std::fprintf(stderr, "--net-* rates need --transport rpc\n");
+    return Usage();
   }
   if (!profiles.empty()) {
     opts.profiles = std::move(profiles);
@@ -122,6 +160,16 @@ int Run(int argc, char** argv) {
                    "CHECK FAIL: span ring dropped %llu records "
                    "(raise --span-ring)\n",
                    static_cast<unsigned long long>(report.span_drops));
+      rc = 1;
+    }
+    if (opts.transport == LoadTransport::kRpc && report.errors != 0) {
+      // On the wire every fault must be absorbed by retry + DRC; an op-level
+      // error under the configured rates means the resilience machinery
+      // leaked a wire failure to a client.
+      std::fprintf(stderr,
+                   "CHECK FAIL: %llu op errors leaked through the rpc "
+                   "resilience layer\n",
+                   static_cast<unsigned long long>(report.errors));
       rc = 1;
     }
     return rc;

@@ -252,7 +252,8 @@ struct LoadGen::TenantState {
 struct LoadGen::Client {
   size_t tenant = 0;
   uint64_t id = 0;
-  std::unique_ptr<InvSession> session;
+  std::unique_ptr<InvSession> session;      // kInProcess
+  std::unique_ptr<RemoteFileClient> remote;  // kRpc
   Rng rng{0};
   SimMicros next_intended = 0;
   uint32_t burst_left = 0;
@@ -382,6 +383,23 @@ Status LoadGen::Setup() {
     t.as_of = past;
   }
 
+  if (options_.transport == LoadTransport::kRpc) {
+    // The whole fleet shares one server, one priced wire, and (when fault
+    // rates are set) one fault decorator; each client gets its own stub so
+    // the (client id, seq, epoch) at-most-once state is per client.
+    rpc_server_ = std::make_unique<InversionServer>(fs_);
+    rpc_net_ = std::make_unique<NetModel>(clock_, NetParams{});
+    rpc_loop_ =
+        std::make_unique<LoopbackTransport>(rpc_server_.get(), rpc_net_.get());
+    rpc_wire_ = std::make_unique<FaultyTransport>(
+        rpc_loop_.get(), clock_, options_.seed ^ 0xFA17ED, &metrics);
+    if (options_.net_faults.any()) {
+      rpc_wire_->ArmRates(options_.net_faults);
+    }
+    drc_hits_counter_ = metrics.GetCounter("rpc.server.drc_hits");
+    drc_hits_before_ = drc_hits_counter_->Value();
+  }
+
   start_ = clock_->Peek();
   horizon_ = start_ + static_cast<SimMicros>(options_.seconds * 1e6);
   last_intended_ = start_;
@@ -393,7 +411,17 @@ Status LoadGen::Setup() {
       c.tenant = ti;
       c.id = id++;
       c.rng = Rng(MixSeed(options_.seed, ti, k));
-      INV_ASSIGN_OR_RETURN(c.session, fs_->NewSession());
+      if (options_.transport == LoadTransport::kRpc) {
+        RpcClientOptions copts;
+        copts.client_id = c.id + 1;  // 0 would auto-assign
+        copts.clock = clock_;
+        copts.metrics = &metrics;
+        copts.retry = options_.rpc_retry;
+        c.remote = std::make_unique<RemoteFileClient>(rpc_wire_.get(), copts);
+        c.remote->set_tenant(tenants_[ti].profile.name);
+      } else {
+        INV_ASSIGN_OR_RETURN(c.session, fs_->NewSession());
+      }
       clients_.push_back(std::move(c));
     }
   }
@@ -419,7 +447,29 @@ Status LoadGen::Setup() {
 
 Status LoadGen::RunOp(Client& c, uint64_t* bytes) {
   TenantState& t = tenants_[c.tenant];
-  InvSession& s = *c.session;
+  if (t.profile.kind == TenantKind::kArchive && c.ops != 0 &&
+      c.ops % kArchiveMigrateEvery == 0) {
+    // Migration-rule daemon pass. This is server-side work in both transport
+    // modes (the rule system is the server's background daemon, not a client
+    // call), so it never crosses the wire.
+    Database& db = fs_->db();
+    INV_ASSIGN_OR_RETURN(TxnId txn, db.Begin());
+    auto fired = fs_->ApplyMigrationRules(txn);
+    if (!fired.ok()) {
+      (void)db.Abort(txn);
+      return fired.status();
+    }
+    return db.Commit(txn);
+  }
+  if (c.remote != nullptr) {
+    return RunOpOn(*c.remote, c, bytes);
+  }
+  return RunOpOn(*c.session, c, bytes);
+}
+
+template <typename Api>
+Status LoadGen::RunOpOn(Api& s, Client& c, uint64_t* bytes) {
+  TenantState& t = tenants_[c.tenant];
   switch (t.profile.kind) {
     case TenantKind::kMail: {
       // One delivered message per op: explicit transaction, one commit (the
@@ -470,18 +520,8 @@ Status LoadGen::RunOp(Client& c, uint64_t* bytes) {
       return close;
     }
     case TenantKind::kArchive: {
-      // WORM: append-once bulk files; every Nth op runs the migration-rule
-      // daemon pass that pushes cold data to the jukebox.
-      if (c.ops != 0 && c.ops % kArchiveMigrateEvery == 0) {
-        Database& db = fs_->db();
-        INV_ASSIGN_OR_RETURN(TxnId txn, db.Begin());
-        auto fired = fs_->ApplyMigrationRules(txn);
-        if (!fired.ok()) {
-          (void)db.Abort(txn);
-          return fired.status();
-        }
-        return db.Commit(txn);
-      }
+      // WORM: append-once bulk files (the every-Nth migration pass is hoisted
+      // into RunOp — it is daemon work, not a client op).
       const std::string path = t.dir + "/a" + std::to_string(c.id) + "_" +
                                std::to_string(c.ops);
       std::vector<std::byte> blob(2 * t.profile.bytes_per_op,
@@ -577,6 +617,16 @@ LoadGenReport LoadGen::Report() const {
   r.span_drops = metrics.spans().TotalDropped() - spans_before_;
   r.trace_drops = metrics.trace().TotalDropped() - traces_before_;
   r.samples = metrics.timeseries().SamplesTaken() - samples_before_;
+  if (rpc_wire_ != nullptr) {
+    r.rpc_exchanges = rpc_wire_->total_exchanges();
+    r.rpc_faults = rpc_wire_->faults_fired();
+    r.rpc_drc_hits = drc_hits_counter_->Value() - drc_hits_before_;
+    for (const Client& c : clients_) {
+      if (c.remote != nullptr) {
+        r.rpc_retries += c.remote->retries();
+      }
+    }
+  }
   for (const TenantState& t : tenants_) {
     TenantLoadStats s;
     s.tenant = t.profile.name;
@@ -625,6 +675,15 @@ std::string LoadGenReport::DumpText() const {
                 static_cast<unsigned long long>(samples),
                 static_cast<unsigned long long>(span_drops));
   out += buf;
+  if (rpc_exchanges != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "rpc: exchanges=%llu retries=%llu faults=%llu drc_hits=%llu\n",
+                  static_cast<unsigned long long>(rpc_exchanges),
+                  static_cast<unsigned long long>(rpc_retries),
+                  static_cast<unsigned long long>(rpc_faults),
+                  static_cast<unsigned long long>(rpc_drc_hits));
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "%-10s %-9s %7s %6s %5s %9s %9s %9s %9s %8s %6s %8s\n",
                 "tenant", "kind", "clients", "ops", "errs", "p50us", "p99us",
@@ -649,20 +708,26 @@ std::string LoadGenReport::DumpText() const {
 
 std::string LoadGenReport::DumpJson() const {
   std::string out;
-  char buf[512];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "{\n  \"seed\": %llu, \"clients\": %zu, \"ops\": %llu, "
                 "\"errors\": %llu,\n  \"intended_seconds\": %.6f, "
                 "\"sim_seconds\": %.6f, \"end_lag_us\": %llu,\n"
                 "  \"span_drops\": %llu, \"trace_drops\": %llu, "
-                "\"samples\": %llu,\n  \"tenants\": [\n",
+                "\"samples\": %llu,\n  \"rpc_exchanges\": %llu, "
+                "\"rpc_retries\": %llu, \"rpc_faults\": %llu, "
+                "\"rpc_drc_hits\": %llu,\n  \"tenants\": [\n",
                 static_cast<unsigned long long>(seed), clients,
                 static_cast<unsigned long long>(ops),
                 static_cast<unsigned long long>(errors), intended_seconds,
                 sim_seconds, static_cast<unsigned long long>(end_lag_us),
                 static_cast<unsigned long long>(span_drops),
                 static_cast<unsigned long long>(trace_drops),
-                static_cast<unsigned long long>(samples));
+                static_cast<unsigned long long>(samples),
+                static_cast<unsigned long long>(rpc_exchanges),
+                static_cast<unsigned long long>(rpc_retries),
+                static_cast<unsigned long long>(rpc_faults),
+                static_cast<unsigned long long>(rpc_drc_hits));
   out += buf;
   for (size_t i = 0; i < tenants.size(); ++i) {
     const TenantLoadStats& t = tenants[i];

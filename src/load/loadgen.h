@@ -42,7 +42,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/fault/faulty_transport.h"
 #include "src/inversion/inv_fs.h"
+#include "src/net/rpc.h"
 #include "src/obs/slo.h"
 #include "src/obs/tenant.h"
 #include "src/util/random.h"
@@ -106,11 +108,23 @@ Result<TenantProfile> ParseProfileSpec(std::string_view spec);
 // (every profile keeps at least one client).
 void ScaleProfiles(std::vector<TenantProfile>* profiles, size_t total_clients);
 
+// How the fleet reaches the filesystem.
+enum class LoadTransport {
+  kInProcess,  // one InvSession per client, direct calls
+  // Every client is a RemoteFileClient: full marshalling, the NetModel
+  // pricing every arrival's frames, and (optionally) FaultyTransport rates
+  // injecting wire faults the retry/DRC machinery must absorb.
+  kRpc,
+};
+
 struct LoadGenOptions {
   uint64_t seed = 42;
   double seconds = 2.0;        // intended-arrival horizon, sim time
   std::string root = "/load";  // namespace the driver works under
   std::vector<TenantProfile> profiles = BuiltinProfiles();
+  LoadTransport transport = LoadTransport::kInProcess;
+  NetFaultRates net_faults;    // kRpc only: per-exchange fault probabilities
+  RpcRetryPolicy rpc_retry;    // kRpc only: per-client resilience policy
   // Test hook: at sim time `stall_at` (if nonzero), freeze the "server" for
   // `stall_for` micros (one clock jump before the next op). An open-loop
   // driver must charge that stall to every arrival it queued — the
@@ -147,6 +161,11 @@ struct LoadGenReport {
   uint64_t span_drops = 0;   // SpanRing overwrites during the run
   uint64_t trace_drops = 0;
   uint64_t samples = 0;      // timeseries samples captured
+  // RPC transport only (all zero in-process).
+  uint64_t rpc_exchanges = 0;   // round trips on the wire
+  uint64_t rpc_retries = 0;     // client re-sends across the fleet
+  uint64_t rpc_faults = 0;      // wire faults injected
+  uint64_t rpc_drc_hits = 0;    // retried ops answered from the server DRC
   std::vector<TenantLoadStats> tenants;
 
   // True when every tenant's load objective held (count>0 rows only).
@@ -190,6 +209,10 @@ class LoadGen {
   void ScheduleNext(Client& c, SimMicros from_intended);
   // One operation of `c`'s tenant kind; returns ok and bytes moved.
   Status RunOp(Client& c, uint64_t* bytes);
+  // The op body, generic over the access path: Api is InvSession (in-process)
+  // or RemoteFileClient (every call marshalled through the wire).
+  template <typename Api>
+  Status RunOpOn(Api& api, Client& c, uint64_t* bytes);
 
   InversionFs* fs_;
   LoadGenOptions options_;
@@ -205,6 +228,14 @@ class LoadGen {
   uint64_t spans_before_ = 0;    // drop counters at Setup (delta = this run)
   uint64_t traces_before_ = 0;
   uint64_t samples_before_ = 0;
+  // RPC transport stack (kRpc only): one server + one priced, optionally
+  // faulty wire shared by the whole fleet, one stub per client.
+  std::unique_ptr<InversionServer> rpc_server_;
+  std::unique_ptr<NetModel> rpc_net_;
+  std::unique_ptr<LoopbackTransport> rpc_loop_;
+  std::unique_ptr<FaultyTransport> rpc_wire_;
+  Counter* drc_hits_counter_ = nullptr;  // cached for the report delta
+  uint64_t drc_hits_before_ = 0;
   std::vector<TenantState> tenants_;
   std::vector<Client> clients_;
   // Min-heap of client indices keyed by next intended arrival.

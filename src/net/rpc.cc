@@ -1,5 +1,8 @@
 #include "src/net/rpc.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "src/obs/span.h"
 
 namespace invfs {
@@ -7,6 +10,10 @@ namespace {
 
 // Largest read a single request frame may ask the server to buffer.
 constexpr uint32_t kMaxRpcReadBytes = 64u << 20;
+
+// Auto-assigned stub ids (RpcClientOptions::client_id == 0): process-wide so
+// two stubs never collide, deterministic per construction order.
+std::atomic<uint64_t> g_next_client_id{1};
 
 // ---- shared value / struct marshalling --------------------------------------
 
@@ -206,13 +213,16 @@ const char* RpcSpanName(RpcOp op) {
 
 }  // namespace
 
-InversionServer::InversionServer(InversionFs* fs) : fs_(fs) {
-  auto session = fs_->NewSession();
-  INV_CHECK(session.ok());
-  session_ = std::move(*session);
+InversionServer::InversionServer(InversionFs* fs, RpcServerOptions options)
+    : fs_(fs), options_(options) {
   metrics_ = &fs_->db().metrics();
   bytes_in_ = metrics_->GetCounter("rpc.bytes_in");
   bytes_out_ = metrics_->GetCounter("rpc.bytes_out");
+  drc_hits_ = metrics_->GetCounter("rpc.server.drc_hits");
+  drc_evictions_ = metrics_->GetCounter("rpc.server.drc_evictions");
+  drc_lost_ = metrics_->GetCounter("rpc.server.drc_lost");
+  epoch_bumps_ = metrics_->GetCounter("rpc.server.epoch_bumps");
+  stale_epochs_ = metrics_->GetCounter("rpc.server.stale_epochs");
 }
 
 TenantBinding* InversionServer::BindTenant(const std::string& tenant) {
@@ -228,21 +238,134 @@ TenantBinding* InversionServer::BindTenant(const std::string& tenant) {
   return it->second.get();
 }
 
-std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> request) {
+void InversionServer::CacheReply(uint64_t client_id, ClientState& cs,
+                                 uint64_t seq,
+                                 const std::vector<std::byte>& reply) {
+  cs.replies.emplace(seq, reply);
+  cs.max_seq = std::max(cs.max_seq, seq);
+  drc_fifo_.emplace_back(client_id, seq);
+  while (drc_fifo_.size() > options_.drc_capacity) {
+    const auto [cid, old_seq] = drc_fifo_.front();
+    drc_fifo_.pop_front();
+    auto it = clients_.find(cid);
+    if (it != clients_.end()) {
+      it->second.replies.erase(old_seq);
+    }
+    drc_evictions_->Add();
+  }
+}
+
+std::vector<std::byte> InversionServer::Handle(
+    std::span<const std::byte> request) {
+  bytes_in_->Add(request.size());
   ByteReader r(request);
   const std::string tenant = r.Str();
+  const uint64_t client_id = r.U64();
+  const uint64_t seq = r.U64();
+  const uint32_t epoch = r.U32();
+  const RpcOp op = static_cast<RpcOp>(r.U8());
+  auto respond = [this](std::vector<std::byte> resp) {
+    bytes_out_->Add(resp.size());
+    return resp;
+  };
+  // A header the reader could not fully decode carries no usable identity:
+  // reject before creating any per-client state from garbage bytes.
+  if (!r.ok()) {
+    return respond(ErrorResponse(
+        Status::InvalidArgument("malformed rpc request header")));
+  }
   // Re-establish the caller's tenant tag before the root span opens so the
   // whole server-side request tree — and every op.latency_us observation the
   // session makes — attributes to the remote tenant.
   ScopedTenantTag tag(BindTenant(tenant));
-  const RpcOp op = static_cast<RpcOp>(r.U8());
   // Per-op request counter: one registry map lookup per call, which is noise
   // next to the simulated wire costs this layer exists to charge.
   metrics_->GetCounter("rpc.requests", RpcOpName(op))->Add();
   if (IsReadOnlyRpcOp(op)) {
     metrics_->GetCounter("rpc.read_only_requests")->Add();
   }
-  bytes_in_->Add(request.size());
+
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) {
+    if (clients_.size() >= options_.max_clients) {
+      return respond(ErrorResponse(Status::ResourceExhausted(
+          "rpc server at its client limit (" +
+          std::to_string(options_.max_clients) + ")")));
+    }
+    auto session = fs_->NewSession();
+    if (!session.ok()) {
+      return respond(ErrorResponse(session.status()));
+    }
+    ClientState fresh;
+    fresh.epoch = epoch;
+    fresh.session = std::move(*session);
+    it = clients_.emplace(client_id, std::move(fresh)).first;
+  }
+  ClientState& cs = it->second;
+
+  if (epoch < cs.epoch) {
+    stale_epochs_->Add();
+    return respond(ErrorResponse(Status::InvalidArgument(
+        "stale session epoch " + std::to_string(epoch) + " (current " +
+        std::to_string(cs.epoch) + ")")));
+  }
+  if (epoch > cs.epoch) {
+    // Session recovery: the client observed a connection reset and announced
+    // a new generation. Tear the old session down — its destructor aborts an
+    // open transaction (releasing every lock) and closes orphaned fds — and
+    // start fresh. If a transaction was in fact orphaned, the triggering
+    // request is answered with the abort instead of being executed: its fds
+    // and transaction context died with the old epoch, and the client must
+    // learn that crisply rather than observe a half-applied op.
+    epoch_bumps_->Add();
+    const bool orphaned = cs.session != nullptr && cs.session->in_txn();
+    cs.session.reset();
+    auto session = fs_->NewSession();
+    if (!session.ok()) {
+      return respond(ErrorResponse(session.status()));
+    }
+    cs.session = std::move(*session);
+    cs.epoch = epoch;
+    if (orphaned) {
+      std::vector<std::byte> resp = ErrorResponse(Status::TxnAborted(
+          "session reset: open transaction aborted, fds closed"));
+      if (!IsIdempotentRpcOp(op)) {
+        // The abort notice is this seq's reply of record: a retry of the
+        // same seq must replay it, not execute the op on the new session.
+        CacheReply(client_id, cs, seq, resp);
+      }
+      return respond(std::move(resp));
+    }
+  }
+
+  // Duplicate-request cache (Juszczak): a retried or duplicated delivery of
+  // a non-idempotent op replays the cached reply instead of re-executing.
+  if (!IsIdempotentRpcOp(op)) {
+    auto hit = cs.replies.find(seq);
+    if (hit != cs.replies.end()) {
+      drc_hits_->Add();
+      return respond(hit->second);
+    }
+    if (seq != 0 && seq <= cs.max_seq) {
+      // Already executed, reply evicted: refusing is the only honest answer
+      // — re-executing would apply the op twice.
+      drc_lost_->Add();
+      return respond(ErrorResponse(Status::Internal(
+          "duplicate request seq " + std::to_string(seq) +
+          ": cached reply evicted, cannot guarantee at-most-once")));
+    }
+  }
+
+  std::vector<std::byte> response = Execute(op, r, cs);
+  if (!IsIdempotentRpcOp(op)) {
+    CacheReply(client_id, cs, seq, response);
+  }
+  return respond(std::move(response));
+}
+
+std::vector<std::byte> InversionServer::Execute(RpcOp op, ByteReader& r,
+                                                ClientState& cs) {
+  InvSession& session = *cs.session;
   // Root of the request's causal trace: every span the handled op opens
   // below (p_* entry, txn, buffer, device, commit) becomes a descendant.
   ScopedSpan span(&metrics_->spans(), RpcSpanName(op));
@@ -251,13 +374,13 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
 
   switch (op) {
     case RpcOp::kBegin:
-      status = session_->p_begin();
+      status = session.p_begin();
       break;
     case RpcOp::kCommit:
-      status = session_->p_commit();
+      status = session.p_commit();
       break;
     case RpcOp::kAbort:
-      status = session_->p_abort();
+      status = session.p_abort();
       break;
     case RpcOp::kCreat: {
       const std::string path = r.Str();
@@ -267,7 +390,7 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
       options.type = r.Str();
       options.compressed = r.U8() != 0;
       options.keep_history = r.U8() != 0;
-      auto fd = session_->p_creat(path, options);
+      auto fd = session.p_creat(path, options);
       status = fd.status();
       if (fd.ok()) {
         payload.U32(static_cast<uint32_t>(*fd));
@@ -278,7 +401,7 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
       const std::string path = r.Str();
       const OpenMode mode = r.U8() != 0 ? OpenMode::kWrite : OpenMode::kRead;
       const Timestamp as_of = r.U64();
-      auto fd = session_->p_open(path, mode, as_of);
+      auto fd = session.p_open(path, mode, as_of);
       status = fd.status();
       if (fd.ok()) {
         payload.U32(static_cast<uint32_t>(*fd));
@@ -286,7 +409,7 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
       break;
     }
     case RpcOp::kClose:
-      status = session_->p_close(static_cast<int>(r.U32()));
+      status = session.p_close(static_cast<int>(r.U32()));
       break;
     case RpcOp::kRead: {
       const int fd = static_cast<int>(r.U32());
@@ -300,7 +423,7 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
         break;
       }
       std::vector<std::byte> buf(len);
-      auto n = session_->p_read(fd, buf);
+      auto n = session.p_read(fd, buf);
       status = n.status();
       if (n.ok()) {
         payload.Blob(std::span(buf.data(), static_cast<size_t>(*n)));
@@ -310,7 +433,7 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
     case RpcOp::kWrite: {
       const int fd = static_cast<int>(r.U32());
       std::vector<std::byte> data = r.Blob();
-      auto n = session_->p_write(fd, data);
+      auto n = session.p_write(fd, data);
       status = n.status();
       if (n.ok()) {
         payload.I64(*n);
@@ -321,7 +444,7 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
       const int fd = static_cast<int>(r.U32());
       const int64_t offset = r.I64();
       const Whence whence = static_cast<Whence>(r.U8());
-      auto pos = session_->p_lseek(fd, offset, whence);
+      auto pos = session.p_lseek(fd, offset, whence);
       status = pos.status();
       if (pos.ok()) {
         payload.I64(*pos);
@@ -329,7 +452,7 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
       break;
     }
     case RpcOp::kFstat: {
-      auto st = session_->p_fstat(static_cast<int>(r.U32()));
+      auto st = session.p_fstat(static_cast<int>(r.U32()));
       status = st.status();
       if (st.ok()) {
         PutFileStat(payload, *st);
@@ -337,21 +460,21 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
       break;
     }
     case RpcOp::kMkdir:
-      status = session_->mkdir(r.Str());
+      status = session.mkdir(r.Str());
       break;
     case RpcOp::kUnlink:
-      status = session_->unlink(r.Str());
+      status = session.unlink(r.Str());
       break;
     case RpcOp::kRename: {
       const std::string from = r.Str();
       const std::string to = r.Str();
-      status = session_->rename(from, to);
+      status = session.rename(from, to);
       break;
     }
     case RpcOp::kStat: {
       const std::string path = r.Str();
       const Timestamp as_of = r.U64();
-      auto st = session_->stat(path, as_of);
+      auto st = session.stat(path, as_of);
       status = st.status();
       if (st.ok()) {
         PutFileStat(payload, *st);
@@ -361,7 +484,7 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
     case RpcOp::kReaddir: {
       const std::string path = r.Str();
       const Timestamp as_of = r.U64();
-      auto entries = session_->readdir(path, as_of);
+      auto entries = session.readdir(path, as_of);
       status = entries.status();
       if (entries.ok()) {
         payload.U32(static_cast<uint32_t>(entries->size()));
@@ -374,7 +497,7 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
       break;
     }
     case RpcOp::kQuery: {
-      auto rs = session_->Query(r.Str());
+      auto rs = session.Query(r.Str());
       status = rs.status();
       if (rs.ok()) {
         payload.U32(static_cast<uint32_t>(rs->columns.size()));
@@ -399,7 +522,6 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
   }
   std::vector<std::byte> response =
       status.ok() ? OkResponse(payload) : ErrorResponse(status);
-  bytes_out_->Add(response.size());
   metrics_->GetHistogram("rpc.latency_us", RpcOpName(op))
       ->Observe(span.ElapsedMicros());
   return response;
@@ -407,81 +529,249 @@ std::vector<std::byte> InversionServer::Handle(std::span<const std::byte> reques
 
 // -------------------------------------------------------------------- client
 
-Result<std::vector<std::byte>> RemoteFileClient::Call(const ByteWriter& req) {
-  // Frame = tenant prefix + the op-specific request the caller built.
-  ByteWriter framed;
-  framed.Str(tenant_);
-  framed.Bytes(req.data());
-  INV_ASSIGN_OR_RETURN(std::vector<std::byte> response,
-                       transport_->RoundTrip(framed.data()));
-  ByteReader r(response);
-  if (r.U8() == 0) {
-    const ErrorCode code = static_cast<ErrorCode>(r.U8());
-    return Status(code, r.Str());
+RemoteFileClient::RemoteFileClient(Transport* transport,
+                                   RpcClientOptions options)
+    : transport_(transport), options_(options) {
+  client_id_ = options_.client_id != 0
+                   ? options_.client_id
+                   : g_next_client_id.fetch_add(1, std::memory_order_relaxed);
+  if (options_.metrics != nullptr) {
+    calls_ = options_.metrics->GetCounter("rpc.client.calls");
+    retries_counter_ = options_.metrics->GetCounter("rpc.client.retries");
+    timeouts_ = options_.metrics->GetCounter("rpc.client.timeouts");
+    resets_ = options_.metrics->GetCounter("rpc.client.resets");
+    corrupt_ = options_.metrics->GetCounter("rpc.client.corrupt_responses");
+    exhausted_ = options_.metrics->GetCounter("rpc.client.exhausted");
   }
-  return std::vector<std::byte>(response.begin() + 1, response.end());
+}
+
+namespace {
+
+// Shape-walk an ok-response payload for `op` without keeping the result.
+// Runs inside the retry loop: a payload cut short mid-field (response
+// truncation past the status byte) must be handled like a lost response —
+// retried under the same seq so the DRC replays the intact reply — not
+// surfaced as a final decode error after an op the server already applied.
+bool ValidResponsePayload(RpcOp op, std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  switch (op) {
+    case RpcOp::kBegin:
+    case RpcOp::kCommit:
+    case RpcOp::kAbort:
+    case RpcOp::kClose:
+    case RpcOp::kMkdir:
+    case RpcOp::kUnlink:
+    case RpcOp::kRename:
+      return true;  // empty payload
+    case RpcOp::kCreat:
+    case RpcOp::kOpen:
+      r.U32();
+      return r.ok();
+    case RpcOp::kRead:
+      r.Blob();
+      return r.ok();
+    case RpcOp::kWrite:
+    case RpcOp::kLseek:
+      r.I64();
+      return r.ok();
+    case RpcOp::kFstat:
+    case RpcOp::kStat:
+      (void)GetFileStat(r);
+      return r.ok();
+    case RpcOp::kReaddir: {
+      const uint32_t n = r.U32();
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        (void)r.Str();
+        r.U32();
+        r.U8();
+      }
+      return r.ok();
+    }
+    case RpcOp::kQuery: {
+      const uint32_t ncols = r.U32();
+      for (uint32_t i = 0; i < ncols && r.ok(); ++i) {
+        (void)r.Str();
+      }
+      const uint32_t nrows = r.U32();
+      for (uint32_t i = 0; i < nrows && r.ok(); ++i) {
+        for (uint32_t c = 0; c < ncols && r.ok(); ++c) {
+          (void)GetValue(r);
+        }
+      }
+      return r.ok();
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<std::byte>> RemoteFileClient::Call(RpcOp op,
+                                                      const ByteWriter& args) {
+  const uint64_t seq = ++seq_;
+  if (calls_ != nullptr) {
+    calls_->Add();
+  }
+  const RpcRetryPolicy& rp = options_.retry;
+  const int attempts = std::max(1, rp.max_attempts);
+  Status last = Status::Ok();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      // Capped exponential backoff, charged to the sim clock so lost
+      // exchanges cost visible time. The rpc.retry span makes each one
+      // attributable: a = op, b = attempt number.
+      ++retries_;
+      if (retries_counter_ != nullptr) {
+        retries_counter_->Add();
+      }
+      const int shift = std::min(attempt - 2, 30);
+      const SimMicros delay =
+          std::min(rp.backoff_cap_us, rp.backoff_base_us << shift);
+      ScopedSpan span(
+          options_.metrics != nullptr ? &options_.metrics->spans() : nullptr,
+          "rpc.retry", static_cast<uint64_t>(op),
+          static_cast<uint64_t>(attempt));
+      if (options_.clock != nullptr && delay > 0) {
+        options_.clock->Advance(delay);
+      }
+    }
+    // The header is rebuilt per attempt: the seq is sticky across retries
+    // (that is what lets the server deduplicate), but a reset bumps epoch_
+    // between attempts and the re-send must announce the new generation.
+    ByteWriter frame;
+    frame.Str(tenant_);
+    frame.U64(client_id_);
+    frame.U64(seq);
+    frame.U32(epoch_);
+    frame.U8(static_cast<uint8_t>(op));
+    frame.Bytes(args.data());
+    auto response = transport_->RoundTrip(frame.data(), rp.timeout_us);
+    if (!response.ok()) {
+      last = response.status();
+      if (last.code() == ErrorCode::kTransientIo) {
+        if (timeouts_ != nullptr) {
+          timeouts_->Add();
+        }
+        continue;
+      }
+      if (last.code() == ErrorCode::kIoError) {
+        // Connection reset: the server-side session (fds, any open
+        // transaction) is orphaned. Announce a new epoch on the retry so the
+        // server aborts it instead of leaking locks.
+        if (resets_ != nullptr) {
+          resets_->Add();
+        }
+        ++epoch_;
+        continue;
+      }
+      return last;  // not a wire failure; surface as-is
+    }
+    // Client trust boundary: the response is wire data. A frame too short
+    // for even its status header carries no reply — treat it exactly like a
+    // lost response and retry (the DRC makes that safe).
+    ByteReader r(*response);
+    const uint8_t ok = r.U8();
+    if (!r.ok()) {
+      if (corrupt_ != nullptr) {
+        corrupt_->Add();
+      }
+      last = Status::TransientIo("truncated rpc response header");
+      continue;
+    }
+    if (ok == 0) {
+      const ErrorCode code = static_cast<ErrorCode>(r.U8());
+      std::string message = r.Str();
+      if (!r.ok()) {
+        if (corrupt_ != nullptr) {
+          corrupt_->Add();
+        }
+        last = Status::TransientIo("truncated rpc error response");
+        continue;
+      }
+      return Status(code, std::move(message));
+    }
+    std::vector<std::byte> payload(response->begin() + 1, response->end());
+    if (!ValidResponsePayload(op, payload)) {
+      if (corrupt_ != nullptr) {
+        corrupt_->Add();
+      }
+      last = Status::TransientIo("truncated rpc response payload");
+      continue;
+    }
+    return payload;
+  }
+  if (exhausted_ != nullptr) {
+    exhausted_->Add();
+  }
+  if (last.ok()) {
+    return Status::IoError("rpc retries exhausted");
+  }
+  return Status(last.code(), "rpc retries exhausted after " +
+                                 std::to_string(attempts) +
+                                 " attempts: " + last.message());
 }
 
 Status RemoteFileClient::p_begin() {
-  ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kBegin));
-  return Call(w).status();
+  return Call(RpcOp::kBegin, ByteWriter()).status();
 }
 
 Status RemoteFileClient::p_commit() {
-  ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kCommit));
-  return Call(w).status();
+  return Call(RpcOp::kCommit, ByteWriter()).status();
 }
 
 Status RemoteFileClient::p_abort() {
-  ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kAbort));
-  return Call(w).status();
+  return Call(RpcOp::kAbort, ByteWriter()).status();
 }
 
 Result<int> RemoteFileClient::p_creat(const std::string& path,
                                       const CreatOptions& options) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kCreat));
   w.Str(path);
   w.U8(options.device);
   w.Str(options.owner);
   w.Str(options.type);
   w.U8(options.compressed ? 1 : 0);
   w.U8(options.keep_history ? 1 : 0);
-  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  INV_ASSIGN_OR_RETURN(auto payload, Call(RpcOp::kCreat, w));
   ByteReader r(payload);
-  return static_cast<int>(r.U32());
+  const int fd = static_cast<int>(r.U32());
+  if (!r.ok()) {
+    return Status::Corruption("malformed creat response");
+  }
+  return fd;
 }
 
 Result<int> RemoteFileClient::p_open(const std::string& path, OpenMode mode,
                                      Timestamp as_of) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kOpen));
   w.Str(path);
   w.U8(mode == OpenMode::kWrite ? 1 : 0);
   w.U64(as_of);
-  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  INV_ASSIGN_OR_RETURN(auto payload, Call(RpcOp::kOpen, w));
   ByteReader r(payload);
-  return static_cast<int>(r.U32());
+  const int fd = static_cast<int>(r.U32());
+  if (!r.ok()) {
+    return Status::Corruption("malformed open response");
+  }
+  return fd;
 }
 
 Status RemoteFileClient::p_close(int fd) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kClose));
   w.U32(static_cast<uint32_t>(fd));
-  return Call(w).status();
+  return Call(RpcOp::kClose, w).status();
 }
 
 Result<int64_t> RemoteFileClient::p_read(int fd, std::span<std::byte> buf) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kRead));
   w.U32(static_cast<uint32_t>(fd));
   w.U32(static_cast<uint32_t>(buf.size()));
-  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  INV_ASSIGN_OR_RETURN(auto payload, Call(RpcOp::kRead, w));
   ByteReader r(payload);
   std::vector<std::byte> data = r.Blob();
+  if (!r.ok()) {
+    return Status::Corruption("malformed read response");
+  }
   if (data.size() > buf.size()) {
     return Status::Internal("server returned more data than requested");
   }
@@ -489,105 +779,124 @@ Result<int64_t> RemoteFileClient::p_read(int fd, std::span<std::byte> buf) {
   return static_cast<int64_t>(data.size());
 }
 
-Result<int64_t> RemoteFileClient::p_write(int fd, std::span<const std::byte> buf) {
+Result<int64_t> RemoteFileClient::p_write(int fd,
+                                          std::span<const std::byte> buf) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kWrite));
   w.U32(static_cast<uint32_t>(fd));
   w.Blob(buf);
-  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  INV_ASSIGN_OR_RETURN(auto payload, Call(RpcOp::kWrite, w));
   ByteReader r(payload);
-  return r.I64();
+  const int64_t n = r.I64();
+  if (!r.ok()) {
+    return Status::Corruption("malformed write response");
+  }
+  return n;
 }
 
-Result<int64_t> RemoteFileClient::p_lseek(int fd, int64_t offset, Whence whence) {
+Result<int64_t> RemoteFileClient::p_lseek(int fd, int64_t offset,
+                                          Whence whence) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kLseek));
   w.U32(static_cast<uint32_t>(fd));
   w.I64(offset);
   w.U8(static_cast<uint8_t>(whence));
-  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  INV_ASSIGN_OR_RETURN(auto payload, Call(RpcOp::kLseek, w));
   ByteReader r(payload);
-  return r.I64();
+  const int64_t pos = r.I64();
+  if (!r.ok()) {
+    return Status::Corruption("malformed lseek response");
+  }
+  return pos;
 }
 
 Result<FileStat> RemoteFileClient::p_fstat(int fd) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kFstat));
   w.U32(static_cast<uint32_t>(fd));
-  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  INV_ASSIGN_OR_RETURN(auto payload, Call(RpcOp::kFstat, w));
   ByteReader r(payload);
-  return GetFileStat(r);
+  FileStat st = GetFileStat(r);
+  if (!r.ok()) {
+    return Status::Corruption("malformed fstat response");
+  }
+  return st;
 }
 
 Status RemoteFileClient::mkdir(const std::string& path) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kMkdir));
   w.Str(path);
-  return Call(w).status();
+  return Call(RpcOp::kMkdir, w).status();
 }
 
 Status RemoteFileClient::unlink(const std::string& path) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kUnlink));
   w.Str(path);
-  return Call(w).status();
+  return Call(RpcOp::kUnlink, w).status();
 }
 
-Status RemoteFileClient::rename(const std::string& from, const std::string& to) {
+Status RemoteFileClient::rename(const std::string& from,
+                                const std::string& to) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kRename));
   w.Str(from);
   w.Str(to);
-  return Call(w).status();
+  return Call(RpcOp::kRename, w).status();
 }
 
-Result<FileStat> RemoteFileClient::stat(const std::string& path, Timestamp as_of) {
+Result<FileStat> RemoteFileClient::stat(const std::string& path,
+                                        Timestamp as_of) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kStat));
   w.Str(path);
   w.U64(as_of);
-  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  INV_ASSIGN_OR_RETURN(auto payload, Call(RpcOp::kStat, w));
   ByteReader r(payload);
-  return GetFileStat(r);
+  FileStat st = GetFileStat(r);
+  if (!r.ok()) {
+    return Status::Corruption("malformed stat response");
+  }
+  return st;
 }
 
-Result<std::vector<DirEntry>> RemoteFileClient::readdir(const std::string& path,
-                                                        Timestamp as_of) {
+Result<std::vector<DirEntry>> RemoteFileClient::readdir(
+    const std::string& path, Timestamp as_of) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kReaddir));
   w.Str(path);
   w.U64(as_of);
-  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  INV_ASSIGN_OR_RETURN(auto payload, Call(RpcOp::kReaddir, w));
   ByteReader r(payload);
   const uint32_t n = r.U32();
   std::vector<DirEntry> out;
-  out.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
+  // `n` is wire-controlled: bound the reservation by what the payload could
+  // possibly hold (>= 9 bytes per entry) and let the sticky reader error end
+  // the loop, so an oversized count can neither over-allocate nor spin.
+  out.reserve(std::min<size_t>(n, r.remaining() / 9));
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
     DirEntry e;
     e.name = r.Str();
     e.oid = r.U32();
     e.is_directory = r.U8() != 0;
     out.push_back(std::move(e));
   }
+  if (!r.ok()) {
+    return Status::Corruption("malformed readdir response");
+  }
   return out;
 }
 
 Result<ResultSet> RemoteFileClient::Query(const std::string& text) {
   ByteWriter w;
-  w.U8(static_cast<uint8_t>(RpcOp::kQuery));
   w.Str(text);
-  INV_ASSIGN_OR_RETURN(auto payload, Call(w));
+  INV_ASSIGN_OR_RETURN(auto payload, Call(RpcOp::kQuery, w));
   ByteReader r(payload);
   ResultSet rs;
   const uint32_t ncols = r.U32();
-  for (uint32_t i = 0; i < ncols; ++i) {
+  for (uint32_t i = 0; i < ncols && r.ok(); ++i) {
     rs.columns.push_back(r.Str());
   }
+  // Both counts are wire-controlled; the r.ok() guards keep a huge count
+  // from looping billions of times over an exhausted reader.
   const uint32_t nrows = r.U32();
-  for (uint32_t i = 0; i < nrows; ++i) {
+  for (uint32_t i = 0; i < nrows && r.ok(); ++i) {
     Row row;
-    row.reserve(ncols);
-    for (uint32_t c = 0; c < ncols; ++c) {
+    row.reserve(rs.columns.size());
+    for (uint32_t c = 0; c < ncols && r.ok(); ++c) {
       row.push_back(GetValue(r));
     }
     rs.rows.push_back(std::move(row));

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/sim/cost_params.h"
@@ -24,20 +25,25 @@ class NetModel {
     const SimMicros cost =
         params_.per_message_us + (bytes * params_.per_kilobyte_us) / 1024;
     clock_->Advance(cost);
-    ++messages_;
-    bytes_ += bytes;
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
-  uint64_t total_messages() const { return messages_; }
-  uint64_t total_bytes() const { return bytes_; }
+  uint64_t total_messages() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_bytes() const { return bytes_.load(std::memory_order_relaxed); }
 
   const NetParams& params() const { return params_; }
 
  private:
   SimClock* clock_;
   NetParams params_;
-  uint64_t messages_ = 0;
-  uint64_t bytes_ = 0;
+  // Relaxed atomics: one model may be shared by every client stub of an RPC
+  // fleet across driver threads (SimClock::Advance is already atomic), and
+  // the totals are reporting-only — relaxed counts are exact, just unordered.
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> bytes_{0};
 };
 
 }  // namespace invfs

@@ -197,4 +197,9 @@ TxnId TxnManager::OldestActiveXmin() const {
   return oldest;
 }
 
+size_t TxnManager::ActiveTxnCount() const {
+  MutexLock lock(mu_);
+  return active_.size();
+}
+
 }  // namespace invfs

@@ -92,6 +92,11 @@ class TxnManager {
   // anything at or above it may still be visible to a running reader.
   TxnId OldestActiveXmin() const;
 
+  // Transactions currently open (read-write and read-only). The net-fault
+  // oracle uses this as a quiescence check: after a session reset the server
+  // must have aborted the orphaned transaction, not leaked it.
+  size_t ActiveTxnCount() const;
+
   Timestamp Now() { return clock_->Now(); }
 
   LockManager& locks() { return *locks_; }

@@ -224,7 +224,7 @@ class DirectTransport final : public Transport {
  public:
   explicit DirectTransport(InversionServer* server) : server_(server) {}
   Result<std::vector<std::byte>> RoundTrip(
-      std::span<const std::byte> request) override {
+      std::span<const std::byte> request, SimMicros /*timeout_us*/) override {
     return server_->Handle(request);
   }
 

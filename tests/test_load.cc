@@ -223,5 +223,58 @@ TEST(LoadGenTest, TimeseriesRelationServesSampledWindows) {
       << tt.status().ToString();
 }
 
+TEST(LoadGenRpcTest, FleetRunsOverTheMarshalledWire) {
+  auto world_or = InversionWorld::Create();
+  ASSERT_TRUE(world_or.ok());
+  InversionWorld& world = **world_or;
+
+  LoadGenOptions opt;
+  opt.seed = 42;
+  opt.seconds = 2.0;
+  opt.transport = LoadTransport::kRpc;
+  LoadGen load(&world.fs(), opt);
+  ASSERT_TRUE(load.Run().ok());
+
+  const LoadGenReport report = load.Report();
+  EXPECT_GT(report.ops, 0u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_GT(report.rpc_exchanges, 0u) << "every op must cross the wire";
+  EXPECT_EQ(report.rpc_faults, 0u) << "no rates armed";
+  EXPECT_EQ(report.rpc_retries, 0u) << "a clean wire never retries";
+  // Every tenant's frames carry its tag: the server-side binding must have
+  // attributed rpc requests per tenant, not blended them.
+  MetricsRegistry& metrics = world.db().metrics();
+  EXPECT_GT(metrics.GetCounter("rpc.requests", "write")->Value(), 0u);
+}
+
+TEST(LoadGenRpcTest, WireFaultsAreAbsorbedInvisiblyByRetryAndDrc) {
+  auto world_or = InversionWorld::Create();
+  ASSERT_TRUE(world_or.ok());
+  InversionWorld& world = **world_or;
+
+  LoadGenOptions opt;
+  opt.seed = 7;
+  opt.seconds = 2.0;
+  opt.transport = LoadTransport::kRpc;
+  // Drops, duplicates, and truncation are fully absorbable: the client
+  // retries under the same seq and the server's DRC replays anything already
+  // executed. (Resets are excluded — one mid-transaction legitimately
+  // surfaces kTxnAborted to its client.)
+  opt.net_faults.drop_request = 0.02;
+  opt.net_faults.drop_response = 0.02;
+  opt.net_faults.duplicate = 0.01;
+  opt.net_faults.truncate = 0.01;
+  LoadGen load(&world.fs(), opt);
+  ASSERT_TRUE(load.Run().ok());
+
+  const LoadGenReport report = load.Report();
+  EXPECT_GT(report.ops, 0u);
+  EXPECT_GT(report.rpc_faults, 0u) << "the rates must actually fire";
+  EXPECT_GT(report.rpc_retries, 0u);
+  EXPECT_EQ(report.errors, 0u)
+      << "a wire fault leaked through the resilience layer:\n"
+      << report.DumpText();
+}
+
 }  // namespace
 }  // namespace invfs

@@ -538,5 +538,37 @@ TEST(LoadStormTest, EightConcurrentDriversShareOneEngine) {
   EXPECT_EQ(observed, total_ops);
 }
 
+// NetModel is shared by every client stub of an RPC fleet: its counters are
+// relaxed atomics and SimClock::Advance is atomic, so concurrent charges must
+// lose neither messages nor bytes nor simulated time.
+TEST(LoadStormTest, ConcurrentNetModelChargesAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kChargesPerThread = 5000;
+  constexpr uint64_t kBytes = 1024;
+
+  SimClock clock;
+  NetModel net(&clock, NetParams{});
+  const SimMicros per_charge =
+      NetParams{}.per_message_us + (kBytes * NetParams{}.per_kilobyte_us) / 1024;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        net.ChargeMessage(kBytes);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kChargesPerThread;
+  EXPECT_EQ(net.total_messages(), total);
+  EXPECT_EQ(net.total_bytes(), total * kBytes);
+  EXPECT_EQ(clock.Peek(), per_charge * total) << "no lost clock advances";
+}
+
 }  // namespace
 }  // namespace invfs

@@ -159,9 +159,14 @@ TEST_F(RpcTest, FuzzedFramesAlwaysGetResponsesNeverCrash) {
 }
 
 TEST_F(RpcTest, OversizedReadLengthRejectedBeforeAllocation) {
-  // A 9-byte frame asking for a 4 GB read buffer: the server must refuse at
-  // its trust boundary instead of allocating.
+  // A frame asking for a 4 GB read buffer: the server must refuse at its
+  // trust boundary instead of allocating. The header (tenant, client id,
+  // seq, epoch) must be well-formed so the frame reaches the arg decoder.
   ByteWriter w;
+  w.Str("");   // tenant
+  w.U64(77);   // client id
+  w.U64(1);    // seq
+  w.U32(1);    // epoch
   w.U8(static_cast<uint8_t>(RpcOp::kRead));
   w.U32(7);            // fd (bogus; never reached)
   w.U32(0xFFFFFFFFu);  // requested length
